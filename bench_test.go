@@ -1,0 +1,180 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§8): each
+// bench regenerates its artifact end to end (workload generation, competing
+// methods, row rendering) at bench scale. Run a single artifact with e.g.
+//
+//	go test -bench BenchmarkTable9 -benchmem
+//
+// and the full suite with `go test -bench . -benchmem`. The printed tables
+// themselves come from `go run ./cmd/experiments -run all`.
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func benchParams() exp.Params {
+	return exp.Params{Quick: true, Queries: 2, Seed: 99, Scale: 0.03}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Run(id, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+func BenchmarkTable11(b *testing.B) { benchExperiment(b, "table11") }
+func BenchmarkTable12(b *testing.B) { benchExperiment(b, "table12") }
+func BenchmarkTable13(b *testing.B) { benchExperiment(b, "table13") }
+func BenchmarkTable14(b *testing.B) { benchExperiment(b, "table14") }
+func BenchmarkTable15(b *testing.B) { benchExperiment(b, "table15") }
+func BenchmarkTable16(b *testing.B) { benchExperiment(b, "table16") }
+func BenchmarkTable17(b *testing.B) { benchExperiment(b, "table17") }
+func BenchmarkTable18(b *testing.B) { benchExperiment(b, "table18") }
+func BenchmarkTable19(b *testing.B) { benchExperiment(b, "table19") }
+func BenchmarkTable20(b *testing.B) { benchExperiment(b, "table20") }
+func BenchmarkTable21(b *testing.B) { benchExperiment(b, "table21") }
+func BenchmarkTable22(b *testing.B) { benchExperiment(b, "table22") }
+func BenchmarkTable23(b *testing.B) { benchExperiment(b, "table23") }
+func BenchmarkTable24(b *testing.B) { benchExperiment(b, "table24") }
+func BenchmarkTable25(b *testing.B) { benchExperiment(b, "table25") }
+func BenchmarkFig5(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)    { benchExperiment(b, "fig8") }
+
+// BenchmarkExtBudget exercises the §9 total-budget extension end to end.
+func BenchmarkExtBudget(b *testing.B) { benchExperiment(b, "extbudget") }
+
+// ---- Ablation benchmarks: the design choices DESIGN.md calls out. ----
+
+// benchSolve runs one solver configuration on a fixed query.
+func benchSolve(b *testing.B, method Method, mutate func(*Options)) {
+	b.Helper()
+	g, err := LoadDataset("lastfm", 0.04, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := Queries(g, 1, 3, 5, 9)
+	if len(qs) == 0 {
+		b.Fatal("no query")
+	}
+	opt := Options{K: 5, Zeta: 0.5, R: 15, L: 10, Z: 150, Seed: 13, H: 3}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(g, qs[0].S, qs[0].T, method, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBE_vs_IP isolates the batch-normalization design choice
+// (Algorithm 6 vs plain Algorithm 5).
+func BenchmarkAblationBE_vs_IP(b *testing.B) {
+	b.Run("BE", func(b *testing.B) { benchSolve(b, MethodBE, nil) })
+	b.Run("IP", func(b *testing.B) { benchSolve(b, MethodIP, nil) })
+}
+
+// BenchmarkAblationSampler isolates the estimator choice inside BE
+// (Tables 6-7: RSS needs roughly half the samples of MC for the same
+// variance).
+func BenchmarkAblationSampler(b *testing.B) {
+	b.Run("rss", func(b *testing.B) {
+		benchSolve(b, MethodBE, func(o *Options) { o.Sampler = "rss"; o.Z = 150 })
+	})
+	b.Run("mc", func(b *testing.B) {
+		benchSolve(b, MethodBE, func(o *Options) { o.Sampler = "mc"; o.Z = 300 })
+	})
+}
+
+// BenchmarkAblationElimination isolates search-space elimination
+// (Tables 4 vs 5).
+func BenchmarkAblationElimination(b *testing.B) {
+	b.Run("with", func(b *testing.B) { benchSolve(b, MethodBE, nil) })
+	b.Run("without", func(b *testing.B) {
+		benchSolve(b, MethodBE, func(o *Options) { o.NoElimination = true; o.H = 2 })
+	})
+}
+
+// BenchmarkAblationK1 isolates the per-round refinement budget k1/k of the
+// Min aggregate solver (§6.2).
+func BenchmarkAblationK1(b *testing.B) {
+	g, err := LoadDataset("lastfm", 0.04, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mqs := MultiQueries(g, 1, 3, 9)
+	if len(mqs) == 0 {
+		b.Fatal("no multi query")
+	}
+	for _, ratio := range []float64{0.1, 0.3, 0.5} {
+		b.Run(ratioName(ratio), func(b *testing.B) {
+			opt := Options{K: 6, Zeta: 0.5, R: 15, L: 8, Z: 150, Seed: 13, K1Ratio: ratio}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveMulti(g, mqs[0].Sources, mqs[0].Targets, AggMin, MethodBE, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func ratioName(r float64) string {
+	switch r {
+	case 0.1:
+		return "k1=10pct"
+	case 0.3:
+		return "k1=30pct"
+	default:
+		return "k1=50pct"
+	}
+}
+
+// BenchmarkSamplerCore measures the raw estimators outside the solver.
+func BenchmarkSamplerCore(b *testing.B) {
+	g, err := LoadDataset("astopo", 0.04, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := Queries(g, 1, 3, 5, 4)
+	if len(qs) == 0 {
+		b.Fatal("no query")
+	}
+	b.Run("mc-500", func(b *testing.B) {
+		smp := NewMonteCarloSampler(500, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			smp.Reliability(g, qs[0].S, qs[0].T)
+		}
+	})
+	b.Run("rss-250", func(b *testing.B) {
+		smp := NewRSSSampler(250, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			smp.Reliability(g, qs[0].S, qs[0].T)
+		}
+	})
+}

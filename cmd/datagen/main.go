@@ -1,0 +1,72 @@
+// Command datagen emits the built-in dataset stand-ins as edge-list files
+// consumable by cmd/relmax:
+//
+//	datagen -dataset lastfm -scale 0.1 -out lastfm.txt
+//	datagen -all -scale 0.05 -dir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset to emit (see -list)")
+		all     = flag.Bool("all", false, "emit every dataset")
+		list    = flag.Bool("list", false, "list dataset names and exit")
+		scale   = flag.Float64("scale", 0.08, "node-count scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		dir     = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range repro.DatasetNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *all {
+		for _, name := range repro.DatasetNames() {
+			path := filepath.Join(*dir, name+".txt")
+			if err := emit(name, *scale, *seed, path); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+	if *dataset == "" {
+		fatal(fmt.Errorf("-dataset, -all or -list required"))
+	}
+	if err := emit(*dataset, *scale, *seed, *out); err != nil {
+		fatal(err)
+	}
+}
+
+func emit(name string, scale float64, seed int64, path string) error {
+	g, err := repro.LoadDataset(name, scale, seed)
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		return g.WriteEdgeList(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return g.WriteEdgeList(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

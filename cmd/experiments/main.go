@@ -1,0 +1,59 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§8) on the built-in dataset stand-ins:
+//
+//	experiments -list              # show available artifact ids
+//	experiments -run table9        # one table
+//	experiments -run all           # everything (several minutes)
+//	experiments -run table9 -quick # bench-sized
+//
+// Absolute numbers differ from the paper (scaled graphs, different
+// hardware); the reproduced signal is the relative comparison between
+// methods and the trends across parameters — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "bench-sized workloads")
+		scale   = flag.Float64("scale", 0.08, "dataset scale factor")
+		queries = flag.Int("queries", 3, "queries averaged per cell (paper: 100)")
+		seed    = flag.Int64("seed", 2024, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range repro.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all required; -list shows ids")
+		os.Exit(2)
+	}
+	params := repro.ExperimentParams{Quick: *quick, Scale: *scale, Queries: *queries, Seed: *seed}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = repro.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := repro.RunExperiment(id, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("-- wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

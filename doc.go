@@ -1,0 +1,39 @@
+// Package repro is a Go implementation of "Reliability Maximization in
+// Uncertain Graphs" (Ke, Khan, Al Hasan, Rezvansangsari; ICDE 2021 /
+// arXiv:1903.08587): given an uncertain graph — where each edge carries an
+// independent existence probability — and a source/target query, it finds
+// the best k new edges (shortcut edges, each with probability ζ) to add so
+// that the s-t reliability is maximized.
+//
+// The problem is NP-hard, admits no PTAS, and its objective is neither
+// submodular nor supermodular, so the library implements the paper's
+// practical pipeline:
+//
+//  1. reliability-based search space elimination (top-r nodes most
+//     reliable from s and to t, optional h-hop constraint on new edges),
+//  2. top-l most reliable path extraction over the candidate-augmented
+//     graph, and
+//  3. greedy path-batch selection (BE) under the budget k — with
+//     individual-path selection (IP), the exact polynomial solver for the
+//     restricted most-reliable-path problem (MRP), the §3 baselines
+//     (individual top-k, hill climbing, centrality, eigenvalue), and
+//     exhaustive search for small instances as alternatives.
+//
+// Multiple-source/target queries (Problem 4) are supported under Average,
+// Minimum and Maximum aggregates, serving applications such as targeted
+// influence maximization; see SolveMulti.
+//
+// # Quick start
+//
+//	g := repro.NewGraph(4, false)
+//	g.MustAddEdge(2, 1, 0.9)
+//	g.MustAddEdge(2, 3, 0.3)
+//	sol, err := repro.Solve(g, 0, 3, repro.MethodBE, repro.Options{K: 2, Zeta: 0.5})
+//	// sol.Edges are the shortcut edges; sol.Gain the reliability gain.
+//
+// Reliability estimation uses Monte Carlo sampling or recursive stratified
+// sampling (RSS); both are exposed via NewMonteCarloSampler and
+// NewRSSSampler. Dataset stand-ins for the paper's evaluation graphs and
+// the full experiment harness (one runner per table/figure) are exposed via
+// LoadDataset and RunExperiment.
+package repro

@@ -1,0 +1,73 @@
+// Influence reproduces the paper's §8.4.2 application: targeted influence
+// maximization on a collaboration network (the DBLP stand-in). A group of
+// senior researchers campaigns to a group of junior researchers under the
+// independent cascade model; recommending k new collaborations (edges)
+// should maximize the expected influence spread. Budgeted reliability
+// maximization with the Average aggregate is exactly this objective — the
+// program compares it against the eigenvalue-based optimizer (EO).
+//
+//	go run ./examples/influence
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	g, err := repro.LoadDataset("dblp", 0.08, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dblp stand-in: %d authors, %d collaborations\n", g.N(), g.M())
+
+	// Seniors: top-degree authors; juniors: a tail sample (the paper
+	// samples authors with 1-3 papers in SIGMOD/VLDB/ICDE).
+	seniors, juniors := splitByDegree(g, 5, 60)
+	cfg := repro.InfluenceConfig{Z: 800, Seed: 3}
+	before := repro.InfluenceSpread(g, seniors, juniors, cfg)
+	fmt.Printf("seniors=%d juniors=%d, expected spread before: %.1f\n",
+		len(seniors), len(juniors), before)
+
+	opt := repro.Options{K: 10, Zeta: 0.5, R: 25, L: 15, Z: 300, Seed: 17}
+
+	be, err := repro.SolveMulti(g, seniors, juniors, repro.AggAvg, repro.MethodBE, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eo, err := repro.SolveMulti(g, seniors, juniors, repro.AggAvg, repro.MethodEigen, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spreadBE := repro.InfluenceSpread(g.WithEdges(be.Edges), seniors, juniors, cfg)
+	spreadEO := repro.InfluenceSpread(g.WithEdges(eo.Edges), seniors, juniors, cfg)
+	fmt.Printf("\nafter adding %d recommended collaborations:\n", opt.K)
+	fmt.Printf("  batch-edge selection (this paper): %.1f juniors reached\n", spreadBE)
+	fmt.Printf("  eigenvalue optimization (EO):      %.1f juniors reached\n", spreadEO)
+	fmt.Printf("BE advantage: %+.1f juniors\n", spreadBE-spreadEO)
+}
+
+// splitByDegree returns the nSenior highest-degree nodes and nJunior
+// lowest-degree nodes.
+func splitByDegree(g *repro.Graph, nSenior, nJunior int) (seniors, juniors []repro.NodeID) {
+	type nd struct {
+		v repro.NodeID
+		d int
+	}
+	all := make([]nd, g.N())
+	for v := 0; v < g.N(); v++ {
+		all[v] = nd{repro.NodeID(v), g.Degree(repro.NodeID(v))}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d > all[j].d })
+	for i := 0; i < nSenior; i++ {
+		seniors = append(seniors, all[i].v)
+	}
+	for i := len(all) - nJunior; i < len(all); i++ {
+		juniors = append(juniors, all[i].v)
+	}
+	return seniors, juniors
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small uncertain graph, inspect its most reliable
+// paths, and ask the library for the best k shortcut edges between a
+// source and a target.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A small logistics network: warehouse (0) ships to customer (5)
+	// through unreliable intermediate depots. Edge probabilities model
+	// on-time delivery odds on each leg.
+	g := repro.NewGraph(6, true)
+	g.MustAddEdge(0, 1, 0.8) // warehouse → hub A
+	g.MustAddEdge(1, 2, 0.5) // hub A → depot B
+	g.MustAddEdge(2, 5, 0.4) // depot B → customer
+	g.MustAddEdge(0, 3, 0.6) // warehouse → hub C
+	g.MustAddEdge(3, 4, 0.3) // hub C → depot D
+	g.MustAddEdge(4, 5, 0.5) // depot D → customer
+
+	const source, target = 0, 5
+
+	// How reliable is delivery today?
+	before := repro.NewRSSSampler(20000, 1).Reliability(g, source, target)
+	fmt.Printf("current delivery reliability %d → %d: %.3f\n", source, target, before)
+
+	// What is the single most reliable route?
+	if p, ok := repro.MostReliablePath(g, source, target); ok {
+		fmt.Printf("most reliable route: %v (probability %.3f)\n", p.Nodes, p.Prob)
+	}
+
+	// Budget for two new connections, each with 0.7 reliability (e.g.
+	// contracting a premium carrier on two new legs). Which two legs?
+	sol, err := repro.Solve(g, source, target, repro.MethodBE, repro.Options{
+		K:    2,
+		Zeta: 0.7,
+		L:    10,
+		Z:    2000,
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest %d new legs (method %s):\n", len(sol.Edges), sol.Method)
+	for _, e := range sol.Edges {
+		fmt.Printf("  %d → %d with probability %.2f\n", e.U, e.V, e.P)
+	}
+	fmt.Printf("delivery reliability: %.3f → %.3f (gain %.3f)\n", sol.Base, sol.After, sol.Gain)
+
+	// Compare against the exact polynomial solver for the restricted
+	// problem (improve the single most reliable path only).
+	mrp := repro.ImproveMostReliablePath(g, sol.Edges, source, target, 2)
+	fmt.Printf("best single route after addition: probability %.3f (was %.3f)\n", mrp.Prob, mrp.BaseProb)
+}

@@ -1,0 +1,86 @@
+// Roadnet models the paper's road-network motivation (§1): roads are
+// uncertain edges whose probability is the chance the leg is congestion-
+// free, and a logistics operator wants dependable delivery from an
+// inventory hub to a customer district. The example contrasts three of the
+// library's solvers on the same planning question:
+//
+//  1. the restricted MRP solver (Algorithm 3) — improve the single most
+//     dependable route, exactly and in polynomial time;
+//
+//  2. the full BE solver — improve overall reliability across all routes;
+//
+//  3. the §9 total-budget extension — split one pool of "road improvement
+//     budget" across new links with per-link quality chosen by the solver.
+//
+//     go run ./examples/roadnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 4×5 grid city: node = intersection, edge = road segment with
+	// congestion-free probability. Vertical avenues are fast (0.8),
+	// horizontal streets are slow (0.35-0.55).
+	const cols, rows = 5, 4
+	g := repro.NewGraph(cols*rows, false)
+	id := func(r, c int) repro.NodeID { return repro.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				p := 0.35 + 0.05*float64(r) // streets
+				g.MustAddEdge(id(r, c), id(r, c+1), p)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), 0.8) // avenues
+			}
+		}
+	}
+	src, dst := id(0, 0), id(rows-1, cols-1)
+	est := repro.NewRSSSampler(20000, 1)
+	fmt.Printf("grid city: %d intersections, %d road segments\n", g.N(), g.M())
+	fmt.Printf("delivery reliability %d → %d today: %.3f\n\n", src, dst, est.Reliability(g, src, dst))
+
+	// Candidate new roads: any missing link between intersections at
+	// most 2 blocks apart (physical constraint), built to 0.6 quality.
+	opt := repro.Options{K: 3, Zeta: 0.6, R: 20, L: 15, H: 2, Z: 2000, Seed: 5}
+
+	// (1) Improve the single most reliable route, exactly.
+	mrpSol, err := repro.Solve(g, src, dst, repro.MethodMRP, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("MRP (best single route, exact)", g, src, dst, mrpSol.Edges, est)
+
+	// (2) Improve overall reliability (all routes considered).
+	beSol, err := repro.Solve(g, src, dst, repro.MethodBE, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("BE (overall reliability)", g, src, dst, beSol.Edges, est)
+
+	// (3) One shared improvement budget of 1.2 "probability units",
+	// split across new links however it helps most.
+	tb, err := repro.SolveTotalBudget(g, src, dst, 1.2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Total-budget extension (B=1.2): spent %.2f over %d links\n", tb.Spent, len(tb.Edges))
+	for _, e := range tb.Edges {
+		fmt.Printf("   new road %2d — %2d built to quality %.2f\n", e.U, e.V, e.P)
+	}
+	fmt.Printf("   reliability: %.3f → %.3f\n", tb.Base, tb.After)
+}
+
+func report(name string, g *repro.Graph, s, t repro.NodeID, edges []repro.Edge, est repro.Sampler) {
+	after := est.Reliability(g.WithEdges(edges), s, t)
+	fmt.Printf("%s: %d new roads → reliability %.3f\n", name, len(edges), after)
+	for _, e := range edges {
+		fmt.Printf("   new road %2d — %2d (p=%.2f)\n", e.U, e.V, e.P)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,264 @@
+// Package core implements the paper's contribution: solvers for the
+// budgeted reliability maximization problem (Problem 1), its restricted
+// most-reliable-path version (Problem 2), the budgeted path selection
+// subproblem (Problem 3) and the multiple-source-target generalization
+// (Problem 4), together with the baseline methods of §3 (individual top-k,
+// hill climbing, centrality-based, eigenvalue-based) and the exact
+// exhaustive-search competitor of Table 11.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/ugraph"
+)
+
+// Method selects a solver for Problem 1.
+type Method string
+
+// Problem 1 solvers (§3 baselines, §4 restricted solver, §5 proposed).
+const (
+	// MethodIndividualTopK ranks candidate edges by individual
+	// reliability gain (§3.1).
+	MethodIndividualTopK Method = "topk"
+	// MethodHillClimbing greedily adds the max-marginal-gain edge
+	// (Algorithm 1, §3.2).
+	MethodHillClimbing Method = "hc"
+	// MethodDegree connects high degree-centrality endpoints (§3.3).
+	MethodDegree Method = "degree"
+	// MethodBetweenness connects high betweenness-centrality endpoints
+	// (§3.3).
+	MethodBetweenness Method = "betweenness"
+	// MethodEigen ranks candidate edges by eigen-score (§3.4,
+	// Algorithm 2).
+	MethodEigen Method = "eigen"
+	// MethodMRP solves the restricted Problem 2 exactly (Algorithm 3)
+	// and uses its edges for Problem 1.
+	MethodMRP Method = "mrp"
+	// MethodIP is individual path-based edge selection (Algorithm 5).
+	MethodIP Method = "ip"
+	// MethodBE is path batches-based edge selection (Algorithms 5+6),
+	// the paper's flagship solver.
+	MethodBE Method = "be"
+	// MethodExact exhaustively enumerates candidate combinations
+	// (Table 11's ES competitor; feasible only on small inputs).
+	MethodExact Method = "exact"
+)
+
+// Methods lists every Problem 1 solver in presentation order.
+func Methods() []Method {
+	return []Method{
+		MethodIndividualTopK, MethodHillClimbing, MethodDegree,
+		MethodBetweenness, MethodEigen, MethodMRP, MethodIP, MethodBE, MethodExact,
+	}
+}
+
+// Options configures a Problem 1/4 query. Zero values select the paper's
+// defaults (§8.1 parameters setup).
+type Options struct {
+	// K is the budget on new edges (default 10).
+	K int
+	// Zeta is the probability assigned to new edges (default 0.5).
+	Zeta float64
+	// R is the number of candidate nodes per side for search space
+	// elimination (default 100).
+	R int
+	// L is the number of most reliable paths extracted (default 30).
+	L int
+	// H is the hop-distance constraint for new edges; 0 disables it.
+	H int
+	// Z is the sample size for reliability estimation (default 500).
+	Z int
+	// Sampler chooses the estimator: "mc" or "rss" (default "rss").
+	Sampler string
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// NoElimination skips Algorithm 4 and uses every missing edge
+	// (within H hops) as a candidate — the Table 4 configuration.
+	NoElimination bool
+	// Candidates, when non-nil, overrides candidate generation entirely;
+	// each edge carries its own probability (Table 16's per-edge
+	// probability experiment).
+	Candidates []ugraph.Edge
+	// MaxExactCombos caps the combination count MethodExact will
+	// enumerate (default 2e6).
+	MaxExactCombos int
+	// K1Ratio is the per-round budget fraction k1/k for the Min/Max
+	// aggregate solvers of §6 (default 0.1).
+	K1Ratio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Zeta <= 0 {
+		o.Zeta = 0.5
+	}
+	if o.R <= 0 {
+		o.R = 100
+	}
+	if o.L <= 0 {
+		o.L = 30
+	}
+	if o.Z <= 0 {
+		o.Z = 500
+	}
+	if o.Sampler == "" {
+		o.Sampler = "rss"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxExactCombos <= 0 {
+		o.MaxExactCombos = 2_000_000
+	}
+	if o.K1Ratio <= 0 || o.K1Ratio > 1 {
+		o.K1Ratio = 0.1
+	}
+	return o
+}
+
+// NewSampler builds the reliability estimator configured by opt, with a
+// decorrelated stream index so different pipeline stages use independent
+// randomness.
+func (o Options) NewSampler(stream int64) (sampling.Sampler, error) {
+	switch o.Sampler {
+	case "mc":
+		return sampling.NewMonteCarlo(o.Z, rng.Split(o.Seed, stream).Int63()), nil
+	case "rss":
+		return sampling.NewRSS(o.Z, rng.Split(o.Seed, stream).Int63()), nil
+	case "lazy":
+		return sampling.NewLazy(o.Z, rng.Split(o.Seed, stream).Int63()), nil
+	default:
+		return nil, fmt.Errorf("core: unknown sampler %q (want mc, rss or lazy)", o.Sampler)
+	}
+}
+
+// Solution is the outcome of a Problem 1 query.
+type Solution struct {
+	// Method that produced the solution.
+	Method Method
+	// Edges are the chosen new edges (≤ K, each with its probability).
+	Edges []ugraph.Edge
+	// Base and After are the s-t reliabilities before and after adding
+	// Edges, estimated on the full graph with a held-out sampler.
+	Base, After float64
+	// Gain = After − Base.
+	Gain float64
+	// CandidateCount is |E+| after search space elimination.
+	CandidateCount int
+	// PathCount is |P|, the number of extracted most reliable paths
+	// (path-based methods only).
+	PathCount int
+	// ElimTime and SelectTime split the runtime into search-space
+	// elimination and top-k edge selection (Tables 17-18).
+	ElimTime, SelectTime time.Duration
+}
+
+// Solve answers a single-source-target budgeted reliability maximization
+// query with the given method.
+func Solve(g *ugraph.Graph, s, t ugraph.NodeID, method Method, opt Options) (Solution, error) {
+	opt = opt.withDefaults()
+	if err := checkQuery(g, s, t); err != nil {
+		return Solution{}, err
+	}
+	smp, err := opt.NewSampler(1)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	elimStart := time.Now()
+	cands, err := candidateSet(g, s, t, smp, opt)
+	if err != nil {
+		return Solution{}, err
+	}
+	elimTime := time.Since(elimStart)
+
+	selStart := time.Now()
+	var edges []ugraph.Edge
+	var pathCount int
+	switch method {
+	case MethodIndividualTopK:
+		edges = individualTopK(g, s, t, cands, smp, opt)
+	case MethodHillClimbing:
+		edges = hillClimbing(g, s, t, cands, smp, opt)
+	case MethodDegree:
+		edges = centralityEdges(g, cands, opt, false)
+	case MethodBetweenness:
+		edges = centralityEdges(g, cands, opt, true)
+	case MethodEigen:
+		edges = eigenEdges(g, cands, opt)
+	case MethodMRP:
+		edges = mrpEdges(g, s, t, cands, opt)
+	case MethodIP:
+		edges, pathCount = pathSelect(g, s, t, cands, smp, opt, false)
+	case MethodBE:
+		edges, pathCount = pathSelect(g, s, t, cands, smp, opt, true)
+	case MethodExact:
+		edges, err = exactSearch(g, s, t, cands, smp, opt)
+		if err != nil {
+			return Solution{}, err
+		}
+	default:
+		return Solution{}, fmt.Errorf("core: unknown method %q", method)
+	}
+	selTime := time.Since(selStart)
+
+	sol := Solution{
+		Method:         method,
+		Edges:          edges,
+		CandidateCount: len(cands),
+		PathCount:      pathCount,
+		ElimTime:       elimTime,
+		SelectTime:     selTime,
+	}
+	// Held-out evaluation with an independent stream.
+	eval, err := opt.NewSampler(2)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol.Base = eval.Reliability(g, s, t)
+	sol.After = eval.Reliability(g.WithEdges(edges), s, t)
+	sol.Gain = sol.After - sol.Base
+	return sol, nil
+}
+
+func checkQuery(g *ugraph.Graph, s, t ugraph.NodeID) error {
+	if s < 0 || int(s) >= g.N() {
+		return fmt.Errorf("core: source %d out of range", s)
+	}
+	if t < 0 || int(t) >= g.N() {
+		return fmt.Errorf("core: target %d out of range", t)
+	}
+	if s == t {
+		return fmt.Errorf("core: source equals target (%d)", s)
+	}
+	return nil
+}
+
+// candidateSet materializes E+ for the query per the configured policy.
+func candidateSet(g *ugraph.Graph, s, t ugraph.NodeID, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	if opt.Candidates != nil {
+		out := make([]ugraph.Edge, 0, len(opt.Candidates))
+		for _, e := range opt.Candidates {
+			if e.U == e.V || g.HasEdge(e.U, e.V) {
+				continue
+			}
+			if e.P <= 0 {
+				e.P = opt.Zeta
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	}
+	if opt.NoElimination {
+		return candidates.AllMissing(g, opt.H, opt.Zeta), nil
+	}
+	res := candidates.Eliminate(g, s, t, smp, candidates.Options{R: opt.R, H: opt.H, Zeta: opt.Zeta})
+	return res.Edges, nil
+}

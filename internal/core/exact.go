@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sampling"
+	"repro/internal/ugraph"
+)
+
+// exactSearch is the ES competitor of Table 11: enumerate every way of
+// choosing min(k, |E+|) candidate edges, estimate the resulting s-t
+// reliability, and keep the best combination. The combination count is
+// capped by MaxExactCombos; larger instances return an error rather than
+// running for days.
+func exactSearch(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	k := opt.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	combos := binomial(len(cands), k)
+	if combos < 0 || combos > opt.MaxExactCombos {
+		return nil, fmt.Errorf("core: exact search needs %d combinations of %d candidates, cap is %d",
+			combos, len(cands), opt.MaxExactCombos)
+	}
+	best := -1.0
+	var bestSet []ugraph.Edge
+	current := make([]ugraph.Edge, 0, k)
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(current) == k {
+			rel := smp.Reliability(g.WithEdges(current), s, t)
+			if rel > best {
+				best = rel
+				bestSet = append([]ugraph.Edge(nil), current...)
+			}
+			return
+		}
+		// Not enough candidates left to fill the combination.
+		if len(cands)-start < k-len(current) {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			current = append(current, cands[i])
+			recurse(i + 1)
+			current = current[:len(current)-1]
+		}
+	}
+	recurse(0)
+	return bestSet, nil
+}
+
+// binomial returns C(n, k), or -1 on overflow.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := 1
+	for i := 1; i <= k; i++ {
+		next := result * (n - k + i)
+		if next < result {
+			return -1 // overflow
+		}
+		result = next / i
+	}
+	return result
+}

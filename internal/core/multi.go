@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/paths"
+	"repro/internal/sampling"
+	"repro/internal/ugraph"
+)
+
+// Aggregate selects the §6 objective over all s-t pair reliabilities.
+type Aggregate string
+
+// Supported aggregates.
+const (
+	// AggAvg maximizes the average pair reliability (§6.1), equivalent to
+	// maximizing the sum — the targeted-marketing objective.
+	AggAvg Aggregate = "avg"
+	// AggMin maximizes the worst pair reliability (§6.2) — complementary
+	// influence maximization.
+	AggMin Aggregate = "min"
+	// AggMax maximizes the best pair reliability (§6.3) — reach at least
+	// one target from at least one source.
+	AggMax Aggregate = "max"
+)
+
+// MultiSolution is the outcome of a Problem 4 query.
+type MultiSolution struct {
+	Method      Method
+	Aggregate   Aggregate
+	Edges       []ugraph.Edge
+	Base, After float64
+	Gain        float64
+	Elapsed     time.Duration
+}
+
+// PairReliabilities estimates R(s, t) for every (s, t) ∈ S×T using one
+// single-source vector query per source. Rows follow S, columns follow T.
+func PairReliabilities(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler) [][]float64 {
+	out := make([][]float64, len(sources))
+	for i, s := range sources {
+		vec := smp.ReliabilityFrom(g, s)
+		row := make([]float64, len(targets))
+		for j, t := range targets {
+			row[j] = vec[t]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// AggregateOf folds a pair-reliability matrix with the chosen aggregate.
+func AggregateOf(matrix [][]float64, agg Aggregate) float64 {
+	switch agg {
+	case AggAvg:
+		sum, n := 0.0, 0
+		for _, row := range matrix {
+			for _, v := range row {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	case AggMin:
+		min := math.Inf(1)
+		for _, row := range matrix {
+			for _, v := range row {
+				if v < min {
+					min = v
+				}
+			}
+		}
+		if math.IsInf(min, 1) {
+			return 0
+		}
+		return min
+	case AggMax:
+		max := 0.0
+		for _, row := range matrix {
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	default:
+		return 0
+	}
+}
+
+// SolveMulti answers a multiple-source-target budgeted reliability
+// maximization query (Problem 4). Supported methods: MethodBE (the
+// proposed solver: batch path selection for Avg, iterative per-pair
+// refinement for Min/Max), MethodHillClimbing and MethodEigen as baselines.
+func SolveMulti(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, method Method, opt Options) (MultiSolution, error) {
+	opt = opt.withDefaults()
+	if len(sources) == 0 || len(targets) == 0 {
+		return MultiSolution{}, fmt.Errorf("core: empty source or target set")
+	}
+	for _, v := range append(append([]ugraph.NodeID(nil), sources...), targets...) {
+		if v < 0 || int(v) >= g.N() {
+			return MultiSolution{}, fmt.Errorf("core: node %d out of range", v)
+		}
+	}
+	start := time.Now()
+	smp, err := opt.NewSampler(3)
+	if err != nil {
+		return MultiSolution{}, err
+	}
+	var edges []ugraph.Edge
+	switch method {
+	case MethodBE:
+		switch agg {
+		case AggAvg:
+			edges, err = multiAvgBE(g, sources, targets, smp, opt)
+		case AggMin, AggMax:
+			edges, err = multiMinMaxBE(g, sources, targets, agg, smp, opt)
+		default:
+			err = fmt.Errorf("core: unknown aggregate %q", agg)
+		}
+	case MethodHillClimbing:
+		edges, err = multiHillClimbing(g, sources, targets, agg, smp, opt)
+	case MethodEigen:
+		cands := multiCandidates(g, sources, targets, smp, opt)
+		edges = eigenEdges(g, cands, opt)
+	default:
+		err = fmt.Errorf("core: method %q not supported for multi-source-target queries", method)
+	}
+	if err != nil {
+		return MultiSolution{}, err
+	}
+	sol := MultiSolution{Method: method, Aggregate: agg, Edges: edges, Elapsed: time.Since(start)}
+	eval, err := opt.NewSampler(4)
+	if err != nil {
+		return MultiSolution{}, err
+	}
+	sol.Base = AggregateOf(PairReliabilities(g, sources, targets, eval), agg)
+	sol.After = AggregateOf(PairReliabilities(g.WithEdges(edges), sources, targets, eval), agg)
+	sol.Gain = sol.After - sol.Base
+	return sol, nil
+}
+
+func multiCandidates(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) []ugraph.Edge {
+	if opt.Candidates != nil {
+		out := make([]ugraph.Edge, 0, len(opt.Candidates))
+		for _, e := range opt.Candidates {
+			if e.U == e.V || g.HasEdge(e.U, e.V) {
+				continue
+			}
+			if e.P <= 0 {
+				e.P = opt.Zeta
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	if opt.NoElimination {
+		return candidates.AllMissing(g, opt.H, opt.Zeta)
+	}
+	res := candidates.EliminateMulti(g, sources, targets, smp, candidates.Options{R: opt.R, H: opt.H, Zeta: opt.Zeta})
+	return res.Edges
+}
+
+// multiAvgBE implements §6.1: candidate edges from the multi-source
+// elimination, top-l paths per pair, then batch selection maximizing the
+// average reliability over all pairs on the selected-path subgraph.
+func multiAvgBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	cands := multiCandidates(g, sources, targets, smp, opt)
+	a := augment(g, cands)
+	var pool []paths.Path
+	for _, s := range sources {
+		for _, t := range targets {
+			if s == t {
+				continue
+			}
+			pool = append(pool, paths.TopL(a.g, s, t, opt.L)...)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, nil
+	}
+	ev := multiEvaluator{gPlus: a.g, sources: sources, targets: targets, smp: smp}
+	edges := batchSelect(a, pool, opt, ev.avgReliability)
+	return edges, nil
+}
+
+// multiEvaluator scores a selected path set against all S×T pairs on the
+// induced subgraph.
+type multiEvaluator struct {
+	gPlus            *ugraph.Graph
+	sources, targets []ugraph.NodeID
+	smp              sampling.Sampler
+}
+
+func (ev multiEvaluator) avgReliability(selected []paths.Path) float64 {
+	if len(selected) == 0 {
+		return 0
+	}
+	sub, remap := inducedSubgraph(ev.gPlus, selected)
+	total := 0.0
+	count := 0
+	for _, s := range ev.sources {
+		ss, okS := remap[s]
+		var vec []float64
+		if okS {
+			vec = ev.smp.ReliabilityFrom(sub, ss)
+		}
+		for _, t := range ev.targets {
+			count++
+			if !okS {
+				continue
+			}
+			if tt, okT := remap[t]; okT {
+				total += vec[tt]
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// inducedSubgraph builds the subgraph induced by a path set, returning the
+// node remapping.
+func inducedSubgraph(gPlus *ugraph.Graph, selected []paths.Path) (*ugraph.Graph, map[ugraph.NodeID]ugraph.NodeID) {
+	remap := make(map[ugraph.NodeID]ugraph.NodeID)
+	nodeOf := func(v ugraph.NodeID) ugraph.NodeID {
+		if id, ok := remap[v]; ok {
+			return id
+		}
+		id := ugraph.NodeID(len(remap))
+		remap[v] = id
+		return id
+	}
+	type edgeRec struct {
+		u, v ugraph.NodeID
+		p    float64
+	}
+	var edges []edgeRec
+	seen := make(map[int32]bool)
+	for _, p := range selected {
+		for i, eid := range p.Edges {
+			if seen[eid] {
+				continue
+			}
+			seen[eid] = true
+			edges = append(edges, edgeRec{u: nodeOf(p.Nodes[i]), v: nodeOf(p.Nodes[i+1]), p: gPlus.Prob(eid)})
+		}
+	}
+	sub := ugraph.New(len(remap), gPlus.Directed())
+	for _, e := range edges {
+		if !sub.HasEdge(e.u, e.v) {
+			sub.MustAddEdge(e.u, e.v, e.p)
+		}
+	}
+	return sub, remap
+}
+
+// batchSelect is the shared Algorithm 5+6 greedy loop over an arbitrary
+// objective on the selected-path subgraph.
+func batchSelect(a augmented, pool []paths.Path, opt Options, objective func([]paths.Path) float64) []ugraph.Edge {
+	type group struct {
+		label []int32
+		paths []paths.Path
+	}
+	byKey := make(map[string]*group)
+	var groups []*group
+	var selected []paths.Path
+	for _, p := range pool {
+		lbl := a.label(p)
+		if len(lbl) == 0 {
+			selected = append(selected, p)
+			continue
+		}
+		key := labelKey(lbl)
+		gr, ok := byKey[key]
+		if !ok {
+			gr = &group{label: lbl}
+			byKey[key] = gr
+			groups = append(groups, gr)
+		}
+		gr.paths = append(gr.paths, p)
+	}
+	chosen := make(map[int32]bool)
+	need := func(lbl []int32) int {
+		n := 0
+		for _, id := range lbl {
+			if !chosen[id] {
+				n++
+			}
+		}
+		return n
+	}
+	current := -1.0
+	for len(chosen) < opt.K && len(groups) > 0 {
+		if current < 0 {
+			current = objective(selected)
+		}
+		bestIdx, bestScore := -1, -1.0
+		var bestSelection []paths.Path
+		var bestCohort []int
+		for gi, gr := range groups {
+			newEdges := need(gr.label)
+			if len(chosen)+newEdges > opt.K {
+				continue
+			}
+			trial := append(append([]paths.Path(nil), selected...), gr.paths...)
+			extra := make(map[int32]bool, len(gr.label))
+			for _, id := range gr.label {
+				extra[id] = true
+			}
+			var cohort []int
+			for gj, other := range groups {
+				if gj == gi {
+					continue
+				}
+				coveredAll := true
+				for _, id := range other.label {
+					if !chosen[id] && !extra[id] {
+						coveredAll = false
+						break
+					}
+				}
+				if coveredAll {
+					trial = append(trial, other.paths...)
+					cohort = append(cohort, gj)
+				}
+			}
+			gain := objective(trial) - current
+			score := gain
+			if newEdges > 0 {
+				score = gain / float64(newEdges)
+			}
+			if score > bestScore {
+				bestScore = score
+				bestIdx = gi
+				bestSelection = trial
+				bestCohort = cohort
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		for _, id := range groups[bestIdx].label {
+			chosen[id] = true
+		}
+		selected = bestSelection
+		current = -1
+		drop := map[int]bool{bestIdx: true}
+		for _, gj := range bestCohort {
+			drop[gj] = true
+		}
+		kept := groups[:0]
+		for gi, gr := range groups {
+			if !drop[gi] {
+				kept = append(kept, gr)
+			}
+		}
+		groups = kept
+	}
+	var out []ugraph.Edge
+	ids := make([]int32, 0, len(chosen))
+	for id := range chosen {
+		ids = append(ids, id)
+	}
+	sortInt32(ids)
+	for _, id := range ids {
+		out = append(out, a.cand[id])
+	}
+	return out
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// multiMinMaxBE implements §6.2/§6.3: repeatedly pick the pair with the
+// currently minimum (resp. maximum) reliability and improve it with the
+// single-pair BE solver under a per-round budget k1 = K1Ratio·k, until the
+// total budget k is spent or no further improvement is possible.
+func multiMinMaxBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	work := g.Clone()
+	budget := opt.K
+	k1 := int(math.Round(opt.K1Ratio * float64(opt.K)))
+	if k1 < 1 {
+		k1 = 1
+	}
+	var all []ugraph.Edge
+	// Pairs that proved unimprovable this round are skipped until some
+	// edge addition changes the graph (new edges may open routes for
+	// them, so the skip set resets on progress).
+	skip := make(map[[2]int]bool)
+	for budget > 0 {
+		matrix := PairReliabilities(work, sources, targets, smp)
+		si, ti := pickPairSkipping(matrix, agg, skip)
+		if si < 0 {
+			break // every pair saturated or unimprovable
+		}
+		s, t := sources[si], targets[ti]
+		if s == t {
+			skip[[2]int{si, ti}] = true
+			continue // a coincident pair has reliability 1 already
+		}
+		round := opt
+		round.K = minInt(k1, budget)
+		round.Candidates = nil
+		cands := candidateRound(work, s, t, smp, round)
+		edges, _ := pathSelect(work, s, t, cands, smp, round, true)
+		if len(edges) == 0 {
+			// This pair cannot be improved on the current graph; try
+			// the next-worst (resp. next-best) pair instead.
+			skip[[2]int{si, ti}] = true
+			continue
+		}
+		progressed := false
+		for _, e := range edges {
+			if !work.HasEdge(e.U, e.V) {
+				work.MustAddEdge(e.U, e.V, e.P)
+				all = append(all, e)
+				budget--
+				progressed = true
+			}
+		}
+		if progressed {
+			skip = make(map[[2]int]bool)
+		} else {
+			skip[[2]int{si, ti}] = true
+		}
+	}
+	return all, nil
+}
+
+func candidateRound(g *ugraph.Graph, s, t ugraph.NodeID, smp sampling.Sampler, opt Options) []ugraph.Edge {
+	cands, _ := candidateSet(g, s, t, smp, opt)
+	return cands
+}
+
+// pickPairSkipping returns the index of the min (AggMin) or max (AggMax)
+// entry, ignoring skipped pairs; for AggMax, saturated pairs
+// (reliability ≥ 1) are also ignored because they cannot improve.
+func pickPairSkipping(matrix [][]float64, agg Aggregate, skip map[[2]int]bool) (int, int) {
+	bi, bj := -1, -1
+	best := math.Inf(1)
+	if agg == AggMax {
+		best = math.Inf(-1)
+	}
+	for i, row := range matrix {
+		for j, v := range row {
+			if skip[[2]int{i, j}] {
+				continue
+			}
+			switch agg {
+			case AggMin:
+				if v < best {
+					best = v
+					bi, bj = i, j
+				}
+			case AggMax:
+				if v > best && v < 1 {
+					best = v
+					bi, bj = i, j
+				}
+			}
+		}
+	}
+	return bi, bj
+}
+
+// multiHillClimbing generalizes Algorithm 1 to the aggregate objective.
+func multiHillClimbing(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	cands := multiCandidates(g, sources, targets, smp, opt)
+	work := g.Clone()
+	var chosen []ugraph.Edge
+	remaining := append([]ugraph.Edge(nil), cands...)
+	for len(chosen) < opt.K && len(remaining) > 0 {
+		base := AggregateOf(PairReliabilities(work, sources, targets, smp), agg)
+		bestIdx, bestGain := -1, -1.0
+		scratch := make([]ugraph.Edge, 1)
+		for i, e := range remaining {
+			scratch[0] = e
+			gain := AggregateOf(PairReliabilities(work.WithEdges(scratch), sources, targets, smp), agg) - base
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		e := remaining[bestIdx]
+		chosen = append(chosen, e)
+		work.MustAddEdge(e.U, e.V, e.P)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return chosen, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ugraph"
+)
+
+// These tests reproduce §2.3's characterization of the problem via the
+// Figure 3 example, using the exact solver so the optima are unambiguous.
+
+// fig3Instance builds the Figure 3 graph (undirected edges A-B and A-t at
+// probability α) with the candidate set {sA, sB, Bt} at probability ζ.
+func fig3Instance(alpha, zeta float64) (*ugraph.Graph, []ugraph.Edge) {
+	const s, a, b, tt = 0, 1, 2, 3
+	g := ugraph.New(4, false)
+	g.MustAddEdge(a, b, alpha)
+	g.MustAddEdge(a, tt, alpha)
+	cands := []ugraph.Edge{
+		{U: s, V: a, P: zeta},
+		{U: s, V: b, P: zeta},
+		{U: b, V: tt, P: zeta},
+	}
+	return g, cands
+}
+
+// exactBest enumerates every k-subset of candidates and returns the one
+// with the highest exact reliability.
+func exactBest(t *testing.T, g *ugraph.Graph, cands []ugraph.Edge, k int) (map[[2]ugraph.NodeID]bool, float64) {
+	t.Helper()
+	best := -1.0
+	var bestSet []ugraph.Edge
+	var recurse func(start int, current []ugraph.Edge)
+	recurse = func(start int, current []ugraph.Edge) {
+		if len(current) == k {
+			rel, err := g.WithEdges(current).ExactReliability(0, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel > best {
+				best = rel
+				bestSet = append([]ugraph.Edge(nil), current...)
+			}
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			recurse(i+1, append(current, cands[i]))
+		}
+	}
+	recurse(0, nil)
+	return edgeSet(bestSet), best
+}
+
+// TestObservation1OptimumVariesWithZeta: same α, different ζ → different
+// optimal solutions ({sA,sB} at ζ=0.7 vs {sB,Bt}... per Table 2 the ζ=0.7
+// optimum is {sB,Bt} and the ζ=0.3 optimum is {sA,sB}).
+func TestObservation1OptimumVariesWithZeta(t *testing.T) {
+	g1, c1 := fig3Instance(0.5, 0.7)
+	set1, _ := exactBest(t, g1, c1, 2)
+	g2, c2 := fig3Instance(0.5, 0.3)
+	set2, _ := exactBest(t, g2, c2, 2)
+	// Per Table 2 row 1: best is {sB, Bt} (0.543); row 2: {sA, sB} (0.203).
+	if !set1[[2]ugraph.NodeID{0, 2}] || !set1[[2]ugraph.NodeID{2, 3}] {
+		t.Fatalf("ζ=0.7 optimum = %v, want {sB, Bt}", set1)
+	}
+	if !set2[[2]ugraph.NodeID{0, 1}] || !set2[[2]ugraph.NodeID{0, 2}] {
+		t.Fatalf("ζ=0.3 optimum = %v, want {sA, sB}", set2)
+	}
+}
+
+// TestObservation2OptimumVariesWithAlpha: same ζ, different α.
+func TestObservation2OptimumVariesWithAlpha(t *testing.T) {
+	g1, c1 := fig3Instance(0.5, 0.7)
+	set1, _ := exactBest(t, g1, c1, 2)
+	g2, c2 := fig3Instance(0.9, 0.7)
+	set2, _ := exactBest(t, g2, c2, 2)
+	// Table 2 row 3: with α=0.9 the optimum flips to {sA, sB} (0.800).
+	if !set2[[2]ugraph.NodeID{0, 1}] || !set2[[2]ugraph.NodeID{0, 2}] {
+		t.Fatalf("α=0.9 optimum = %v, want {sA, sB}", set2)
+	}
+	same := true
+	for k := range set1 {
+		if !set2[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("optima identical across α — Observation 2 not demonstrated")
+	}
+}
+
+// TestObservation3NoNesting: the k=1 optimum {sA} is not a subset of the
+// k=2 optimum {sB, Bt} at α=0.5, ζ=0.7.
+func TestObservation3NoNesting(t *testing.T) {
+	g, cands := fig3Instance(0.5, 0.7)
+	set1, _ := exactBest(t, g, cands, 1)
+	set2, _ := exactBest(t, g, cands, 2)
+	if !set1[[2]ugraph.NodeID{0, 1}] {
+		t.Fatalf("k=1 optimum = %v, want {sA}", set1)
+	}
+	for k := range set1 {
+		if set2[k] {
+			t.Fatalf("k=1 optimum nested inside k=2 optimum %v — Observation 3 violated", set2)
+		}
+	}
+}
+
+// TestFig3KEquals1Closed: the k=1 optimum {sA} has reliability αζ, better
+// than α²ζ for {sB} and 0 for {Bt} (Example 1).
+func TestFig3KEquals1Closed(t *testing.T) {
+	const alpha, zeta = 0.5, 0.7
+	g, cands := fig3Instance(alpha, zeta)
+	for i, want := range []float64{alpha * zeta, alpha * alpha * zeta, 0} {
+		rel, err := g.WithEdges(cands[i:i+1]).ExactReliability(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := rel - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("single edge %d: reliability %v, want %v", i, rel, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/ugraph"
+)
+
+func TestNodeSampleShrinks(t *testing.T) {
+	g, err := Load("random1", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NodeSample(g, g.N()/2, 7)
+	if sub.N() != g.N()/2 {
+		t.Fatalf("sampled n = %d, want %d", sub.N(), g.N()/2)
+	}
+	if sub.M() >= g.M() {
+		t.Fatalf("sampled m = %d not below %d", sub.M(), g.M())
+	}
+	if sub.Directed() != g.Directed() {
+		t.Fatal("directedness lost")
+	}
+	// All edges must be within range and carry original-style probs.
+	for _, e := range sub.Edges() {
+		if int(e.U) >= sub.N() || int(e.V) >= sub.N() {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if e.P <= 0 || e.P > 1 {
+			t.Fatalf("bad probability %v", e.P)
+		}
+	}
+}
+
+func TestNodeSampleFullReturnsClone(t *testing.T) {
+	g, err := Load("random1", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NodeSample(g, g.N()+10, 7)
+	if sub.N() != g.N() || sub.M() != g.M() {
+		t.Fatal("full sample should be a structural clone")
+	}
+	// Mutating the sample must not affect the original.
+	if sub.M() > 0 {
+		if err := sub.SetProb(0, 0.99); err != nil {
+			t.Fatal(err)
+		}
+		if g.Prob(0) == 0.99 {
+			t.Fatal("NodeSample returned an aliased graph")
+		}
+	}
+}
+
+func TestNodeSampleDeterministic(t *testing.T) {
+	g, err := Load("random1", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NodeSample(g, 50, 9)
+	b := NodeSample(g, 50, 9)
+	if a.M() != b.M() {
+		t.Fatal("NodeSample not deterministic")
+	}
+	for eid := int32(0); int(eid) < a.M(); eid++ {
+		if a.Endpoints(eid) != b.Endpoints(eid) {
+			t.Fatal("NodeSample edges differ across runs")
+		}
+	}
+	_ = ugraph.NodeID(0)
+}

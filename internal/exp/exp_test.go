@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickParams() Params {
+	return Params{Quick: true, Queries: 2, Seed: 7, Scale: 0.03}
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	tab, err := Run("table2", quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published values round half-up at 3 decimals (e.g. 0.5425→0.543);
+	// compare numerically within half a rounding unit.
+	want := [][]float64{
+		{0.403, 0.473, 0.543},
+		{0.203, 0.173, 0.143},
+		{0.800, 0.674, 0.660},
+	}
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(want))
+	}
+	for i, row := range want {
+		for j, cell := range row {
+			var got float64
+			if _, err := fmt.Sscanf(tab.Rows[i][j+2], "%f", &got); err != nil {
+				t.Fatalf("row %d col %d: %v", i, j, err)
+			}
+			if math.Abs(got-cell) > 0.0006 {
+				t.Errorf("row %d col %d = %v, want %v (paper Table 2)", i, j, got, cell)
+			}
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", quickParams()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"table2", "table4", "table5", "table6", "table7", "table8", "table9",
+		"table10", "table11", "table12", "table13", "table14", "table15",
+		"table16", "table17", "table18", "table19", "table20", "table21",
+		"table22", "table23", "table24", "table25", "fig5", "fig6", "fig7",
+		"fig8", "extbudget",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestRenderIncludesHeaderAndNotes(t *testing.T) {
+	tab := Table{
+		ID: "x", Title: "demo",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  "a note",
+	}
+	out := tab.Render()
+	for _, want := range []string{"demo", "A", "B", "1", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQuickSmoke exercises a representative subset of experiments end to
+// end at bench size. The full set runs via cmd/experiments and the root
+// benchmarks.
+func TestQuickSmoke(t *testing.T) {
+	for _, id := range []string{"table5", "table9", "table21", "fig6"} {
+		tab, err := Run(id, quickParams())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+		if len(tab.Header) == 0 {
+			t.Fatalf("%s: no header", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s: row width %d != header %d: %v", id, len(row), len(tab.Header), row)
+			}
+		}
+	}
+}
+
+func TestMultiQuickSmoke(t *testing.T) {
+	tab, err := Run("table23", quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

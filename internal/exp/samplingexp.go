@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/ugraph"
+)
+
+func init() {
+	register("table6", table6)
+	register("table7", table7)
+}
+
+// convergenceLadder is the sample-size ladder probed for the index of
+// dispersion test of §5.3.
+var convergenceLadder = []int{50, 100, 250, 500, 1000, 2000}
+
+// samplesToConverge runs the §5.3 convergence protocol: for each sample
+// size Z on the ladder, repeat the s-t estimates `reps` times per query and
+// compute ρ = mean variance / mean reliability; the estimator has converged
+// when ρ < 0.001. Returns the smallest converged Z (or the ladder maximum)
+// and the average wall time of one full search-space-elimination sampling
+// pass (ReliabilityFrom + ReliabilityTo) at that Z.
+func samplesToConverge(g *ugraph.Graph, queries []datasets.Query, mk func(z int, seed int64) sampling.Sampler, reps int, seed int64) (int, time.Duration) {
+	chosen := convergenceLadder[len(convergenceLadder)-1]
+	for _, z := range convergenceLadder {
+		var variances, means []float64
+		for qi, q := range queries {
+			var estimates []float64
+			for rep := 0; rep < reps; rep++ {
+				smp := mk(z, rng.Split(seed, int64(qi*1000+rep)).Int63())
+				estimates = append(estimates, smp.Reliability(g, q.S, q.T))
+			}
+			variances = append(variances, stats.Variance(estimates))
+			means = append(means, stats.Mean(estimates))
+		}
+		rho := stats.DispersionIndex(stats.Mean(variances), stats.Mean(means))
+		if rho < 0.001 {
+			chosen = z
+			break
+		}
+	}
+	// Time one elimination-style sampling pass at the chosen Z.
+	start := time.Now()
+	for qi, q := range queries {
+		smp := mk(chosen, rng.Split(seed, int64(90000+qi)).Int63())
+		smp.ReliabilityFrom(g, q.S)
+		smp.ReliabilityTo(g, q.T)
+	}
+	elapsed := time.Since(start) / time.Duration(len(queries))
+	return chosen, elapsed
+}
+
+// table6: Table 6 — samples required for convergence and elimination-pass
+// time, MC vs RSS, per dataset.
+func table6(p Params) (Table, error) {
+	reps := 12
+	if p.Quick {
+		reps = 6
+	}
+	t := Table{
+		ID:     "table6",
+		Title:  "Search-space-elimination sampling: MC vs RSS convergence (ρ < 0.001)",
+		Header: []string{"Dataset", "Z(MC)", "Time(MC,ms)", "Z(RSS)", "Time(RSS,ms)"},
+		Notes:  "Z = samples to index-of-dispersion convergence; paper: Table 6",
+	}
+	names := realDatasets
+	if p.Quick {
+		names = names[:2]
+	}
+	for _, name := range names {
+		g, err := loadDS(name, p)
+		if err != nil {
+			return Table{}, err
+		}
+		queries := datasets.Queries(g, p.Queries, 3, 5, p.Seed)
+		if len(queries) == 0 {
+			continue
+		}
+		zMC, tMC := samplesToConverge(g, queries, func(z int, seed int64) sampling.Sampler {
+			return sampling.NewMonteCarlo(z, seed)
+		}, reps, p.Seed)
+		zRSS, tRSS := samplesToConverge(g, queries, func(z int, seed int64) sampling.Sampler {
+			return sampling.NewRSS(z, seed)
+		}, reps, p.Seed+1)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(zMC), ms(tMC), fmt.Sprint(zRSS), ms(tRSS)})
+	}
+	return t, nil
+}
+
+// table7: Table 7 — top-k selection time with MC vs RSS inside HC, MRP and
+// BE (the converged sample sizes: MC uses 2× the RSS budget, mirroring the
+// paper's finding that RSS needs roughly half the samples).
+func table7(p Params) (Table, error) {
+	methods := []core.Method{core.MethodHillClimbing, core.MethodMRP, core.MethodBE}
+	t := Table{
+		ID:     "table7",
+		Title:  "Top-k edge selection time: MC vs RSS",
+		Header: []string{"Dataset", "Z(MC)", "HC(MC)", "MRP(MC)", "BE(MC)", "Z(RSS)", "HC(RSS)", "MRP(RSS)", "BE(RSS)"},
+		Notes:  "times in ms; paper: Table 7",
+	}
+	names := realDatasets
+	if p.Quick {
+		names = names[:2]
+	}
+	zMC, zRSS := 500, 250
+	if p.Quick {
+		zMC, zRSS = 200, 100
+	}
+	for _, name := range names {
+		g, err := loadDS(name, p)
+		if err != nil {
+			return Table{}, err
+		}
+		queries := datasets.Queries(g, p.Queries, 3, 5, p.Seed)
+		if len(queries) == 0 {
+			continue
+		}
+		row := []string{name, fmt.Sprint(zMC)}
+		for _, cfg := range []struct {
+			sampler string
+			z       int
+		}{{"mc", zMC}, {"rss", zRSS}} {
+			opt := baseOpt(p, 7)
+			opt.Sampler = cfg.sampler
+			opt.Z = cfg.z
+			res, err := runMethods(g, queries, methods, opt)
+			if err != nil {
+				return Table{}, err
+			}
+			if cfg.sampler == "rss" {
+				row = append(row, fmt.Sprint(zRSS))
+			}
+			for _, m := range methods {
+				row = append(row, ms2(res[m].avgSel()))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,247 @@
+// Package gen generates the synthetic uncertain graphs of §8.1: Erdős–Rényi
+// random graphs, k-regular ring lattices, Watts–Strogatz small-world graphs
+// and Barabási–Albert scale-free graphs, plus random geometric graphs (used
+// for the Intel Lab stand-in) and the edge-probability models of the paper
+// (uniform, normal, exponential-CDF over interaction counts, inverse
+// degree).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ugraph"
+)
+
+const placeholderProb = 0.5
+
+// ErdosRenyi samples a G(n, m)-style uniform random graph with exactly m
+// distinct edges (or as many as fit).
+func ErdosRenyi(n, m int, directed bool, r *rand.Rand) *ugraph.Graph {
+	g := ugraph.New(n, directed)
+	maxEdges := n * (n - 1)
+	if !directed {
+		maxEdges /= 2
+	}
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for g.M() < m {
+		u := ugraph.NodeID(r.Intn(n))
+		v := ugraph.NodeID(r.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, placeholderProb)
+	}
+	return g
+}
+
+// Regular builds a k-regular undirected ring lattice: each node links to
+// its k/2 nearest neighbours on each side; for odd k (and even n) a
+// diameter matching i ↔ i+n/2 supplies the extra degree.
+func Regular(n, k int, _ *rand.Rand) (*ugraph.Graph, error) {
+	if k >= n {
+		return nil, fmt.Errorf("gen: k=%d must be below n=%d", k, n)
+	}
+	if k%2 == 1 && n%2 == 1 {
+		return nil, fmt.Errorf("gen: odd k=%d requires even n, got %d", k, n)
+	}
+	g := ugraph.New(n, false)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			j := (i + d) % n
+			if !g.HasEdge(ugraph.NodeID(i), ugraph.NodeID(j)) {
+				g.MustAddEdge(ugraph.NodeID(i), ugraph.NodeID(j), placeholderProb)
+			}
+		}
+	}
+	if k%2 == 1 {
+		for i := 0; i < n/2; i++ {
+			j := i + n/2
+			if !g.HasEdge(ugraph.NodeID(i), ugraph.NodeID(j)) {
+				g.MustAddEdge(ugraph.NodeID(i), ugraph.NodeID(j), placeholderProb)
+			}
+		}
+	}
+	return g, nil
+}
+
+// SmallWorld builds a Watts–Strogatz graph: a k-regular ring lattice whose
+// edges are rewired with probability beta to a uniform random endpoint.
+func SmallWorld(n, k int, beta float64, r *rand.Rand) (*ugraph.Graph, error) {
+	base, err := Regular(n, k, r)
+	if err != nil {
+		return nil, err
+	}
+	g := ugraph.New(n, false)
+	for _, e := range base.Edges() {
+		u, v := e.U, e.V
+		if r.Float64() < beta {
+			// Rewire the far endpoint; keep simple-graph invariants.
+			for attempts := 0; attempts < 32; attempts++ {
+				w := ugraph.NodeID(r.Intn(n))
+				if w == u || g.HasEdge(u, w) {
+					continue
+				}
+				v = w
+				break
+			}
+		}
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, placeholderProb)
+		}
+	}
+	return g, nil
+}
+
+// ScaleFree builds a Barabási–Albert preferential-attachment graph. Each
+// new node attaches attachLo or attachHi edges (alternating, to emulate the
+// paper's modified generator that alternates m=2 and m=3) to existing nodes
+// chosen proportionally to degree.
+func ScaleFree(n, attachLo, attachHi int, r *rand.Rand) (*ugraph.Graph, error) {
+	if attachLo < 1 || attachHi < attachLo {
+		return nil, fmt.Errorf("gen: bad attachment range [%d,%d]", attachLo, attachHi)
+	}
+	seed := attachHi + 1
+	if seed > n {
+		return nil, fmt.Errorf("gen: n=%d too small for attachment %d", n, attachHi)
+	}
+	g := ugraph.New(n, false)
+	// Repeated-node list: node v appears deg(v) times, so uniform draws
+	// implement preferential attachment.
+	var repeated []ugraph.NodeID
+	// Seed clique over the first seed nodes.
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			g.MustAddEdge(ugraph.NodeID(i), ugraph.NodeID(j), placeholderProb)
+			repeated = append(repeated, ugraph.NodeID(i), ugraph.NodeID(j))
+		}
+	}
+	for v := seed; v < n; v++ {
+		attach := attachLo
+		if (v-seed)%2 == 1 {
+			attach = attachHi
+		}
+		added := 0
+		for attempts := 0; attempts < 64 && added < attach; attempts++ {
+			target := repeated[r.Intn(len(repeated))]
+			if target == ugraph.NodeID(v) || g.HasEdge(ugraph.NodeID(v), target) {
+				continue
+			}
+			g.MustAddEdge(ugraph.NodeID(v), target, placeholderProb)
+			repeated = append(repeated, ugraph.NodeID(v), target)
+			added++
+		}
+	}
+	return g, nil
+}
+
+// Geometric builds a random geometric graph: n nodes placed uniformly in a
+// width×height rectangle, connected (undirected) when within radius. It
+// returns the node positions for distance-based probability models.
+func Geometric(n int, width, height, radius float64, r *rand.Rand) (*ugraph.Graph, [][2]float64) {
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{r.Float64() * width, r.Float64() * height}
+	}
+	g := ugraph.New(n, false)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Dist(pos[i], pos[j]) <= radius {
+				g.MustAddEdge(ugraph.NodeID(i), ugraph.NodeID(j), placeholderProb)
+			}
+		}
+	}
+	return g, pos
+}
+
+// Dist is the Euclidean distance between two positions.
+func Dist(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// AssignUniform draws every edge probability uniformly from (lo, hi].
+func AssignUniform(g *ugraph.Graph, lo, hi float64, r *rand.Rand) {
+	for eid := 0; eid < g.M(); eid++ {
+		p := lo + (hi-lo)*r.Float64()
+		if p <= 0 {
+			p = hi
+		}
+		setProb(g, int32(eid), p)
+	}
+}
+
+// AssignNormal draws probabilities from N(mean, sd) clamped to (0.01, 1).
+func AssignNormal(g *ugraph.Graph, mean, sd float64, r *rand.Rand) {
+	for eid := 0; eid < g.M(); eid++ {
+		setProb(g, int32(eid), ClampProb(mean+sd*r.NormFloat64()))
+	}
+}
+
+// ClampProb restricts p to the usable range (0.01, 1).
+func ClampProb(p float64) float64 {
+	if p < 0.01 {
+		return 0.01
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// AssignExpCDF models the DBLP/Twitter probabilities of §8.1: each edge
+// gets p = 1 − e^{−t/µ} where t is a synthetic interaction count drawn from
+// a geometric distribution with the given mean (counts are ≥ 1, heavy
+// tailed like collaboration counts).
+func AssignExpCDF(g *ugraph.Graph, mu, meanCount float64, r *rand.Rand) {
+	if meanCount < 1 {
+		meanCount = 1
+	}
+	// Geometric with success probability q has mean 1/q.
+	q := 1 / meanCount
+	for eid := 0; eid < g.M(); eid++ {
+		t := 1
+		for r.Float64() > q && t < 1000 {
+			t++
+		}
+		setProb(g, int32(eid), 1-math.Exp(-float64(t)/mu))
+	}
+}
+
+// AssignInverseDegree models the LastFM probabilities: p(u,v) is the
+// inverse of the degree of the node the edge goes out from (u).
+func AssignInverseDegree(g *ugraph.Graph) {
+	for eid := 0; eid < g.M(); eid++ {
+		e := g.Endpoints(int32(eid))
+		d := g.Degree(e.U)
+		if d < 1 {
+			d = 1
+		}
+		setProb(g, int32(eid), 1/float64(d))
+	}
+}
+
+// AssignDistanceDecay models sensor-network link quality: probability decays
+// linearly from pNear at distance 0 to pFar at radius, with multiplicative
+// noise. Used by the Intel Lab stand-in.
+func AssignDistanceDecay(g *ugraph.Graph, pos [][2]float64, radius, pNear, pFar float64, r *rand.Rand) {
+	for eid := 0; eid < g.M(); eid++ {
+		e := g.Endpoints(int32(eid))
+		frac := Dist(pos[e.U], pos[e.V]) / radius
+		if frac > 1 {
+			frac = 1
+		}
+		base := pNear + (pFar-pNear)*frac
+		noise := 0.8 + 0.4*r.Float64()
+		setProb(g, int32(eid), ClampProb(base*noise))
+	}
+}
+
+func setProb(g *ugraph.Graph, eid int32, p float64) {
+	if err := g.SetProb(eid, p); err != nil {
+		panic(err) // generators only produce valid probabilities
+	}
+}

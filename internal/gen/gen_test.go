@@ -1,0 +1,228 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/ugraph"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	r := rng.New(1)
+	g := ErdosRenyi(100, 300, false, r)
+	if g.M() != 300 {
+		t.Fatalf("M = %d, want 300", g.M())
+	}
+	gd := ErdosRenyi(50, 200, true, r)
+	if gd.M() != 200 || !gd.Directed() {
+		t.Fatalf("directed ER: M=%d directed=%v", gd.M(), gd.Directed())
+	}
+	// Request more edges than possible: clamps to the complete graph.
+	tiny := ErdosRenyi(4, 100, false, r)
+	if tiny.M() != 6 {
+		t.Fatalf("clamped M = %d, want 6", tiny.M())
+	}
+}
+
+func TestRegularDegrees(t *testing.T) {
+	r := rng.New(2)
+	g, err := Regular(20, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		if d := g.Degree(ugraph.NodeID(v)); d != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", v, d)
+		}
+	}
+	// Odd k with even n uses the diameter matching.
+	g5, err := Regular(20, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		if d := g5.Degree(ugraph.NodeID(v)); d != 5 {
+			t.Fatalf("degree(%d) = %d, want 5", v, d)
+		}
+	}
+	if _, err := Regular(10, 12, r); err == nil {
+		t.Fatal("k >= n accepted")
+	}
+	if _, err := Regular(9, 5, r); err == nil {
+		t.Fatal("odd k with odd n accepted")
+	}
+}
+
+func TestSmallWorldShortensPaths(t *testing.T) {
+	r := rng.New(3)
+	regular, err := Regular(300, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := SmallWorld(300, 6, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := AvgShortestPath(regular, 40, rng.New(4))
+	ls := AvgShortestPath(sw, 40, rng.New(4))
+	if ls >= lr {
+		t.Fatalf("small-world ASPL %v not below regular %v", ls, lr)
+	}
+	// Clustering stays well above an equally dense ER graph.
+	er := ErdosRenyi(300, sw.M(), false, rng.New(5))
+	if cs, ce := AvgClustering(sw, 0, nil), AvgClustering(er, 0, nil); cs <= ce {
+		t.Fatalf("small-world clustering %v not above ER %v", cs, ce)
+	}
+}
+
+func TestScaleFreeSkewedDegrees(t *testing.T) {
+	r := rng.New(6)
+	g, err := ScaleFree(500, 2, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(ugraph.NodeID(v))
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(g.N())
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("max degree %d vs avg %.1f: not heavy tailed", maxDeg, avg)
+	}
+	if _, err := ScaleFree(10, 0, 3, r); err == nil {
+		t.Fatal("attachLo=0 accepted")
+	}
+	if _, err := ScaleFree(2, 2, 3, r); err == nil {
+		t.Fatal("n too small accepted")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	r := rng.New(7)
+	g, pos := Geometric(80, 10, 10, 3, r)
+	if len(pos) != 80 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	for _, e := range g.Edges() {
+		if Dist(pos[e.U], pos[e.V]) > 3 {
+			t.Fatalf("edge longer than radius: %+v", e)
+		}
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges in dense geometric graph")
+	}
+}
+
+func TestAssignUniformRange(t *testing.T) {
+	r := rng.New(8)
+	g := ErdosRenyi(50, 150, false, r)
+	AssignUniform(g, 0, 0.6, r)
+	probs := EdgeProbabilities(g)
+	for _, p := range probs {
+		if p <= 0 || p > 0.6 {
+			t.Fatalf("probability %v outside (0, 0.6]", p)
+		}
+	}
+	if m := stats.Mean(probs); m < 0.2 || m > 0.4 {
+		t.Fatalf("uniform mean %v implausible", m)
+	}
+}
+
+func TestAssignNormalClamped(t *testing.T) {
+	r := rng.New(9)
+	g := ErdosRenyi(50, 150, false, r)
+	AssignNormal(g, 0.5, 0.038, r)
+	probs := EdgeProbabilities(g)
+	m := stats.Mean(probs)
+	if math.Abs(m-0.5) > 0.02 {
+		t.Fatalf("normal mean %v, want ≈0.5", m)
+	}
+	for _, p := range probs {
+		if p < 0.01 || p > 1 {
+			t.Fatalf("probability %v escaped clamp", p)
+		}
+	}
+}
+
+func TestAssignExpCDF(t *testing.T) {
+	r := rng.New(10)
+	g := ErdosRenyi(100, 400, false, r)
+	AssignExpCDF(g, 20, 3, r)
+	probs := EdgeProbabilities(g)
+	for _, p := range probs {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("probability %v outside (0,1)", p)
+		}
+	}
+	// 1 - e^{-t/20} with small t gives small probabilities (DBLP mean 0.11).
+	if m := stats.Mean(probs); m < 0.04 || m > 0.3 {
+		t.Fatalf("expCDF mean %v implausible", m)
+	}
+}
+
+func TestAssignInverseDegree(t *testing.T) {
+	g := ugraph.New(4, false)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(0, 2, 0.5)
+	g.MustAddEdge(0, 3, 0.5)
+	AssignInverseDegree(g)
+	for eid := 0; eid < g.M(); eid++ {
+		e := g.Endpoints(int32(eid))
+		if math.Abs(e.P-1.0/3.0) > 1e-12 {
+			t.Fatalf("edge %d probability %v, want 1/3 (deg(0)=3)", eid, e.P)
+		}
+	}
+}
+
+func TestAssignDistanceDecayMonotonic(t *testing.T) {
+	r := rng.New(11)
+	g, pos := Geometric(60, 10, 10, 4, r)
+	AssignDistanceDecay(g, pos, 4, 0.8, 0.05, r)
+	// On average, shorter edges must be more reliable than longer ones.
+	var shortP, longP []float64
+	for _, e := range g.Edges() {
+		if Dist(pos[e.U], pos[e.V]) < 2 {
+			shortP = append(shortP, e.P)
+		} else {
+			longP = append(longP, e.P)
+		}
+	}
+	if len(shortP) == 0 || len(longP) == 0 {
+		t.Skip("degenerate layout")
+	}
+	if stats.Mean(shortP) <= stats.Mean(longP) {
+		t.Fatalf("short mean %v not above long mean %v", stats.Mean(shortP), stats.Mean(longP))
+	}
+}
+
+func TestClusteringTriangle(t *testing.T) {
+	g := ugraph.New(3, false)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.5)
+	g.MustAddEdge(0, 2, 0.5)
+	if c := AvgClustering(g, 0, nil); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+	path := ugraph.New(3, false)
+	path.MustAddEdge(0, 1, 0.5)
+	path.MustAddEdge(1, 2, 0.5)
+	if c := AvgClustering(path, 0, nil); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestAvgShortestPathLine(t *testing.T) {
+	g := ugraph.New(3, false)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.5)
+	// Pairs: (0,1)=1 (0,2)=2 (1,0)=1 (1,2)=1 (2,1)=1 (2,0)=2 → mean 8/6.
+	if got := AvgShortestPath(g, 0, nil); math.Abs(got-8.0/6.0) > 1e-12 {
+		t.Fatalf("ASPL = %v, want %v", got, 8.0/6.0)
+	}
+}

@@ -1,0 +1,118 @@
+// Package pq implements small generic heaps used by the path and selection
+// algorithms: a min-heap keyed by float64 priority and a bounded top-k
+// selector.
+package pq
+
+// Item is an element of a Heap: a payload with a float64 key.
+type Item[T any] struct {
+	Key   float64
+	Value T
+}
+
+// Heap is a binary min-heap over float64 keys. The zero value is ready to
+// use.
+type Heap[T any] struct {
+	items []Item[T]
+}
+
+// Len reports the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts value with the given key.
+func (h *Heap[T]) Push(key float64, value T) {
+	h.items = append(h.items, Item[T]{Key: key, Value: value})
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the item with the smallest key. It panics if the
+// heap is empty; callers check Len first.
+func (h *Heap[T]) Pop() (float64, T) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top.Key, top.Value
+}
+
+// Peek returns the smallest item without removing it.
+func (h *Heap[T]) Peek() (float64, T) {
+	top := h.items[0]
+	return top.Key, top.Value
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *Heap[T]) Reset() { h.items = h.items[:0] }
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Key <= h.items[i].Key {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && h.items[right].Key < h.items[left].Key {
+			small = right
+		}
+		if h.items[i].Key <= h.items[small].Key {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}
+
+// TopK keeps the k items with the LARGEST keys seen so far. Internally it is
+// a min-heap of size at most k whose root is the current threshold.
+type TopK[T any] struct {
+	k    int
+	heap Heap[T]
+}
+
+// NewTopK returns a selector for the k largest-keyed items.
+func NewTopK[T any](k int) *TopK[T] {
+	return &TopK[T]{k: k}
+}
+
+// Offer considers (key, value) for inclusion.
+func (t *TopK[T]) Offer(key float64, value T) {
+	if t.k <= 0 {
+		return
+	}
+	if t.heap.Len() < t.k {
+		t.heap.Push(key, value)
+		return
+	}
+	if root, _ := t.heap.Peek(); key > root {
+		t.heap.Pop()
+		t.heap.Push(key, value)
+	}
+}
+
+// Len reports how many items are currently retained (≤ k).
+func (t *TopK[T]) Len() int { return t.heap.Len() }
+
+// Items drains the selector, returning retained items sorted by key
+// descending (largest first). The selector is empty afterwards.
+func (t *TopK[T]) Items() []Item[T] {
+	out := make([]Item[T], t.heap.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		key, v := t.heap.Pop()
+		out[i] = Item[T]{Key: key, Value: v}
+	}
+	return out
+}

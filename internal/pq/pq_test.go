@@ -1,0 +1,128 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	var h Heap[string]
+	h.Push(3, "c")
+	h.Push(1, "a")
+	h.Push(2, "b")
+	wantKeys := []float64{1, 2, 3}
+	wantVals := []string{"a", "b", "c"}
+	for i := range wantKeys {
+		k, v := h.Pop()
+		if k != wantKeys[i] || v != wantVals[i] {
+			t.Fatalf("pop %d = (%v,%v), want (%v,%v)", i, k, v, wantKeys[i], wantVals[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after draining", h.Len())
+	}
+}
+
+func TestHeapPeekAndReset(t *testing.T) {
+	var h Heap[int]
+	h.Push(5, 50)
+	h.Push(2, 20)
+	if k, v := h.Peek(); k != 2 || v != 20 {
+		t.Fatalf("Peek = %v,%v", k, v)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Peek consumed an item: Len=%d", h.Len())
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset did not empty heap")
+	}
+}
+
+func TestQuickHeapSortsAnyInput(t *testing.T) {
+	property := func(keys []float64) bool {
+		var h Heap[int]
+		for i, k := range keys {
+			h.Push(k, i)
+		}
+		prev := math.Inf(-1)
+		for h.Len() > 0 {
+			k, _ := h.Pop()
+			if k < prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	sel := NewTopK[int](3)
+	for i, k := range []float64{5, 1, 9, 7, 3, 8} {
+		sel.Offer(k, i)
+	}
+	items := sel.Items()
+	if len(items) != 3 {
+		t.Fatalf("kept %d items, want 3", len(items))
+	}
+	gotKeys := []float64{items[0].Key, items[1].Key, items[2].Key}
+	if gotKeys[0] != 9 || gotKeys[1] != 8 || gotKeys[2] != 7 {
+		t.Fatalf("TopK keys = %v, want [9 8 7]", gotKeys)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	sel := NewTopK[string](10)
+	sel.Offer(2, "two")
+	sel.Offer(1, "one")
+	items := sel.Items()
+	if len(items) != 2 || items[0].Value != "two" || items[1].Value != "one" {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	sel := NewTopK[int](0)
+	sel.Offer(1, 1)
+	if sel.Len() != 0 || len(sel.Items()) != 0 {
+		t.Fatal("k=0 selector retained items")
+	}
+}
+
+func TestQuickTopKMatchesSort(t *testing.T) {
+	property := func(keys []float64, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		sel := NewTopK[int](k)
+		for i, key := range keys {
+			sel.Offer(key, i)
+		}
+		got := sel.Items()
+		sorted := append([]float64(nil), keys...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		want := sorted
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package rng
+
+import "testing"
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	a, b := Split(42, 0), Split(42, 1)
+	same := 0
+	for i := 0; i < 32; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 0 and 1 collided %d times", same)
+	}
+	// And the same stream index must reproduce.
+	c, d := Split(42, 7), Split(42, 7)
+	for i := 0; i < 16; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("Bernoulli(1) missed")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(2)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", rate)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(3)
+	p := Perm(r, 10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,176 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/rng"
+	"repro/internal/ugraph"
+)
+
+// Lazy is a Monte Carlo variant using lazy propagation (after Li et al.,
+// SIGMOD'17, cited in §7): instead of flipping a Bernoulli coin every time
+// an edge is examined, each edge remembers the next sample index at which
+// it will be present, drawn from a geometric distribution. Edges examined
+// in many consecutive samples are then decided with one comparison instead
+// of one RNG call per sample, which pays off on hub-heavy graphs where the
+// BFS repeatedly probes the same high-degree frontier.
+//
+// The estimate is distributed identically to MonteCarlo's: per sample, an
+// edge is present with exactly probability p.
+type Lazy struct {
+	z  int
+	r  *rand.Rand
+	sc scratch
+	// nextOn[eid] is the next sample index (1-based) at which the edge
+	// will be present; 0 means not yet initialized for this query.
+	nextOn []int64
+	sample int64
+}
+
+// NewLazy returns a lazy-propagation sampler drawing z worlds per query.
+func NewLazy(z int, seed int64) *Lazy {
+	return &Lazy{z: z, r: rng.New(seed)}
+}
+
+// Name implements Sampler.
+func (lz *Lazy) Name() string { return "lazy" }
+
+// SampleSize implements Sampler.
+func (lz *Lazy) SampleSize() int { return lz.z }
+
+// SetSampleSize implements Sampler.
+func (lz *Lazy) SetSampleSize(z int) { lz.z = z }
+
+// geometricSkip draws the number of additional samples until the edge is
+// next present: Geometric(p) with support {1, 2, ...}. For p = 1 the edge
+// is present every sample; for p = 0 it is never present (represented by a
+// huge skip).
+func (lz *Lazy) geometricSkip(p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return math.MaxInt64 / 4
+	}
+	u := lz.r.Float64()
+	skip := int64(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if skip < 1 {
+		skip = 1
+	}
+	return skip
+}
+
+func (lz *Lazy) prepare(g *ugraph.Graph) {
+	lz.sc.reset(g.N(), g.M())
+	if cap(lz.nextOn) < g.M() {
+		lz.nextOn = make([]int64, g.M())
+	}
+	lz.nextOn = lz.nextOn[:g.M()]
+	for i := range lz.nextOn {
+		lz.nextOn[i] = 0
+	}
+	lz.sample = 0
+}
+
+// present decides the edge's state in the current sample, advancing its
+// geometric schedule as needed. Called at most once per (edge, sample); the
+// caller memoizes via the epoch arrays.
+func (lz *Lazy) present(g *ugraph.Graph, eid int32) bool {
+	next := lz.nextOn[eid]
+	if next == 0 {
+		// First examination ever: schedule relative to the sample
+		// before this one.
+		next = lz.sample - 1 + lz.geometricSkip(g.Prob(eid))
+	}
+	for next < lz.sample {
+		next += lz.geometricSkip(g.Prob(eid))
+	}
+	lz.nextOn[eid] = next
+	return next == lz.sample
+}
+
+// Reliability implements Sampler.
+func (lz *Lazy) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	if s == t {
+		return 1
+	}
+	lz.prepare(g)
+	hits := 0
+	for i := 0; i < lz.z; i++ {
+		lz.sample++
+		if lz.walk(g, s, t, true, nil) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(lz.z)
+}
+
+// ReliabilityFrom implements Sampler.
+func (lz *Lazy) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
+	return lz.vector(g, s, true)
+}
+
+// ReliabilityTo implements Sampler.
+func (lz *Lazy) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
+	return lz.vector(g, t, false)
+}
+
+func (lz *Lazy) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
+	lz.prepare(g)
+	counts := make([]float64, g.N())
+	for i := 0; i < lz.z; i++ {
+		lz.sample++
+		lz.walk(g, src, -1, forward, counts)
+	}
+	inv := 1 / float64(lz.z)
+	for i := range counts {
+		counts[i] *= inv
+	}
+	return counts
+}
+
+// walk mirrors sampledWalk but consults the geometric schedule. There is a
+// subtlety shared with the plain sampler: an edge's state must be decided
+// at most once per sample, which the epoch memo guarantees — otherwise the
+// geometric schedule would advance twice.
+func (lz *Lazy) walk(g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts []float64) bool {
+	sc := &lz.sc
+	sc.nextEpoch()
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, src)
+	sc.nodeEp[src] = sc.epoch
+	if counts != nil {
+		counts[src]++
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		var arcs []ugraph.Arc
+		if forward {
+			arcs = g.Out(u)
+		} else {
+			arcs = g.In(u)
+		}
+		for _, a := range arcs {
+			if sc.nodeEp[a.To] == sc.epoch {
+				continue
+			}
+			if sc.edgeEp[a.EID] != sc.epoch {
+				sc.edgeEp[a.EID] = sc.epoch
+				sc.edgeOn[a.EID] = lz.present(g, a.EID)
+			}
+			if !sc.edgeOn[a.EID] {
+				continue
+			}
+			sc.nodeEp[a.To] = sc.epoch
+			if a.To == t {
+				return true
+			}
+			if counts != nil {
+				counts[a.To]++
+			}
+			sc.queue = append(sc.queue, a.To)
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/ugraph"
+)
+
+func TestLazyMatchesExact(t *testing.T) {
+	r := rng.New(303)
+	lz := NewLazy(40000, 3)
+	for trial := 0; trial < 8; trial++ {
+		g := randomSmallGraph(r, trial%2 == 0)
+		s, tt := ugraph.NodeID(0), ugraph.NodeID(g.N()-1)
+		exact, err := g.ExactReliability(s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := lz.Reliability(g, s, tt)
+		if math.Abs(got-exact) > 0.015 {
+			t.Errorf("trial %d: lazy=%v exact=%v", trial, got, exact)
+		}
+	}
+}
+
+func TestLazyEdgeFrequencyMatchesP(t *testing.T) {
+	// Single edge with p=0.37: over Z samples the edge must be present
+	// ≈ 37% of the time — this checks the geometric schedule's marginal
+	// distribution.
+	g := ugraph.New(2, true)
+	g.MustAddEdge(0, 1, 0.37)
+	lz := NewLazy(100000, 5)
+	got := lz.Reliability(g, 0, 1)
+	if math.Abs(got-0.37) > 0.006 {
+		t.Fatalf("edge frequency %v, want 0.37", got)
+	}
+}
+
+func TestLazyDegenerateProbabilities(t *testing.T) {
+	g := ugraph.New(3, true)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 0)
+	lz := NewLazy(500, 7)
+	if got := lz.Reliability(g, 0, 1); got != 1 {
+		t.Fatalf("p=1 edge estimate %v, want 1", got)
+	}
+	if got := lz.Reliability(g, 0, 2); got != 0 {
+		t.Fatalf("p=0 edge estimate %v, want 0", got)
+	}
+}
+
+func TestLazyVectors(t *testing.T) {
+	g := ugraph.New(3, true)
+	g.MustAddEdge(0, 1, 0.8)
+	g.MustAddEdge(1, 2, 0.5)
+	lz := NewLazy(60000, 9)
+	from := lz.ReliabilityFrom(g, 0)
+	want := []float64{1, 0.8, 0.4}
+	for i := range want {
+		if math.Abs(from[i]-want[i]) > 0.015 {
+			t.Errorf("from[%d] = %v, want %v", i, from[i], want[i])
+		}
+	}
+	to := lz.ReliabilityTo(g, 2)
+	wantTo := []float64{0.4, 0.5, 1}
+	for i := range wantTo {
+		if math.Abs(to[i]-wantTo[i]) > 0.015 {
+			t.Errorf("to[%d] = %v, want %v", i, to[i], wantTo[i])
+		}
+	}
+}
+
+func TestLazyUnbiasedAcrossQueries(t *testing.T) {
+	// Re-using one sampler across queries must not bias later estimates
+	// (the schedule is reset per query).
+	g := ugraph.New(2, true)
+	g.MustAddEdge(0, 1, 0.5)
+	lz := NewLazy(20000, 11)
+	var ests []float64
+	for i := 0; i < 5; i++ {
+		ests = append(ests, lz.Reliability(g, 0, 1))
+	}
+	if m := stats.Mean(ests); math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("mean over reuse %v, want 0.5", m)
+	}
+}
+
+func TestLazySelfTarget(t *testing.T) {
+	g := ugraph.New(2, true)
+	if got := NewLazy(10, 1).Reliability(g, 1, 1); got != 1 {
+		t.Fatalf("R(v,v) = %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/rng"
+	"repro/internal/ugraph"
+)
+
+// MonteCarlo is the classic possible-world sampler: it draws Z deterministic
+// graphs by flipping one coin per edge (lazily, only for edges actually
+// examined by the BFS) and reports the fraction of worlds in which t is
+// reachable from s. Complexity O(Z·(n+m)) per query.
+type MonteCarlo struct {
+	z  int
+	r  *rand.Rand
+	sc scratch
+}
+
+// NewMonteCarlo returns an MC sampler drawing z possible worlds per query,
+// seeded deterministically.
+func NewMonteCarlo(z int, seed int64) *MonteCarlo {
+	return &MonteCarlo{z: z, r: rng.New(seed)}
+}
+
+// Name implements Sampler.
+func (mc *MonteCarlo) Name() string { return "mc" }
+
+// SampleSize implements Sampler.
+func (mc *MonteCarlo) SampleSize() int { return mc.z }
+
+// SetSampleSize implements Sampler.
+func (mc *MonteCarlo) SetSampleSize(z int) { mc.z = z }
+
+// Reliability implements Sampler.
+func (mc *MonteCarlo) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	if s == t {
+		return 1
+	}
+	mc.sc.reset(g.N(), g.M())
+	hits := 0
+	for i := 0; i < mc.z; i++ {
+		if mc.walk(g, s, t, true, nil) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(mc.z)
+}
+
+// ReliabilityFrom implements Sampler.
+func (mc *MonteCarlo) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
+	return mc.vector(g, s, true)
+}
+
+// ReliabilityTo implements Sampler. For directed graphs it walks in-arcs
+// backwards from t; v can reach t in a world iff the reverse walk reaches v.
+func (mc *MonteCarlo) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
+	return mc.vector(g, t, false)
+}
+
+func (mc *MonteCarlo) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
+	mc.sc.reset(g.N(), g.M())
+	counts := make([]float64, g.N())
+	for i := 0; i < mc.z; i++ {
+		mc.walk(g, src, -1, forward, counts)
+	}
+	inv := 1 / float64(mc.z)
+	for i := range counts {
+		counts[i] *= inv
+	}
+	return counts
+}
+
+func (mc *MonteCarlo) walk(g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts []float64) bool {
+	return sampledWalk(&mc.sc, mc.r, g, src, t, forward, counts, nil)
+}

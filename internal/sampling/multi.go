@@ -1,0 +1,108 @@
+package sampling
+
+import "repro/internal/ugraph"
+
+// MultiSourceReach estimates, for every node v, the probability that v is
+// reachable from at least one node of sources — the per-world activation
+// probability of the independent cascade process (§8.4.2): in a possible
+// world, v is active iff some source reaches it.
+func (mc *MonteCarlo) MultiSourceReach(g *ugraph.Graph, sources []ugraph.NodeID) []float64 {
+	mc.sc.reset(g.N(), g.M())
+	counts := make([]float64, g.N())
+	for i := 0; i < mc.z; i++ {
+		mc.multiWalk(g, sources, counts)
+	}
+	inv := 1 / float64(mc.z)
+	for i := range counts {
+		counts[i] *= inv
+	}
+	return counts
+}
+
+// multiWalk samples one world and BFS-expands from every source at once.
+func (mc *MonteCarlo) multiWalk(g *ugraph.Graph, sources []ugraph.NodeID, counts []float64) {
+	sc := &mc.sc
+	sc.nextEpoch()
+	sc.queue = sc.queue[:0]
+	for _, s := range sources {
+		if sc.nodeEp[s] != sc.epoch {
+			sc.nodeEp[s] = sc.epoch
+			counts[s]++
+			sc.queue = append(sc.queue, s)
+		}
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		for _, a := range g.Out(u) {
+			if sc.nodeEp[a.To] == sc.epoch {
+				continue
+			}
+			if sc.edgeEp[a.EID] != sc.epoch {
+				sc.edgeEp[a.EID] = sc.epoch
+				sc.edgeOn[a.EID] = mc.r.Float64() < g.Prob(a.EID)
+			}
+			if !sc.edgeOn[a.EID] {
+				continue
+			}
+			sc.nodeEp[a.To] = sc.epoch
+			counts[a.To]++
+			sc.queue = append(sc.queue, a.To)
+		}
+	}
+}
+
+// ExpectedPairHops estimates the expected shortest-path hop length summed
+// over all (s, t) ∈ sources×targets, where an unreachable pair contributes
+// penalty hops. This is the objective the ESSSP baseline minimizes.
+func (mc *MonteCarlo) ExpectedPairHops(g *ugraph.Graph, sources, targets []ugraph.NodeID, penalty float64) float64 {
+	mc.sc.reset(g.N(), g.M())
+	dist := make([]int32, g.N())
+	total := 0.0
+	for i := 0; i < mc.z; i++ {
+		// One world per (sample, source) pair keeps the estimator simple
+		// and unbiased: each source sees an independent world.
+		for _, s := range sources {
+			mc.walkDistances(g, s, dist)
+			for _, t := range targets {
+				if d := dist[t]; d >= 0 {
+					total += float64(d)
+				} else {
+					total += penalty
+				}
+			}
+		}
+	}
+	return total / float64(mc.z)
+}
+
+// walkDistances samples a world lazily and records BFS hop distances from
+// s (-1 for unreachable).
+func (mc *MonteCarlo) walkDistances(g *ugraph.Graph, s ugraph.NodeID, dist []int32) {
+	sc := &mc.sc
+	sc.nextEpoch()
+	sc.queue = sc.queue[:0]
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	sc.nodeEp[s] = sc.epoch
+	sc.queue = append(sc.queue, s)
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		for _, a := range g.Out(u) {
+			if sc.nodeEp[a.To] == sc.epoch {
+				continue
+			}
+			if sc.edgeEp[a.EID] != sc.epoch {
+				sc.edgeEp[a.EID] = sc.epoch
+				sc.edgeOn[a.EID] = mc.r.Float64() < g.Prob(a.EID)
+			}
+			if !sc.edgeOn[a.EID] {
+				continue
+			}
+			sc.nodeEp[a.To] = sc.epoch
+			dist[a.To] = dist[u] + 1
+			sc.queue = append(sc.queue, a.To)
+		}
+	}
+}

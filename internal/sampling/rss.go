@@ -1,0 +1,234 @@
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/rng"
+	"repro/internal/ugraph"
+)
+
+// DefaultRSSWidth is the number of edges r on which each recursion level
+// stratifies the probability space (the paper's recursive stratified
+// sampling partitions Ω into r+1 subspaces).
+const DefaultRSSWidth = 6
+
+// DefaultRSSThreshold is the per-stratum sample budget below which the
+// estimator falls back to conditioned Monte Carlo on the simplified graph.
+const DefaultRSSThreshold = 24
+
+// RSS implements recursive stratified sampling [Li et al., TKDE 2016]. It
+// recursively selects r undetermined edges on the frontier of the
+// source-reachable region, partitions the probability space Ω into r+1
+// non-overlapping strata (stratum i fixes edges 1..i-1 absent and edge i
+// present; the last stratum fixes all r absent), allocates the sample
+// budget proportionally to each stratum's probability mass π_i, and
+// estimates each stratum recursively — running plain conditioned MC once
+// the stratum budget drops below Threshold. Same O(Z·(n+m)) complexity as
+// MC but with significantly reduced estimator variance, so fewer samples
+// reach the same dispersion (Tables 6-7).
+type RSS struct {
+	z         int
+	width     int
+	threshold int
+	r         *rand.Rand
+	sc        scratch
+	status    []int8
+	reach     []ugraph.NodeID // copy of the present-reachable set per level
+}
+
+// NewRSS returns an RSS sampler with total budget z and default width and
+// threshold, seeded deterministically.
+func NewRSS(z int, seed int64) *RSS {
+	return &RSS{z: z, width: DefaultRSSWidth, threshold: DefaultRSSThreshold, r: rng.New(seed)}
+}
+
+// Name implements Sampler.
+func (rs *RSS) Name() string { return "rss" }
+
+// SampleSize implements Sampler.
+func (rs *RSS) SampleSize() int { return rs.z }
+
+// SetSampleSize implements Sampler.
+func (rs *RSS) SetSampleSize(z int) { rs.z = z }
+
+// SetWidth overrides the stratification width r (clamped to >= 1).
+func (rs *RSS) SetWidth(w int) {
+	if w < 1 {
+		w = 1
+	}
+	rs.width = w
+}
+
+// SetThreshold overrides the MC-fallback threshold (clamped to >= 1).
+func (rs *RSS) SetThreshold(th int) {
+	if th < 1 {
+		th = 1
+	}
+	rs.threshold = th
+}
+
+func (rs *RSS) prepare(g *ugraph.Graph) {
+	rs.sc.reset(g.N(), g.M())
+	if cap(rs.status) < g.M() {
+		rs.status = make([]int8, g.M())
+	}
+	rs.status = rs.status[:g.M()]
+	for i := range rs.status {
+		rs.status[i] = 0
+	}
+}
+
+// Reliability implements Sampler.
+func (rs *RSS) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	if s == t {
+		return 1
+	}
+	rs.prepare(g)
+	return rs.recurse(g, s, t, rs.z)
+}
+
+// ReliabilityFrom implements Sampler.
+func (rs *RSS) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
+	acc := make([]float64, g.N())
+	rs.prepare(g)
+	rs.recurseVec(g, s, true, rs.z, 1.0, acc)
+	return acc
+}
+
+// ReliabilityTo implements Sampler.
+func (rs *RSS) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
+	acc := make([]float64, g.N())
+	rs.prepare(g)
+	rs.recurseVec(g, t, false, rs.z, 1.0, acc)
+	return acc
+}
+
+// boundary collects up to width undetermined edges leaving the current
+// source-reachable (present-edges-only) region. It must be called right
+// after deterministicReach, while the epoch marks are valid.
+func (rs *RSS) boundary(g *ugraph.Graph, reach []ugraph.NodeID, forward bool) []int32 {
+	var edges []int32
+	for _, u := range reach {
+		var arcs []ugraph.Arc
+		if forward {
+			arcs = g.Out(u)
+		} else {
+			arcs = g.In(u)
+		}
+		for _, a := range arcs {
+			if rs.sc.nodeEp[a.To] == rs.sc.epoch {
+				continue // both endpoints inside the region
+			}
+			if rs.status[a.EID] != 0 {
+				continue
+			}
+			edges = append(edges, a.EID)
+			if len(edges) >= rs.width {
+				return edges
+			}
+		}
+	}
+	return edges
+}
+
+// recurse estimates R(s,t | status) · 1.0 under the current conditioning.
+func (rs *RSS) recurse(g *ugraph.Graph, s, t ugraph.NodeID, budget int) float64 {
+	// Certain success: t reachable through forced-present edges alone.
+	reach := deterministicReach(&rs.sc, g, s, true, rs.status, false)
+	if rs.sc.nodeEp[t] == rs.sc.epoch {
+		return 1
+	}
+	edges := rs.boundary(g, reach, true)
+	if len(edges) == 0 {
+		// The reachable region cannot grow: certain failure.
+		return 0
+	}
+	// Certain failure: t unreachable even optimistically.
+	deterministicReach(&rs.sc, g, s, true, rs.status, true)
+	if rs.sc.nodeEp[t] != rs.sc.epoch {
+		return 0
+	}
+	if budget <= rs.threshold {
+		z := budget
+		if z < 1 {
+			z = 1
+		}
+		hits := 0
+		for i := 0; i < z; i++ {
+			if sampledWalk(&rs.sc, rs.r, g, s, t, true, nil, rs.status) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(z)
+	}
+	total := 0.0
+	remaining := 1.0 // ∏_{j<i} (1 - p_j)
+	for i := 0; i <= len(edges); i++ {
+		var pi float64
+		if i < len(edges) {
+			p := g.Prob(edges[i])
+			pi = remaining * p
+			rs.status[edges[i]] = 1
+		} else {
+			pi = remaining
+		}
+		if pi > 0 {
+			total += pi * rs.recurse(g, s, t, int(pi*float64(budget)+0.5))
+		}
+		if i < len(edges) {
+			rs.status[edges[i]] = -1
+			remaining *= 1 - g.Prob(edges[i])
+		}
+	}
+	for _, eid := range edges {
+		rs.status[eid] = 0
+	}
+	return total
+}
+
+// recurseVec accumulates weight·R(src, v | status) into acc for every node v.
+func (rs *RSS) recurseVec(g *ugraph.Graph, src ugraph.NodeID, forward bool, budget int, weight float64, acc []float64) {
+	reach := deterministicReach(&rs.sc, g, src, forward, rs.status, false)
+	edges := rs.boundary(g, reach, forward)
+	if len(edges) == 0 {
+		// Fully determined region: every reached node is certain.
+		for _, v := range reach {
+			acc[v] += weight
+		}
+		return
+	}
+	if budget <= rs.threshold {
+		z := budget
+		if z < 1 {
+			z = 1
+		}
+		w := weight / float64(z)
+		for i := 0; i < z; i++ {
+			sampledWalk(&rs.sc, rs.r, g, src, -1, forward, nil, rs.status)
+			for _, v := range rs.sc.queue {
+				acc[v] += w
+			}
+		}
+		return
+	}
+	remaining := 1.0
+	for i := 0; i <= len(edges); i++ {
+		var pi float64
+		if i < len(edges) {
+			pi = remaining * g.Prob(edges[i])
+			rs.status[edges[i]] = 1
+		} else {
+			pi = remaining
+		}
+		if pi > 0 {
+			rs.recurseVec(g, src, forward, int(pi*float64(budget)+0.5), weight*pi, acc)
+		}
+		if i < len(edges) {
+			rs.status[edges[i]] = -1
+			remaining *= 1 - g.Prob(edges[i])
+		}
+	}
+	for _, eid := range edges {
+		rs.status[eid] = 0
+	}
+}

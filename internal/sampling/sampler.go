@@ -1,0 +1,159 @@
+// Package sampling implements polynomial-time s-t reliability estimation
+// over uncertain graphs: plain Monte Carlo sampling with lazy edge
+// instantiation (Fishman-style, §3.1 of the paper) and recursive stratified
+// sampling (RSS, Li et al. TKDE'16; §5.3), plus single-source reliability
+// vectors used by the search-space elimination of Algorithm 4.
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/ugraph"
+)
+
+// Sampler estimates reliability over uncertain graphs. Implementations are
+// deterministic given their construction seed and are NOT safe for
+// concurrent use (they reuse internal scratch buffers).
+type Sampler interface {
+	// Name identifies the estimator ("mc" or "rss").
+	Name() string
+	// Reliability estimates R(s, t, G), the probability that t is
+	// reachable from s.
+	Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64
+	// ReliabilityFrom estimates R(s, v, G) for every node v; entry s is 1.
+	ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64
+	// ReliabilityTo estimates R(v, t, G) for every node v; entry t is 1.
+	ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64
+	// SampleSize returns the configured total sample count Z.
+	SampleSize() int
+	// SetSampleSize reconfigures Z.
+	SetSampleSize(z int)
+}
+
+// scratch holds reusable per-graph working memory shared by the estimators.
+// The epoch trick avoids clearing the visited/edge-state arrays between the
+// thousands of BFS walks a single query performs.
+type scratch struct {
+	epoch  int32
+	nodeEp []int32 // per-node visited epoch
+	edgeEp []int32 // per-edge sampled epoch
+	edgeOn []bool  // per-edge sampled state, valid when edgeEp==epoch
+	queue  []ugraph.NodeID
+}
+
+func (sc *scratch) reset(n, m int) {
+	if len(sc.nodeEp) < n {
+		sc.nodeEp = make([]int32, n)
+		sc.epoch = 0
+	}
+	if len(sc.edgeEp) < m {
+		sc.edgeEp = make([]int32, m)
+		sc.edgeOn = make([]bool, m)
+		sc.epoch = 0
+	}
+	if cap(sc.queue) < n {
+		sc.queue = make([]ugraph.NodeID, 0, n)
+	}
+}
+
+// nextEpoch advances the epoch counter, recycling the arrays. On wraparound
+// (after ~2^31 walks) it clears them explicitly.
+func (sc *scratch) nextEpoch() {
+	sc.epoch++
+	if sc.epoch <= 0 {
+		for i := range sc.nodeEp {
+			sc.nodeEp[i] = 0
+		}
+		for i := range sc.edgeEp {
+			sc.edgeEp[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
+// sampledWalk performs one possible-world BFS from src. When t >= 0 it stops
+// early upon reaching t and returns whether it did; when counts != nil every
+// reached node's counter is incremented. Edge states are sampled lazily and
+// memoized per walk via the epoch arrays, so an undirected edge examined
+// from both endpoints gets one consistent coin flip. A non-nil status slice
+// conditions the walk: entries +1 force the edge present, -1 absent, 0
+// leaves it random — this is what the RSS strata use.
+func sampledWalk(sc *scratch, r *rand.Rand, g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts []float64, status []int8) bool {
+	sc.nextEpoch()
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, src)
+	sc.nodeEp[src] = sc.epoch
+	if counts != nil {
+		counts[src]++
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		var arcs []ugraph.Arc
+		if forward {
+			arcs = g.Out(u)
+		} else {
+			arcs = g.In(u)
+		}
+		for _, a := range arcs {
+			if sc.nodeEp[a.To] == sc.epoch {
+				continue
+			}
+			if status != nil {
+				switch status[a.EID] {
+				case 1:
+					goto traverse
+				case -1:
+					continue
+				}
+			}
+			if sc.edgeEp[a.EID] != sc.epoch {
+				sc.edgeEp[a.EID] = sc.epoch
+				sc.edgeOn[a.EID] = r.Float64() < g.Prob(a.EID)
+			}
+			if !sc.edgeOn[a.EID] {
+				continue
+			}
+		traverse:
+			sc.nodeEp[a.To] = sc.epoch
+			if a.To == t {
+				return true
+			}
+			if counts != nil {
+				counts[a.To]++
+			}
+			sc.queue = append(sc.queue, a.To)
+		}
+	}
+	return false
+}
+
+// deterministicReach computes the set of nodes reachable from src using
+// edges whose status passes the filter: present-only, or present plus
+// undetermined (optimistic). It writes the epoch marks into sc and returns
+// the reached queue slice (valid until the next walk).
+func deterministicReach(sc *scratch, g *ugraph.Graph, src ugraph.NodeID, forward bool, status []int8, optimistic bool) []ugraph.NodeID {
+	sc.nextEpoch()
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, src)
+	sc.nodeEp[src] = sc.epoch
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		var arcs []ugraph.Arc
+		if forward {
+			arcs = g.Out(u)
+		} else {
+			arcs = g.In(u)
+		}
+		for _, a := range arcs {
+			if sc.nodeEp[a.To] == sc.epoch {
+				continue
+			}
+			st := status[a.EID]
+			if st == 1 || (optimistic && st == 0) {
+				sc.nodeEp[a.To] = sc.epoch
+				sc.queue = append(sc.queue, a.To)
+			}
+		}
+	}
+	return sc.queue
+}

@@ -1,0 +1,77 @@
+// Package stats provides the summary statistics used when generating and
+// validating datasets (Table 8 of the paper) and when testing estimator
+// convergence (index of dispersion, §5.3).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quartiles returns the 25th, 50th and 75th percentiles of xs using linear
+// interpolation. It returns zeros for empty input.
+func Quartiles(xs []float64) (q1, q2, q3 float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentile(sorted, 0.25), percentile(sorted, 0.50), percentile(sorted, 0.75)
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// DispersionIndex returns the variance-to-mean ratio ρ = V/R used in §5.3 to
+// decide estimator convergence (ρ < 0.001 means converged). A zero mean
+// yields +Inf unless the variance is also zero, in which case it yields 0.
+func DispersionIndex(variance, mean float64) float64 {
+	if mean == 0 {
+		if variance == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return variance / mean
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("singleton variance should be 0")
+	}
+	q1, q2, q3 := Quartiles([]float64{42})
+	if q1 != 42 || q2 != 42 || q3 != 42 {
+		t.Fatalf("singleton quartiles = %v %v %v", q1, q2, q3)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, q2, q3 := Quartiles([]float64{1, 2, 3, 4, 5})
+	if q1 != 2 || q2 != 3 || q3 != 4 {
+		t.Fatalf("quartiles = %v %v %v, want 2 3 4", q1, q2, q3)
+	}
+	// Input order must not matter.
+	q1b, q2b, q3b := Quartiles([]float64{5, 3, 1, 4, 2})
+	if q1b != q1 || q2b != q2 || q3b != q3 {
+		t.Fatal("quartiles depend on input order")
+	}
+}
+
+func TestQuartilesInterpolation(t *testing.T) {
+	q1, q2, q3 := Quartiles([]float64{1, 2, 3, 4})
+	if math.Abs(q1-1.75) > 1e-12 || math.Abs(q2-2.5) > 1e-12 || math.Abs(q3-3.25) > 1e-12 {
+		t.Fatalf("quartiles = %v %v %v, want 1.75 2.5 3.25", q1, q2, q3)
+	}
+}
+
+func TestDispersionIndex(t *testing.T) {
+	if got := DispersionIndex(0.002, 2); got != 0.001 {
+		t.Fatalf("DispersionIndex = %v, want 0.001", got)
+	}
+	if got := DispersionIndex(0, 0); got != 0 {
+		t.Fatalf("0/0 dispersion = %v, want 0", got)
+	}
+	if got := DispersionIndex(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("v>0, mean 0 dispersion = %v, want +Inf", got)
+	}
+}

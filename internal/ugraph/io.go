@@ -1,0 +1,98 @@
+package ugraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g as plain text: a header line
+// "ugraph <directed|undirected> <n> <m>" followed by one "u v p" line per
+// edge in edge-ID order.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "ugraph %s %d %d\n", kind, g.n, g.M()); err != nil {
+		return err
+	}
+	for eid := range g.p {
+		e := g.ends[eid]
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, g.p[eid]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("ugraph: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 4 || header[0] != "ugraph" {
+		return nil, fmt.Errorf("ugraph: bad header %q", sc.Text())
+	}
+	var directed bool
+	switch header[1] {
+	case "directed":
+		directed = true
+	case "undirected":
+		directed = false
+	default:
+		return nil, fmt.Errorf("ugraph: bad orientation %q", header[1])
+	}
+	n, err := strconv.Atoi(header[2])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("ugraph: bad node count %q", header[2])
+	}
+	m, err := strconv.Atoi(header[3])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("ugraph: bad edge count %q", header[3])
+	}
+	g := New(n, directed)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ugraph: line %d: want 'u v p', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad source: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad target: %v", line, err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad probability: %v", line, err)
+		}
+		if _, err := g.AddEdge(NodeID(u), NodeID(v), p); err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("ugraph: header declares %d edges, found %d", m, g.M())
+	}
+	return g, nil
+}

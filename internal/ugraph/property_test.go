@@ -1,0 +1,172 @@
+package ugraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEdgeListRoundTrip: serialization followed by parsing reproduces
+// any randomly generated graph exactly.
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := New(n, r.Intn(2) == 0)
+		for attempts := 0; attempts < 40; attempts++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, r.Float64())
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if back.N() != g.N() || back.M() != g.M() || back.Directed() != g.Directed() {
+			return false
+		}
+		for eid := int32(0); int(eid) < g.M(); eid++ {
+			if g.Endpoints(eid) != back.Endpoints(eid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEquivalence: a clone has identical exact reliability.
+func TestQuickCloneEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(22))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		g := New(n, r.Intn(2) == 0)
+		for attempts := 0; attempts < 10; attempts++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, r.Float64())
+		}
+		a, errA := g.ExactReliability(0, NodeID(n-1))
+		b, errB := g.Clone().ExactReliability(0, NodeID(n-1))
+		return errA == nil && errB == nil && a == b
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUndirectedSymmetry: in undirected graphs R(s,t) = R(t,s).
+func TestQuickUndirectedSymmetry(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(23))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		g := New(n, false)
+		for attempts := 0; attempts < 10; attempts++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, r.Float64())
+		}
+		a, errA := g.ExactReliability(0, NodeID(n-1))
+		b, errB := g.ExactReliability(NodeID(n-1), 0)
+		if errA != nil || errB != nil {
+			return false
+		}
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-12
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReliabilityAtMostUnionBound: R(s,t) ≤ Σ_paths Pr(path) over all
+// simple paths (union bound) and ≥ max single-path probability.
+func TestQuickReliabilityPathBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(24))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(3)
+		g := New(n, true)
+		for attempts := 0; attempts < 8; attempts++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, r.Float64())
+		}
+		s, tt := NodeID(0), NodeID(n-1)
+		rel, err := g.ExactReliability(s, tt)
+		if err != nil {
+			return false
+		}
+		// DFS all simple paths.
+		var union, best float64
+		onPath := make([]bool, n)
+		var dfs func(u NodeID, prob float64)
+		dfs = func(u NodeID, prob float64) {
+			if u == tt {
+				union += prob
+				if prob > best {
+					best = prob
+				}
+				return
+			}
+			for _, a := range g.Out(u) {
+				if !onPath[a.To] {
+					onPath[a.To] = true
+					dfs(a.To, prob*g.Prob(a.EID))
+					onPath[a.To] = false
+				}
+			}
+		}
+		onPath[s] = true
+		dfs(s, 1)
+		return rel >= best-1e-12 && rel <= union+1e-12
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := New(3, true)
+	g.MustAddEdge(0, 1, 0.5)
+	edges := g.Edges()
+	edges[0].P = 0.9
+	if g.Prob(0) != 0.5 {
+		t.Fatal("Edges() leaked internal state")
+	}
+}
+
+func TestSetProbValidation(t *testing.T) {
+	g := New(2, true)
+	eid := g.MustAddEdge(0, 1, 0.5)
+	if err := g.SetProb(eid, 1.5); err == nil {
+		t.Fatal("SetProb accepted p > 1")
+	}
+	if err := g.SetProb(eid, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if g.Endpoints(eid).P != 0.25 {
+		t.Fatal("Endpoints out of sync after SetProb")
+	}
+}

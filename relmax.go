@@ -1,0 +1,200 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/exp"
+	"repro/internal/influence"
+	"repro/internal/paths"
+	"repro/internal/sampling"
+	"repro/internal/ugraph"
+)
+
+// Core graph types (see internal/ugraph).
+type (
+	// Graph is an uncertain graph: every edge carries an independent
+	// existence probability.
+	Graph = ugraph.Graph
+	// Edge describes an edge or a proposed shortcut edge.
+	Edge = ugraph.Edge
+	// NodeID identifies a node in the dense range [0, N).
+	NodeID = ugraph.NodeID
+)
+
+// Solver types (see internal/core).
+type (
+	// Method selects a Problem 1 solver.
+	Method = core.Method
+	// Options carries the query parameters (budget k, probability ζ,
+	// elimination width r, path count l, hop bound h, sampler config).
+	Options = core.Options
+	// Solution is the result of Solve.
+	Solution = core.Solution
+	// Aggregate selects the Problem 4 objective (avg/min/max).
+	Aggregate = core.Aggregate
+	// MultiSolution is the result of SolveMulti.
+	MultiSolution = core.MultiSolution
+)
+
+// Problem 1 solver methods.
+const (
+	// MethodBE is path-batches-based edge selection — the paper's
+	// flagship solver (Algorithms 5+6).
+	MethodBE = core.MethodBE
+	// MethodIP is individual path-based edge selection (Algorithm 5).
+	MethodIP = core.MethodIP
+	// MethodMRP solves the restricted most-reliable-path problem exactly
+	// (Algorithm 3).
+	MethodMRP = core.MethodMRP
+	// MethodHillClimbing is the greedy marginal-gain baseline
+	// (Algorithm 1).
+	MethodHillClimbing = core.MethodHillClimbing
+	// MethodIndividualTopK ranks candidates by individual gain (§3.1).
+	MethodIndividualTopK = core.MethodIndividualTopK
+	// MethodDegree is the degree-centrality baseline (§3.3).
+	MethodDegree = core.MethodDegree
+	// MethodBetweenness is the betweenness-centrality baseline (§3.3).
+	MethodBetweenness = core.MethodBetweenness
+	// MethodEigen is the eigenvalue-based baseline (§3.4, Algorithm 2).
+	MethodEigen = core.MethodEigen
+	// MethodExact exhaustively enumerates candidate combinations.
+	MethodExact = core.MethodExact
+)
+
+// Problem 4 aggregates.
+const (
+	// AggAvg maximizes the average pair reliability (§6.1).
+	AggAvg = core.AggAvg
+	// AggMin maximizes the minimum pair reliability (§6.2).
+	AggMin = core.AggMin
+	// AggMax maximizes the maximum pair reliability (§6.3).
+	AggMax = core.AggMax
+)
+
+// NewGraph returns an empty uncertain graph over n nodes.
+func NewGraph(n int, directed bool) *Graph { return ugraph.New(n, directed) }
+
+// ReadGraph parses the plain-text edge-list format written by
+// (*Graph).WriteEdgeList.
+func ReadGraph(r io.Reader) (*Graph, error) { return ugraph.ReadEdgeList(r) }
+
+// Solve answers a single-source-target budgeted reliability maximization
+// query (Problem 1): the best k edges to add so that R(s, t) is maximized.
+func Solve(g *Graph, s, t NodeID, method Method, opt Options) (Solution, error) {
+	return core.Solve(g, s, t, method, opt)
+}
+
+// SolveMulti answers a multiple-source-target query (Problem 4) under the
+// chosen aggregate. Supported methods: MethodBE, MethodHillClimbing,
+// MethodEigen.
+func SolveMulti(g *Graph, sources, targets []NodeID, agg Aggregate, method Method, opt Options) (MultiSolution, error) {
+	return core.SolveMulti(g, sources, targets, agg, method, opt)
+}
+
+// Methods lists every Problem 1 solver.
+func Methods() []Method { return core.Methods() }
+
+// TotalBudgetSolution is the result of SolveTotalBudget.
+type TotalBudgetSolution = core.TotalBudgetSolution
+
+// SolveTotalBudget solves the §9 future-work variant of Problem 1: instead
+// of k edges at a fixed probability ζ, a TOTAL probability budget is
+// allocated jointly across new edges (both the edge set and the per-edge
+// probabilities are chosen by the solver).
+func SolveTotalBudget(g *Graph, s, t NodeID, budget float64, opt Options) (TotalBudgetSolution, error) {
+	return core.SolveTotalBudget(g, s, t, budget, opt)
+}
+
+// Sampler estimates s-t reliability; see NewMonteCarloSampler and
+// NewRSSSampler.
+type Sampler = sampling.Sampler
+
+// NewMonteCarloSampler returns the classic possible-world sampler with z
+// worlds per query.
+func NewMonteCarloSampler(z int, seed int64) Sampler { return sampling.NewMonteCarlo(z, seed) }
+
+// NewRSSSampler returns the recursive stratified sampler (lower variance at
+// equal sample size).
+func NewRSSSampler(z int, seed int64) Sampler { return sampling.NewRSS(z, seed) }
+
+// NewLazySampler returns the lazy-propagation Monte Carlo sampler (same
+// estimate distribution as plain MC; geometric skipping instead of one coin
+// flip per edge examination).
+func NewLazySampler(z int, seed int64) Sampler { return sampling.NewLazy(z, seed) }
+
+// Path is a simple path with its existence probability.
+type Path = paths.Path
+
+// MostReliablePath returns the maximum-probability s-t path.
+func MostReliablePath(g *Graph, s, t NodeID) (Path, bool) { return paths.MostReliable(g, s, t) }
+
+// TopLPaths returns up to l most reliable simple s-t paths in decreasing
+// probability.
+func TopLPaths(g *Graph, s, t NodeID, l int) []Path { return paths.TopL(g, s, t, l) }
+
+// MRPResult is the outcome of ImproveMostReliablePath.
+type MRPResult = paths.MRPResult
+
+// ImproveMostReliablePath solves the restricted Problem 2 exactly in
+// polynomial time: pick ≤ k candidate edges maximizing the probability of
+// the most reliable s-t path.
+func ImproveMostReliablePath(g *Graph, candidates []Edge, s, t NodeID, k int) MRPResult {
+	return paths.ImproveMostReliablePath(g, candidates, s, t, k)
+}
+
+// DatasetNames lists the built-in evaluation dataset stand-ins (Table 8).
+func DatasetNames() []string { return datasets.Names() }
+
+// LoadDataset builds a named dataset stand-in; scale multiplies the default
+// node count and the result is deterministic in (name, scale, seed).
+func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
+	return datasets.Load(name, scale, seed)
+}
+
+// IntelLab builds the 54-sensor Intel Lab stand-in with node positions (in
+// meters over the lab floor plan).
+func IntelLab(seed int64) (*Graph, [][2]float64) { return datasets.IntelLab(seed) }
+
+// Query is one s-t evaluation pair.
+type Query = datasets.Query
+
+// MultiQuery is one multiple-source-target evaluation instance.
+type MultiQuery = datasets.MultiQuery
+
+// Queries samples s-t query pairs whose endpoints are dMin..dMax hops
+// apart (the paper's protocol uses 3..5).
+func Queries(g *Graph, count, dMin, dMax int, seed int64) []Query {
+	return datasets.Queries(g, count, dMin, dMax, seed)
+}
+
+// MultiQueries samples multi-source-target instances with q sources and q
+// targets each.
+func MultiQueries(g *Graph, count, q int, seed int64) []MultiQuery {
+	return datasets.MultiQueries(g, count, q, seed)
+}
+
+// InfluenceConfig parameterizes the IC-model estimators.
+type InfluenceConfig = influence.Config
+
+// InfluenceSpread estimates the expected independent-cascade spread from
+// sources restricted to targets (Equation 13).
+func InfluenceSpread(g *Graph, sources, targets []NodeID, cfg InfluenceConfig) float64 {
+	return influence.Spread(g, sources, targets, cfg)
+}
+
+// ExperimentTable is one rendered table/figure reproduction.
+type ExperimentTable = exp.Table
+
+// ExperimentParams sizes an experiment run.
+type ExperimentParams = exp.Params
+
+// ExperimentIDs lists the reproducible artifacts (table2..table25,
+// fig5..fig8).
+func ExperimentIDs() []string { return exp.IDs() }
+
+// RunExperiment regenerates one table or figure of the paper's evaluation.
+func RunExperiment(id string, p ExperimentParams) (ExperimentTable, error) {
+	return exp.Run(id, p)
+}

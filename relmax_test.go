@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the way a downstream
+// user would: build a graph, query paths, solve, round-trip I/O.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := NewGraph(5, false)
+	g.MustAddEdge(1, 2, 0.9)
+	g.MustAddEdge(2, 3, 0.8)
+	g.MustAddEdge(3, 4, 0.7)
+
+	if p, ok := MostReliablePath(g, 1, 4); !ok || p.Prob < 0.5 {
+		t.Fatalf("MostReliablePath = %+v, %v", p, ok)
+	}
+	if got := TopLPaths(g, 1, 4, 3); len(got) != 1 {
+		t.Fatalf("TopLPaths = %d paths, want 1", len(got))
+	}
+
+	sol, err := Solve(g, 0, 4, MethodBE, Options{K: 2, Zeta: 0.8, Z: 800, Seed: 3, R: 5, L: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Edges) == 0 || sol.Gain <= 0 {
+		t.Fatalf("BE found nothing: %+v", sol)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M() != g.M() {
+		t.Fatalf("round trip lost edges: %d vs %d", back.M(), g.M())
+	}
+}
+
+func TestFacadeSamplers(t *testing.T) {
+	g := NewGraph(3, true)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.5)
+	for _, s := range []Sampler{NewMonteCarloSampler(4000, 1), NewRSSSampler(4000, 1)} {
+		rel := s.Reliability(g, 0, 2)
+		if rel < 0.15 || rel > 0.35 {
+			t.Fatalf("%s: R = %v, want ≈0.25", s.Name(), rel)
+		}
+	}
+}
+
+func TestFacadeMulti(t *testing.T) {
+	g, err := LoadDataset("lastfm", 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mqs := MultiQueries(g, 1, 3, 7)
+	if len(mqs) == 0 {
+		t.Skip("no multi query on tiny sample")
+	}
+	sol, err := SolveMulti(g, mqs[0].Sources, mqs[0].Targets, AggAvg, MethodBE,
+		Options{K: 3, Z: 300, Seed: 5, R: 10, L: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Edges) > 3 {
+		t.Fatalf("budget violated: %v", sol.Edges)
+	}
+}
+
+func TestFacadeDatasetsAndExperiments(t *testing.T) {
+	if len(DatasetNames()) != 13 {
+		t.Fatalf("datasets = %v", DatasetNames())
+	}
+	if len(ExperimentIDs()) < 26 {
+		t.Fatalf("experiments = %v", ExperimentIDs())
+	}
+	tab, err := RunExperiment("table2", ExperimentParams{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("table2 rows = %d", len(tab.Rows))
+	}
+	g, pos := IntelLab(1)
+	if g.N() != 54 || len(pos) != 54 {
+		t.Fatal("IntelLab shape")
+	}
+}
+
+func TestFacadeInfluence(t *testing.T) {
+	g := NewGraph(3, true)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.4)
+	spread := InfluenceSpread(g, []NodeID{0}, []NodeID{1, 2}, InfluenceConfig{Z: 20000, Seed: 2})
+	if spread < 0.6 || spread > 0.8 {
+		t.Fatalf("spread = %v, want ≈0.7", spread)
+	}
+}
+
+func TestFacadeMRPImprovement(t *testing.T) {
+	g := NewGraph(3, true)
+	g.MustAddEdge(1, 2, 0.9)
+	res := ImproveMostReliablePath(g, []Edge{{U: 0, V: 1, P: 0.5}}, 0, 2, 1)
+	if len(res.Chosen) != 1 || math.Abs(res.Prob-0.45) > 1e-12 {
+		t.Fatalf("MRP improvement = %+v", res)
+	}
+}
