@@ -1,0 +1,35 @@
+# Local targets mirror .github/workflows/ci.yml one-to-one so `make ci`
+# reproduces exactly what the workflow runs.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-bearing packages (parallel sampler + solvers).
+race:
+	$(GO) test -race ./internal/sampling/... ./internal/core/...
+
+# Full benchmark run with stable settings for recording numbers.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# One iteration of every benchmark: catches bench-only compile/runtime rot
+# without burning CI minutes.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+lint:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+ci: lint build test race bench-smoke

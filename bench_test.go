@@ -10,6 +10,7 @@ package repro
 // themselves come from `go run ./cmd/experiments -run all`.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/exp"
@@ -177,4 +178,106 @@ func BenchmarkSamplerCore(b *testing.B) {
 			smp.Reliability(g, qs[0].S, qs[0].T)
 		}
 	})
+}
+
+// ---- Parallel-sampling benchmarks: the serial-vs-parallel speedup the ----
+// ---- CI perf trajectory tracks (see CHANGES.md for recorded numbers). ----
+
+// benchReliability runs one estimator configuration on a fixed astopo query
+// at a budget large enough for the fan-out to amortize.
+func benchReliability(b *testing.B, smp Sampler) {
+	b.Helper()
+	g, err := LoadDataset("astopo", 0.08, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := Queries(g, 1, 3, 5, 4)
+	if len(qs) == 0 {
+		b.Fatal("no query")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.Reliability(g, qs[0].S, qs[0].T)
+	}
+}
+
+// BenchmarkParallelReliability compares the serial samplers against the
+// ParallelSampler at increasing pool sizes on a single large-budget query.
+// On a multicore machine the w4/w8 variants should run >= 2x faster than
+// serial; on a single core they measure the fan-out overhead instead.
+func BenchmarkParallelReliability(b *testing.B) {
+	const z = 4000
+	for _, kind := range []string{"mc", "rss"} {
+		b.Run(kind+"/serial", func(b *testing.B) {
+			var smp Sampler
+			if kind == "mc" {
+				smp = NewMonteCarloSampler(z, 1)
+			} else {
+				smp = NewRSSSampler(z, 1)
+			}
+			benchReliability(b, smp)
+		})
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", kind, w), func(b *testing.B) {
+				smp, err := NewParallelSampler(kind, z, 1, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchReliability(b, smp)
+			})
+		}
+	}
+}
+
+// BenchmarkEstimateMany compares a serial query loop against the batched
+// EstimateMany API over a block of s-t queries — the multi-user serving
+// shape the engine exists for.
+func BenchmarkEstimateMany(b *testing.B) {
+	g, err := LoadDataset("astopo", 0.08, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := Queries(g, 16, 3, 5, 4)
+	if len(qs) == 0 {
+		b.Fatal("no queries")
+	}
+	pairs := make([]PairQuery, len(qs))
+	for i, q := range qs {
+		pairs[i] = PairQuery{S: q.S, T: q.T}
+	}
+	const z = 500
+	b.Run("serial-loop", func(b *testing.B) {
+		smp := NewMonteCarloSampler(z, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range pairs {
+				smp.Reliability(g, q.S, q.T)
+			}
+		}
+	})
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("batched/w%d", w), func(b *testing.B) {
+			smp, err := NewParallelSampler("mc", z, 1, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				smp.EstimateMany(g, pairs)
+			}
+		})
+	}
+}
+
+// BenchmarkSolveWorkers measures the end-to-end solver with the pool
+// threaded through elimination, path scoring and held-out evaluation.
+func BenchmarkSolveWorkers(b *testing.B) {
+	for _, w := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("be/w%d", w), func(b *testing.B) {
+			benchSolve(b, MethodBE, func(o *Options) { o.Workers = w; o.Z = 300 })
+		})
+	}
 }

@@ -28,6 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.08, "dataset scale factor")
 		queries = flag.Int("queries", 3, "queries averaged per cell (paper: 100)")
 		seed    = flag.Int64("seed", 2024, "random seed")
+		workers = flag.Int("workers", 0, "sampling worker pool size (0 = serial, -1 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all required; -list shows ids")
 		os.Exit(2)
 	}
-	params := repro.ExperimentParams{Quick: *quick, Scale: *scale, Queries: *queries, Seed: *seed}
+	params := repro.ExperimentParams{Quick: *quick, Scale: *scale, Queries: *queries, Seed: *seed, Workers: *workers}
 	ids := []string{*run}
 	if *run == "all" {
 		ids = repro.ExperimentIDs()

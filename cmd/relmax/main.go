@@ -28,9 +28,10 @@ func main() {
 		l         = flag.Int("l", 30, "number of most reliable paths")
 		h         = flag.Int("h", 0, "hop constraint for new edges (0 = unbounded)")
 		z         = flag.Int("z", 500, "reliability samples")
-		sampler   = flag.String("sampler", "rss", "reliability estimator: mc or rss")
+		sampler   = flag.String("sampler", "rss", "reliability estimator: mc, rss or lazy")
 		method    = flag.String("method", "be", "solver: "+methodList())
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "sampling worker pool size (0 = serial, -1 = all CPUs)")
 		sources   = flag.String("sources", "", "comma-separated source set (multi-source mode)")
 		targets   = flag.String("targets", "", "comma-separated target set (multi-source mode)")
 		agg       = flag.String("agg", "avg", "aggregate for multi mode: avg, min or max")
@@ -44,7 +45,7 @@ func main() {
 	}
 	opt := repro.Options{
 		K: *k, Zeta: *zeta, R: *r, L: *l, H: *h,
-		Z: *z, Sampler: *sampler, Seed: *seed,
+		Z: *z, Sampler: *sampler, Seed: *seed, Workers: *workers,
 	}
 	fmt.Printf("graph: n=%d m=%d directed=%v\n", g.N(), g.M(), g.Directed())
 

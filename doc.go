@@ -31,9 +31,21 @@
 //	sol, err := repro.Solve(g, 0, 3, repro.MethodBE, repro.Options{K: 2, Zeta: 0.5})
 //	// sol.Edges are the shortcut edges; sol.Gain the reliability gain.
 //
+// Set Options.Workers to run every reliability estimate inside the solver
+// on a parallel worker pool (Workers: -1 uses all CPUs). Results stay
+// deterministic in Options.Seed: any Workers >= 1 gives bit-identical
+// output regardless of the pool size or GOMAXPROCS.
+//
+//	sol, err = repro.Solve(g, 0, 3, repro.MethodBE,
+//		repro.Options{K: 2, Zeta: 0.5, Workers: -1})
+//
 // Reliability estimation uses Monte Carlo sampling or recursive stratified
 // sampling (RSS); both are exposed via NewMonteCarloSampler and
-// NewRSSSampler. Dataset stand-ins for the paper's evaluation graphs and
-// the full experiment harness (one runner per table/figure) are exposed via
-// LoadDataset and RunExperiment.
+// NewRSSSampler. Those serial samplers are single-goroutine only;
+// NewParallelSampler wraps either into a goroutine-safe estimator that
+// shards the sample budget across workers and supports batched evaluation
+// (EstimateMany, EstimateEdges) for serving many queries at once. Dataset
+// stand-ins for the paper's evaluation graphs and the full experiment
+// harness (one runner per table/figure) are exposed via LoadDataset and
+// RunExperiment.
 package repro

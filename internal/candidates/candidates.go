@@ -63,25 +63,26 @@ func Eliminate(g *ugraph.Graph, s, t ugraph.NodeID, smp sampling.Sampler, opt Op
 // reliable from every s ∈ S (the paper's "u ∈ C(s) ∀s ∈ S"), and
 // symmetrically for the target side. The reliability vectors returned are
 // the element-wise minima over the respective sets, so downstream ranking
-// favours nodes reliable with respect to the whole set.
+// favours nodes reliable with respect to the whole set. Batch-capable
+// samplers evaluate all member vectors concurrently.
 func EliminateMulti(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) Result {
 	opt = opt.withDefaults()
-	fromRel := intersectTopR(g, sources, opt.R, func(v ugraph.NodeID) []float64 { return smp.ReliabilityFrom(g, v) })
-	toRel := intersectTopR(g, targets, opt.R, func(v ugraph.NodeID) []float64 { return smp.ReliabilityTo(g, v) })
+	fromRel := intersectTopR(g, sources, opt.R, sampling.FromMany(smp, g, sources))
+	toRel := intersectTopR(g, targets, opt.R, sampling.ToMany(smp, g, targets))
 	return eliminateWith(g, fromRel, toRel, opt)
 }
 
-// intersectTopR computes, for each set member, its reliability vector, and
-// returns the element-wise minimum restricted to nodes appearing in every
-// member's top-r (others are zeroed).
-func intersectTopR(g *ugraph.Graph, set []ugraph.NodeID, r int, vec func(ugraph.NodeID) []float64) []float64 {
+// intersectTopR folds the per-member reliability vectors into the
+// element-wise minimum restricted to nodes appearing in every member's
+// top-r (others are zeroed).
+func intersectTopR(g *ugraph.Graph, set []ugraph.NodeID, r int, vecs [][]float64) []float64 {
 	min := make([]float64, g.N())
 	inAll := make([]int, g.N())
 	for i := range min {
 		min[i] = 1
 	}
-	for _, member := range set {
-		rel := vec(member)
+	for mi, member := range set {
+		rel := vecs[mi]
 		for _, v := range topR(rel, r, member) {
 			inAll[v]++
 		}

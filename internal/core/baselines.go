@@ -9,6 +9,24 @@ import (
 	"repro/internal/ugraph"
 )
 
+// edgeReliabilities estimates R(s, t, g ∪ {e}) for every candidate edge in
+// isolation — the shared inner loop of the top-k and hill-climbing
+// baselines. Batch-capable samplers (ParallelSampler) evaluate the whole
+// candidate set in one fanned-out call; serial samplers fall back to the
+// one-at-a-time loop.
+func edgeReliabilities(smp sampling.Sampler, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge) []float64 {
+	if bs, ok := smp.(sampling.BatchSampler); ok {
+		return bs.EstimateEdges(g, s, t, cands)
+	}
+	out := make([]float64, len(cands))
+	scratch := make([]ugraph.Edge, 1)
+	for i, e := range cands {
+		scratch[0] = e
+		out[i] = smp.Reliability(g.WithEdges(scratch), s, t)
+	}
+	return out
+}
+
 // individualTopK implements the §3.1 baseline: estimate the reliability
 // gain of each candidate edge in isolation and keep the k best. It ignores
 // interactions between chosen edges, which is exactly its documented
@@ -16,11 +34,8 @@ import (
 func individualTopK(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) []ugraph.Edge {
 	base := smp.Reliability(g, s, t)
 	sel := pq.NewTopK[ugraph.Edge](opt.K)
-	scratch := make([]ugraph.Edge, 1)
-	for _, e := range cands {
-		scratch[0] = e
-		gain := smp.Reliability(g.WithEdges(scratch), s, t) - base
-		sel.Offer(gain, e)
+	for i, after := range edgeReliabilities(smp, g, s, t, cands) {
+		sel.Offer(after-base, cands[i])
 	}
 	items := sel.Items()
 	out := make([]ugraph.Edge, len(items))
@@ -42,11 +57,8 @@ func hillClimbing(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp 
 	for len(chosen) < opt.K && len(remaining) > 0 {
 		base := smp.Reliability(work, s, t)
 		bestIdx, bestGain := -1, -1.0
-		scratch := make([]ugraph.Edge, 1)
-		for i, e := range remaining {
-			scratch[0] = e
-			gain := smp.Reliability(work.WithEdges(scratch), s, t) - base
-			if gain > bestGain {
+		for i, after := range edgeReliabilities(smp, work, s, t, remaining) {
+			if gain := after - base; gain > bestGain {
 				bestGain = gain
 				bestIdx = i
 			}

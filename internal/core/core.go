@@ -90,6 +90,14 @@ type Options struct {
 	// K1Ratio is the per-round budget fraction k1/k for the Min/Max
 	// aggregate solvers of §6 (default 0.1).
 	K1Ratio float64
+	// Workers sizes the reliability-estimation worker pool. 0 keeps the
+	// serial samplers (the seed behaviour); N >= 1 runs every estimate on
+	// a sampling.ParallelSampler with N workers, and negative values use
+	// GOMAXPROCS. For a fixed Seed, results are bit-identical across all
+	// Workers >= 1 (the parallel sampler's shard structure, not the
+	// worker count, fixes the randomness), but differ from Workers == 0
+	// because the serial samplers draw one undivided stream.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -125,15 +133,25 @@ func (o Options) withDefaults() Options {
 
 // NewSampler builds the reliability estimator configured by opt, with a
 // decorrelated stream index so different pipeline stages use independent
-// randomness.
+// randomness. With Workers != 0 the estimator is a sampling.ParallelSampler
+// (which also implements sampling.BatchSampler, unlocking the batched hot
+// paths in candidate elimination and greedy selection).
 func (o Options) NewSampler(stream int64) (sampling.Sampler, error) {
+	seed := rng.Split(o.Seed, stream).Int63()
+	if o.Workers != 0 {
+		ps, err := sampling.NewParallel(o.Sampler, o.Z, seed, o.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		return ps, nil
+	}
 	switch o.Sampler {
 	case "mc":
-		return sampling.NewMonteCarlo(o.Z, rng.Split(o.Seed, stream).Int63()), nil
+		return sampling.NewMonteCarlo(o.Z, seed), nil
 	case "rss":
-		return sampling.NewRSS(o.Z, rng.Split(o.Seed, stream).Int63()), nil
+		return sampling.NewRSS(o.Z, seed), nil
 	case "lazy":
-		return sampling.NewLazy(o.Z, rng.Split(o.Seed, stream).Int63()), nil
+		return sampling.NewLazy(o.Z, seed), nil
 	default:
 		return nil, fmt.Errorf("core: unknown sampler %q (want mc, rss or lazy)", o.Sampler)
 	}

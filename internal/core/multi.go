@@ -39,13 +39,14 @@ type MultiSolution struct {
 
 // PairReliabilities estimates R(s, t) for every (s, t) ∈ S×T using one
 // single-source vector query per source. Rows follow S, columns follow T.
+// Batch-capable samplers evaluate all source vectors concurrently.
 func PairReliabilities(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler) [][]float64 {
+	vecs := sampling.FromMany(smp, g, sources)
 	out := make([][]float64, len(sources))
-	for i, s := range sources {
-		vec := smp.ReliabilityFrom(g, s)
+	for i := range sources {
 		row := make([]float64, len(targets))
 		for j, t := range targets {
-			row[j] = vec[t]
+			row[j] = vecs[i][t]
 		}
 		out[i] = row
 	}

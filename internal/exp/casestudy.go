@@ -104,7 +104,7 @@ func table11(p Params) (Table, error) {
 		core.MethodExact: {}, core.MethodIP: {}, core.MethodBE: {},
 	}
 	for qi, q := range queries {
-		opt := core.Options{K: 3, Zeta: 0.33, L: 20, Z: 400, Sampler: "rss", Seed: p.Seed + int64(qi)*41, R: 12}
+		opt := core.Options{K: 3, Zeta: 0.33, L: 20, Z: 400, Sampler: "rss", Seed: p.Seed + int64(qi)*41, R: 12, Workers: p.Workers}
 		// Restrict candidates to the query's elimination sets so the
 		// exhaustive search stays tractable (~C(40,3) combinations).
 		smp, err := opt.NewSampler(1)
@@ -217,7 +217,7 @@ func pickDiagonal(g *ugraph.Graph, pos [][2]float64) (ugraph.NodeID, ugraph.Node
 func sensorCase(p Params, id string, pick func(*ugraph.Graph, [][2]float64) (ugraph.NodeID, ugraph.NodeID)) (Table, error) {
 	g, pos := datasets.IntelLab(p.Seed)
 	s, tt := pick(g, pos)
-	opt := core.Options{K: 3, Zeta: 0.33, L: 25, Z: 1500, Sampler: "rss", Seed: p.Seed, R: 25}
+	opt := core.Options{K: 3, Zeta: 0.33, L: 25, Z: 1500, Sampler: "rss", Seed: p.Seed, R: 25, Workers: p.Workers}
 	opt.Candidates = intelCandidates(g, pos, 15)
 	sol, err := core.Solve(g, s, tt, core.MethodBE, opt)
 	if err != nil {

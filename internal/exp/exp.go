@@ -77,6 +77,9 @@ type Params struct {
 	Seed int64
 	// Quick selects bench-sized workloads.
 	Quick bool
+	// Workers sizes the reliability-estimation worker pool passed through
+	// to core.Options.Workers (0 = serial samplers).
+	Workers int
 }
 
 func (p Params) withDefaults() Params {

@@ -35,6 +35,7 @@ func baseOpt(p Params, stream int64) core.Options {
 	opt := core.Options{
 		K: 10, Zeta: 0.5, R: 20, L: 15, H: 3,
 		Z: 200, Sampler: "rss", Seed: p.Seed + stream,
+		Workers: p.Workers,
 	}
 	if p.Quick {
 		opt.K, opt.R, opt.L, opt.Z = 5, 12, 8, 100

@@ -15,7 +15,14 @@ func New(seed int64) *rand.Rand {
 // parallel or repeated sub-computations get decorrelated but reproducible
 // streams. It uses SplitMix64 over the combined value.
 func Split(seed int64, stream int64) *rand.Rand {
-	return New(int64(splitmix64(uint64(seed) ^ (0x9e3779b97f4a7c15 * uint64(stream+1)))))
+	return New(SplitSeed(seed, stream))
+}
+
+// SplitSeed is the allocation-free core of Split: it derives the child seed
+// for the given stream without constructing a rand.Rand. Parallel samplers
+// use it to assign one deterministic seed per work shard.
+func SplitSeed(seed int64, stream int64) int64 {
+	return int64(splitmix64(uint64(seed) ^ (0x9e3779b97f4a7c15 * uint64(stream+1))))
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator; one application

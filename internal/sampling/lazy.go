@@ -42,6 +42,10 @@ func (lz *Lazy) SampleSize() int { return lz.z }
 // SetSampleSize implements Sampler.
 func (lz *Lazy) SetSampleSize(z int) { lz.z = z }
 
+// Reseed implements Sampler. The geometric schedules are per-query state
+// (reset by prepare), so restoring the RNG stream is sufficient.
+func (lz *Lazy) Reseed(seed int64) { lz.r.Seed(seed) }
+
 // geometricSkip draws the number of additional samples until the edge is
 // next present: Geometric(p) with support {1, 2, ...}. For p = 1 the edge
 // is present every sample; for p = 0 it is never present (represented by a

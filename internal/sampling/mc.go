@@ -32,6 +32,9 @@ func (mc *MonteCarlo) SampleSize() int { return mc.z }
 // SetSampleSize implements Sampler.
 func (mc *MonteCarlo) SetSampleSize(z int) { mc.z = z }
 
+// Reseed implements Sampler.
+func (mc *MonteCarlo) Reseed(seed int64) { mc.r.Seed(seed) }
+
 // Reliability implements Sampler.
 func (mc *MonteCarlo) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
 	if s == t {

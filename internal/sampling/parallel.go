@@ -1,0 +1,355 @@
+package sampling
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+	"repro/internal/ugraph"
+)
+
+// DefaultShards is the maximum number of deterministic work shards a
+// ParallelSampler splits a sample budget into (small budgets use fewer;
+// see minShardBudget). The shard structure — not the worker count — fixes
+// the randomness: shard i always draws from the stream Split(callSeed, i)
+// and the shard estimates are merged in shard order, so the result is
+// bit-identical whether one goroutine processes all shards or eight
+// goroutines race over them.
+const DefaultShards = 16
+
+// Factory constructs a fresh serial Sampler; the budget and seed handed to
+// it are placeholders, overwritten per shard via SetSampleSize and Reseed.
+type Factory func(z int, seed int64) Sampler
+
+// ParallelSampler runs a serial estimator's sample budget across a worker
+// pool. It is safe for concurrent use: every public call atomically claims
+// a call index (which decorrelates successive calls, mirroring the
+// advancing RNG state of a serial sampler), takes per-worker serial
+// samplers from an internal pool, and merges per-shard results in a fixed
+// order. For a given seed the i-th call returns bit-identical results at
+// any worker count; concurrent callers are race-free but observe call
+// indices in arrival order.
+type ParallelSampler struct {
+	name    string
+	factory Factory
+	workers int
+	shards  int
+	seed    atomic.Int64
+	z       atomic.Int64
+	call    atomic.Int64
+	pool    sync.Pool
+}
+
+// NewParallel wraps the named estimator kind ("mc", "rss" or "lazy") in a
+// ParallelSampler with total budget z. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewParallel(kind string, z int, seed int64, workers int) (*ParallelSampler, error) {
+	switch kind {
+	case "mc":
+		return NewParallelWith(kind, func(z int, seed int64) Sampler { return NewMonteCarlo(z, seed) }, z, seed, workers), nil
+	case "rss":
+		return NewParallelWith(kind, func(z int, seed int64) Sampler { return NewRSS(z, seed) }, z, seed, workers), nil
+	case "lazy":
+		return NewParallelWith(kind, func(z int, seed int64) Sampler { return NewLazy(z, seed) }, z, seed, workers), nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown sampler %q (want mc, rss or lazy)", kind)
+	}
+}
+
+// NewParallelWith wraps an arbitrary serial-sampler factory. The name is
+// what Name() reports (conventionally the underlying estimator's name).
+func NewParallelWith(name string, factory Factory, z int, seed int64, workers int) *ParallelSampler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ps := &ParallelSampler{name: name, factory: factory, workers: workers, shards: DefaultShards}
+	ps.seed.Store(seed)
+	ps.z.Store(int64(z))
+	ps.pool.New = func() any { return factory(1, 0) }
+	return ps
+}
+
+// Name implements Sampler.
+func (ps *ParallelSampler) Name() string { return ps.name }
+
+// Workers returns the configured worker-pool size.
+func (ps *ParallelSampler) Workers() int { return ps.workers }
+
+// SampleSize implements Sampler.
+func (ps *ParallelSampler) SampleSize() int { return int(ps.z.Load()) }
+
+// SetSampleSize implements Sampler; unlike the serial samplers it is safe
+// to call concurrently with estimates (in-flight calls keep the budget
+// they loaded at entry).
+func (ps *ParallelSampler) SetSampleSize(z int) { ps.z.Store(int64(z)) }
+
+// Reseed implements Sampler: it resets both the base seed and the call
+// counter, so the sequence of results restarts as from construction. It
+// is race-free against in-flight estimates, but the replay guarantee only
+// holds once those estimates have drained (seed and counter are two
+// atomics, not one transaction).
+func (ps *ParallelSampler) Reseed(seed int64) {
+	ps.seed.Store(seed)
+	ps.call.Store(0)
+}
+
+// nextCallSeed claims the next call index and derives its seed. Every
+// public estimate consumes exactly one index, making a serial call
+// sequence reproducible end to end.
+func (ps *ParallelSampler) nextCallSeed() int64 {
+	return rng.SplitSeed(ps.seed.Load(), ps.call.Add(1))
+}
+
+// fanOut runs fn(smp, i) for i in [0, n) on up to ps.workers goroutines.
+// Each goroutine leases one serial sampler from the pool for its lifetime;
+// fn must fully configure it (Reseed + SetSampleSize) before estimating,
+// so leftover pool state never leaks into results.
+func (ps *ParallelSampler) fanOut(n int, fn func(smp Sampler, i int)) {
+	w := ps.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		smp := ps.pool.Get().(Sampler)
+		for i := 0; i < n; i++ {
+			fn(smp, i)
+		}
+		ps.pool.Put(smp)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			smp := ps.pool.Get().(Sampler)
+			defer ps.pool.Put(smp)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(smp, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// minShardBudget is the smallest per-shard sample budget worth the fan-out
+// overhead. Budgets below shards·minShardBudget use proportionally fewer
+// shards — the solvers' inner loops estimate tiny path subgraphs with
+// modest Z thousands of times, where full sharding costs more in setup
+// than it wins in parallelism. The shard count depends only on z, never on
+// the worker count, so determinism across pool sizes is unaffected.
+const minShardBudget = 64
+
+// shardBudgets splits z into deterministic sub-budgets, every one >= 1
+// (shards never exceed z; the first z mod shards shards get one extra
+// sample).
+func (ps *ParallelSampler) shardBudgets(z int) []int {
+	if z < 1 {
+		z = 1
+	}
+	shards := (z + minShardBudget - 1) / minShardBudget
+	if shards > ps.shards {
+		shards = ps.shards
+	}
+	out := make([]int, shards)
+	base, extra := z/shards, z%shards
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Reliability implements Sampler: shard i estimates with budget z_i on the
+// stream Split(callSeed, i), and the estimates combine as the
+// budget-weighted mean Σ (z_i/Z)·est_i — for MC exactly the pooled
+// hit fraction, for RSS/Lazy an equally weighted mixture of independent
+// unbiased estimates.
+func (ps *ParallelSampler) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	if s == t {
+		return 1
+	}
+	z := ps.SampleSize()
+	callSeed := ps.nextCallSeed()
+	budgets := ps.shardBudgets(z)
+	est := make([]float64, len(budgets))
+	ps.fanOut(len(budgets), func(smp Sampler, i int) {
+		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
+		smp.SetSampleSize(budgets[i])
+		est[i] = smp.Reliability(g, s, t)
+	})
+	return mergeScalar(est, budgets)
+}
+
+// ReliabilityFrom implements Sampler.
+func (ps *ParallelSampler) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
+	return ps.vector(g, s, true)
+}
+
+// ReliabilityTo implements Sampler.
+func (ps *ParallelSampler) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
+	return ps.vector(g, t, false)
+}
+
+func (ps *ParallelSampler) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
+	z := ps.SampleSize()
+	callSeed := ps.nextCallSeed()
+	budgets := ps.shardBudgets(z)
+	vecs := make([][]float64, len(budgets))
+	ps.fanOut(len(budgets), func(smp Sampler, i int) {
+		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
+		smp.SetSampleSize(budgets[i])
+		if forward {
+			vecs[i] = smp.ReliabilityFrom(g, src)
+		} else {
+			vecs[i] = smp.ReliabilityTo(g, src)
+		}
+	})
+	return mergeVectors(vecs, budgets, g.N())
+}
+
+// mergeScalar folds per-shard estimates as Σ(b_i·e_i)/z in shard order;
+// the fixed order keeps float summation bit-reproducible, and the single
+// final division keeps unanimous shards exact (all-1 estimates merge to
+// exactly 1, which per-shard b_i/z weights would miss when z splits
+// unevenly).
+func mergeScalar(est []float64, budgets []int) float64 {
+	total, z := 0.0, 0
+	for _, b := range budgets {
+		z += b
+	}
+	for i, e := range est {
+		total += float64(budgets[i]) * e
+	}
+	return total / float64(z)
+}
+
+func mergeVectors(vecs [][]float64, budgets []int, n int) []float64 {
+	acc := make([]float64, n)
+	z := 0
+	for _, b := range budgets {
+		z += b
+	}
+	for i, vec := range vecs {
+		w := float64(budgets[i])
+		for v, x := range vec {
+			acc[v] += w * x
+		}
+	}
+	inv := 1 / float64(z)
+	for v := range acc {
+		acc[v] *= inv
+	}
+	return acc
+}
+
+// EstimateMany implements BatchSampler: queries are evaluated concurrently,
+// each with the full budget Z on its own stream Split(callSeed, i), so
+// result i is deterministic regardless of how queries land on workers.
+func (ps *ParallelSampler) EstimateMany(g *ugraph.Graph, queries []PairQuery) []float64 {
+	z := ps.SampleSize()
+	callSeed := ps.nextCallSeed()
+	out := make([]float64, len(queries))
+	ps.fanOut(len(queries), func(smp Sampler, i int) {
+		q := queries[i]
+		if q.S == q.T {
+			out[i] = 1
+			return
+		}
+		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
+		smp.SetSampleSize(z)
+		out[i] = smp.Reliability(g, q.S, q.T)
+	})
+	return out
+}
+
+// EstimateEdges implements BatchSampler: candidate edge i is evaluated on
+// its own augmented copy of g, in parallel across the candidate set — the
+// batched form of the hill-climbing / individual-top-k inner loop.
+func (ps *ParallelSampler) EstimateEdges(g *ugraph.Graph, s, t ugraph.NodeID, edges []ugraph.Edge) []float64 {
+	z := ps.SampleSize()
+	callSeed := ps.nextCallSeed()
+	out := make([]float64, len(edges))
+	ps.fanOut(len(edges), func(smp Sampler, i int) {
+		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
+		smp.SetSampleSize(z)
+		out[i] = smp.Reliability(g.WithEdges(edges[i:i+1]), s, t)
+	})
+	return out
+}
+
+// ReliabilityFromMany implements BatchSampler.
+func (ps *ParallelSampler) ReliabilityFromMany(g *ugraph.Graph, sources []ugraph.NodeID) [][]float64 {
+	return ps.vectorMany(g, sources, true)
+}
+
+// ReliabilityToMany implements BatchSampler.
+func (ps *ParallelSampler) ReliabilityToMany(g *ugraph.Graph, targets []ugraph.NodeID) [][]float64 {
+	return ps.vectorMany(g, targets, false)
+}
+
+// vectorMany fans out over the (node, shard) product rather than just the
+// nodes, so a two-source batch at Workers=8 still keeps every worker busy.
+// Node n's shard i draws from Split(Split(callSeed, n), i): the stream is
+// keyed on the (node, shard) pair alone, preserving determinism across
+// pool sizes. The streams differ from the single-node vector() path
+// (which keys on shard only), so batched results are statistically
+// equivalent but not bit-identical to per-node calls.
+func (ps *ParallelSampler) vectorMany(g *ugraph.Graph, nodes []ugraph.NodeID, forward bool) [][]float64 {
+	z := ps.SampleSize()
+	callSeed := ps.nextCallSeed()
+	budgets := ps.shardBudgets(z)
+	shards := len(budgets)
+	vecs := make([][]float64, len(nodes)*shards)
+	ps.fanOut(len(vecs), func(smp Sampler, k int) {
+		n, i := k/shards, k%shards
+		smp.Reseed(rng.SplitSeed(rng.SplitSeed(callSeed, int64(n)), int64(i)))
+		smp.SetSampleSize(budgets[i])
+		if forward {
+			vecs[k] = smp.ReliabilityFrom(g, nodes[n])
+		} else {
+			vecs[k] = smp.ReliabilityTo(g, nodes[n])
+		}
+	})
+	out := make([][]float64, len(nodes))
+	for n := range nodes {
+		out[n] = mergeVectors(vecs[n*shards:(n+1)*shards], budgets, g.N())
+	}
+	return out
+}
+
+// FromMany returns one ReliabilityFrom vector per node: batched when smp
+// is a BatchSampler, otherwise a serial loop in node order (preserving
+// the exact RNG call sequence a plain sampler would produce). The shared
+// fallback for candidate elimination and pair-reliability matrices.
+func FromMany(smp Sampler, g *ugraph.Graph, nodes []ugraph.NodeID) [][]float64 {
+	if bs, ok := smp.(BatchSampler); ok {
+		return bs.ReliabilityFromMany(g, nodes)
+	}
+	out := make([][]float64, len(nodes))
+	for i, v := range nodes {
+		out[i] = smp.ReliabilityFrom(g, v)
+	}
+	return out
+}
+
+// ToMany is FromMany's reverse-direction counterpart.
+func ToMany(smp Sampler, g *ugraph.Graph, nodes []ugraph.NodeID) [][]float64 {
+	if bs, ok := smp.(BatchSampler); ok {
+		return bs.ReliabilityToMany(g, nodes)
+	}
+	out := make([][]float64, len(nodes))
+	for i, v := range nodes {
+		out[i] = smp.ReliabilityTo(g, v)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package sampling
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/ugraph"
+)
+
+var parallelKinds = []string{"mc", "rss", "lazy"}
+
+func newParallelT(t *testing.T, kind string, z int, seed int64, workers int) *ParallelSampler {
+	t.Helper()
+	ps, err := NewParallel(kind, z, seed, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// TestParallelDeterministicAcrossWorkers is the core contract: for a fixed
+// seed, every estimate — scalar, vector and batched — is bit-identical at
+// any worker count, over a sequence of calls.
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	r := rng.New(77)
+	g := randomSmallGraph(r, false)
+	s, tt := ugraph.NodeID(0), ugraph.NodeID(g.N()-1)
+	queries := []PairQuery{{S: s, T: tt}, {S: tt, T: s}, {S: s, T: s}}
+	cands := []ugraph.Edge{{U: 0, V: ugraph.NodeID(g.N() - 1), P: 0.5}, {U: 1, V: 2, P: 0.7}}
+	for _, kind := range parallelKinds {
+		base := newParallelT(t, kind, 333, 42, 1)
+		for _, workers := range []int{2, 4, 8} {
+			base.Reseed(42) // replay the same call sequence per worker count
+			ps := newParallelT(t, kind, 333, 42, workers)
+			// Interleave call types so the call counter is exercised.
+			for round := 0; round < 3; round++ {
+				if a, b := base.Reliability(g, s, tt), ps.Reliability(g, s, tt); a != b {
+					t.Fatalf("%s round %d: Reliability w1=%v w%d=%v", kind, round, a, workers, b)
+				}
+				if a, b := base.ReliabilityFrom(g, s), ps.ReliabilityFrom(g, s); !equalVec(a, b) {
+					t.Fatalf("%s round %d: ReliabilityFrom differs at %d workers", kind, round, workers)
+				}
+				if a, b := base.ReliabilityTo(g, tt), ps.ReliabilityTo(g, tt); !equalVec(a, b) {
+					t.Fatalf("%s round %d: ReliabilityTo differs at %d workers", kind, round, workers)
+				}
+				if a, b := base.EstimateMany(g, queries), ps.EstimateMany(g, queries); !equalVec(a, b) {
+					t.Fatalf("%s round %d: EstimateMany differs at %d workers", kind, round, workers)
+				}
+				if a, b := base.EstimateEdges(g, s, tt, cands), ps.EstimateEdges(g, s, tt, cands); !equalVec(a, b) {
+					t.Fatalf("%s round %d: EstimateEdges differs at %d workers", kind, round, workers)
+				}
+				if a, b := base.ReliabilityFromMany(g, []ugraph.NodeID{s, 1}), ps.ReliabilityFromMany(g, []ugraph.NodeID{s, 1}); !equalMat(a, b) {
+					t.Fatalf("%s round %d: ReliabilityFromMany differs at %d workers", kind, round, workers)
+				}
+			}
+		}
+	}
+}
+
+func equalMat(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalVec(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesExact checks the merged estimator stays unbiased: the
+// budget-weighted shard mixture must converge to the exact reliability.
+func TestParallelMatchesExact(t *testing.T) {
+	r := rng.New(303)
+	for _, kind := range parallelKinds {
+		ps := newParallelT(t, kind, 40000, 9, 4)
+		for trial := 0; trial < 4; trial++ {
+			g := randomSmallGraph(r, trial%2 == 0)
+			s, tt := ugraph.NodeID(0), ugraph.NodeID(g.N()-1)
+			exact, err := g.ExactReliability(s, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ps.Reliability(g, s, tt)
+			if math.Abs(got-exact) > 0.02 {
+				t.Errorf("%s trial %d: parallel=%v exact=%v", kind, trial, got, exact)
+			}
+		}
+	}
+}
+
+// TestParallelVectorMatchesScalar cross-checks the batched vector APIs
+// against their scalar counterparts' semantics (entry for the query node
+// is 1, entries lie in [0, 1]). The budget deliberately splits unevenly
+// across shards: unanimous shard estimates must still merge to exactly 1.
+func TestParallelVectorMatchesScalar(t *testing.T) {
+	r := rng.New(404)
+	g := randomSmallGraph(r, true)
+	ps := newParallelT(t, "mc", 1663, 5, 4)
+	sources := []ugraph.NodeID{0, 1}
+	fromMany := ps.ReliabilityFromMany(g, sources)
+	if len(fromMany) != len(sources) {
+		t.Fatalf("ReliabilityFromMany returned %d rows, want %d", len(fromMany), len(sources))
+	}
+	toMany := ps.ReliabilityToMany(g, sources)
+	for i, s := range sources {
+		if fromMany[i][s] != 1 {
+			t.Errorf("fromMany[%d][%d] = %v, want 1", i, s, fromMany[i][s])
+		}
+		if toMany[i][s] != 1 {
+			t.Errorf("toMany[%d][%d] = %v, want 1", i, s, toMany[i][s])
+		}
+		for v, x := range fromMany[i] {
+			if x < 0 || x > 1 {
+				t.Fatalf("fromMany[%d][%d] = %v out of range", i, v, x)
+			}
+		}
+	}
+}
+
+// TestParallelReseedRestartsSequence verifies Reseed resets the call
+// counter: the same sequence of calls replays identically.
+func TestParallelReseedRestartsSequence(t *testing.T) {
+	r := rng.New(505)
+	g := randomSmallGraph(r, false)
+	s, tt := ugraph.NodeID(0), ugraph.NodeID(g.N()-1)
+	ps := newParallelT(t, "rss", 500, 11, 3)
+	first := []float64{ps.Reliability(g, s, tt), ps.Reliability(g, s, tt)}
+	ps.Reseed(11)
+	second := []float64{ps.Reliability(g, s, tt), ps.Reliability(g, s, tt)}
+	if !equalVec(first, second) {
+		t.Fatalf("replay after Reseed differs: %v vs %v", first, second)
+	}
+	if first[0] == first[1] {
+		t.Fatalf("successive calls returned identical estimates %v; call counter not advancing", first[0])
+	}
+}
+
+// TestParallelTinyBudget exercises budgets at or below the maximum shard
+// count, where the budget-proportional shard sizing collapses to one or a
+// few shards.
+func TestParallelTinyBudget(t *testing.T) {
+	r := rng.New(606)
+	g := randomSmallGraph(r, false)
+	s, tt := ugraph.NodeID(0), ugraph.NodeID(g.N()-1)
+	for _, kind := range parallelKinds {
+		for _, z := range []int{1, 3, DefaultShards - 1} {
+			a := newParallelT(t, kind, z, 21, 1)
+			b := newParallelT(t, kind, z, 21, 8)
+			va, vb := a.Reliability(g, s, tt), b.Reliability(g, s, tt)
+			if va != vb {
+				t.Fatalf("%s z=%d: w1=%v w8=%v", kind, z, va, vb)
+			}
+			if va < 0 || va > 1 {
+				t.Fatalf("%s z=%d: estimate %v out of range", kind, z, va)
+			}
+		}
+	}
+}
+
+// TestParallelStress hammers one ParallelSampler from many goroutines; run
+// under -race this is the concurrency-safety check of the new contract.
+func TestParallelStress(t *testing.T) {
+	r := rng.New(707)
+	g := randomSmallGraph(r, false)
+	s, tt := ugraph.NodeID(0), ugraph.NodeID(g.N()-1)
+	ps := newParallelT(t, "mc", 200, 31, 4)
+	queries := []PairQuery{{S: s, T: tt}, {S: tt, T: s}}
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (k + i) % 4 {
+				case 0:
+					if v := ps.Reliability(g, s, tt); v < 0 || v > 1 {
+						t.Errorf("Reliability out of range: %v", v)
+					}
+				case 1:
+					ps.ReliabilityFrom(g, s)
+				case 2:
+					ps.EstimateMany(g, queries)
+				case 3:
+					ps.EstimateEdges(g, s, tt, []ugraph.Edge{{U: 1, V: 3, P: 0.4}})
+				}
+				if i == 10 {
+					ps.Reseed(int64(k)) // must be race-free against in-flight estimates
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestParallelImplementsBatch pins the interface relationships.
+func TestParallelImplementsBatch(t *testing.T) {
+	var smp Sampler = newParallelT(t, "mc", 100, 1, 2)
+	if _, ok := smp.(BatchSampler); !ok {
+		t.Fatal("ParallelSampler must implement BatchSampler")
+	}
+	if smp.Name() != "mc" {
+		t.Fatalf("Name() = %q, want underlying estimator name", smp.Name())
+	}
+}

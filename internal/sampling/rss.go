@@ -51,6 +51,9 @@ func (rs *RSS) SampleSize() int { return rs.z }
 // SetSampleSize implements Sampler.
 func (rs *RSS) SetSampleSize(z int) { rs.z = z }
 
+// Reseed implements Sampler.
+func (rs *RSS) Reseed(seed int64) { rs.r.Seed(seed) }
+
 // SetWidth overrides the stratification width r (clamped to >= 1).
 func (rs *RSS) SetWidth(w int) {
 	if w < 1 {

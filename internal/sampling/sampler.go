@@ -3,6 +3,17 @@
 // instantiation (Fishman-style, §3.1 of the paper) and recursive stratified
 // sampling (RSS, Li et al. TKDE'16; §5.3), plus single-source reliability
 // vectors used by the search-space elimination of Algorithm 4.
+//
+// # Concurrency
+//
+// The serial estimators (MonteCarlo, RSS, Lazy) are deterministic given
+// their construction seed but are NOT safe for concurrent use: they reuse
+// internal scratch buffers across calls. ParallelSampler wraps any of them
+// into a goroutine-safe estimator that shards each sample budget across a
+// worker pool and merges the shard estimates deterministically, so a fixed
+// seed yields bit-identical results regardless of the worker count or
+// GOMAXPROCS. Batched evaluation of many queries, candidate edges or
+// source/target vectors at once goes through the BatchSampler interface.
 package sampling
 
 import (
@@ -11,11 +22,15 @@ import (
 	"repro/internal/ugraph"
 )
 
-// Sampler estimates reliability over uncertain graphs. Implementations are
-// deterministic given their construction seed and are NOT safe for
-// concurrent use (they reuse internal scratch buffers).
+// Sampler estimates reliability over uncertain graphs. All implementations
+// are deterministic given their seed. The serial implementations
+// (MonteCarlo, RSS, Lazy) are NOT safe for concurrent use — they reuse
+// internal scratch buffers — and must be confined to one goroutine at a
+// time; wrap them in a ParallelSampler for concurrent callers.
 type Sampler interface {
-	// Name identifies the estimator ("mc" or "rss").
+	// Name identifies the estimator ("mc", "rss" or "lazy"). A
+	// ParallelSampler reports its underlying estimator's name: parallel
+	// execution is a property of the run, not of the estimate.
 	Name() string
 	// Reliability estimates R(s, t, G), the probability that t is
 	// reachable from s.
@@ -26,8 +41,43 @@ type Sampler interface {
 	ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64
 	// SampleSize returns the configured total sample count Z.
 	SampleSize() int
-	// SetSampleSize reconfigures Z.
+	// SetSampleSize reconfigures Z. Not safe to call concurrently with
+	// estimates on serial samplers.
 	SetSampleSize(z int)
+	// Reseed resets the sampler's random stream to the given seed, as if
+	// it had just been constructed with it. ParallelSampler uses this to
+	// hand each work shard its own deterministic stream.
+	Reseed(seed int64)
+}
+
+// PairQuery is one (source, target) reliability query, used by the batched
+// estimation APIs.
+type PairQuery struct {
+	S, T ugraph.NodeID
+}
+
+// BatchSampler is the optional batched-evaluation interface implemented by
+// ParallelSampler. Callers holding a plain Sampler can type-assert to it
+// and fall back to one-at-a-time loops otherwise; the core solvers do
+// exactly that in their hot paths (candidate elimination, greedy candidate
+// scoring, pair-reliability matrices).
+type BatchSampler interface {
+	Sampler
+	// EstimateMany estimates R(q.S, q.T, G) for every query, each with
+	// the full sample budget Z. Result i is deterministic in (seed, i)
+	// regardless of scheduling.
+	EstimateMany(g *ugraph.Graph, queries []PairQuery) []float64
+	// EstimateEdges estimates R(s, t, G ∪ {e}) for each candidate edge e
+	// in isolation — the inner loop of the greedy and top-k baselines.
+	EstimateEdges(g *ugraph.Graph, s, t ugraph.NodeID, edges []ugraph.Edge) []float64
+	// ReliabilityFromMany estimates one ReliabilityFrom vector per
+	// source. Statistically equivalent to per-source calls but drawn
+	// from different deterministic streams (keyed on the source's batch
+	// index), so values are not bit-identical to ReliabilityFrom.
+	ReliabilityFromMany(g *ugraph.Graph, sources []ugraph.NodeID) [][]float64
+	// ReliabilityToMany is ReliabilityFromMany's reverse-direction
+	// counterpart.
+	ReliabilityToMany(g *ugraph.Graph, targets []ugraph.NodeID) [][]float64
 }
 
 // scratch holds reusable per-graph working memory shared by the estimators.

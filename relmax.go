@@ -108,8 +108,31 @@ func SolveTotalBudget(g *Graph, s, t NodeID, budget float64, opt Options) (Total
 }
 
 // Sampler estimates s-t reliability; see NewMonteCarloSampler and
-// NewRSSSampler.
+// NewRSSSampler. The serial samplers are not safe for concurrent use;
+// NewParallelSampler wraps any of them into a goroutine-safe,
+// deterministic, batch-capable estimator.
 type Sampler = sampling.Sampler
+
+// BatchSampler is the batched-evaluation interface implemented by
+// NewParallelSampler's result: many (s, t) queries, candidate edges or
+// source/target vectors in one fanned-out call.
+type BatchSampler = sampling.BatchSampler
+
+// PairQuery is one (source, target) query for BatchSampler.EstimateMany.
+type PairQuery = sampling.PairQuery
+
+// NewParallelSampler shards the sample budget z of the named estimator
+// ("mc", "rss" or "lazy") across a pool of workers (<= 0 selects all
+// CPUs). For a fixed seed the results are bit-identical at any worker
+// count, and the sampler is safe for concurrent use. Inside Solve and
+// SolveMulti the same engine is enabled via Options.Workers.
+func NewParallelSampler(kind string, z int, seed int64, workers int) (BatchSampler, error) {
+	ps, err := sampling.NewParallel(kind, z, seed, workers)
+	if err != nil {
+		return nil, err // avoid a typed-nil *ParallelSampler in the interface
+	}
+	return ps, nil
+}
 
 // NewMonteCarloSampler returns the classic possible-world sampler with z
 // worlds per query.
