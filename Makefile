@@ -2,8 +2,10 @@
 # reproduces exactly what the workflow runs.
 
 GO ?= go
+BENCH_COUNT ?= 6
+BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval
 
-.PHONY: build test race bench bench-smoke lint fmt ci
+.PHONY: build test race bench bench-smoke bench-baseline bench-compare fuzz-smoke cover lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -17,12 +19,48 @@ race:
 
 # Full benchmark run with stable settings for recording numbers.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # One iteration of every benchmark: catches bench-only compile/runtime rot
 # without burning CI minutes.
 bench-smoke:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Record the perf baseline before a change: run the tracked benchmarks
+# BENCH_COUNT times into bench-baseline.txt (not committed; per-machine).
+bench-baseline:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -run '^$$' ./... | tee bench-baseline.txt
+
+# Compare the working tree against the recorded baseline with benchstat
+# (falls back to printing both files when benchstat is not installed).
+bench-compare:
+	@test -f bench-baseline.txt || { echo "no bench-baseline.txt; run 'make bench-baseline' on the old tree first"; exit 1; }
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -run '^$$' ./... | tee bench-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-baseline.txt bench-new.txt; \
+	else \
+		echo "--- benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
+		echo "--- raw results left in bench-baseline.txt / bench-new.txt"; \
+	fi
+
+# Short fuzz smoke: each target fuzzes for 10s on top of the checked-in
+# seed corpus, catching shallow regressions in the I/O and Freeze paths.
+fuzz-smoke:
+	$(GO) test ./internal/ugraph -run '^$$' -fuzz '^FuzzEdgeListRoundTrip$$' -fuzztime 10s
+	$(GO) test ./internal/ugraph -run '^$$' -fuzz '^FuzzFreezeConsistency$$' -fuzztime 10s
+
+# Coverage with a ratchet: fail if total coverage drops below the recorded
+# baseline (.github/coverage-baseline.txt). Raise the baseline when a PR
+# durably improves coverage; never lower it to make CI pass.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	base=$$(cat .github/coverage-baseline.txt); \
+	echo "total coverage: $$total% (baseline: $$base%)"; \
+	ok=$$(awk -v t="$$total" -v b="$$base" 'BEGIN {print (t+0 >= b+0) ? 1 : 0}'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "FAIL: total coverage $$total% fell below the $$base% baseline"; exit 1; \
+	fi
 
 lint:
 	$(GO) vet ./...
@@ -32,4 +70,6 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build test race bench-smoke
+# cover runs the full test suite (with the ratchet), so a separate `test`
+# prerequisite would run everything twice.
+ci: lint build cover race bench-smoke

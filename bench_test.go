@@ -272,6 +272,54 @@ func BenchmarkEstimateMany(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateEdges measures candidate-edge scoring — the inner loop
+// of the greedy baselines — comparing the serial clone-per-candidate loop
+// against the batched overlay path (frozen base CSR + per-candidate
+// overlay + budget sharding across the pool).
+func BenchmarkEstimateEdges(b *testing.B) {
+	g, err := LoadDataset("astopo", 0.08, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := Queries(g, 1, 3, 5, 4)
+	if len(qs) == 0 {
+		b.Fatal("no query")
+	}
+	s, t := qs[0].S, qs[0].T
+	cands := make([]Edge, 0, 16)
+	for v := NodeID(0); len(cands) < 16 && int(v) < g.N(); v++ {
+		if v != s && !g.HasEdge(s, v) {
+			cands = append(cands, Edge{U: s, V: v, P: 0.5})
+		}
+	}
+	const z = 500
+	b.Run("serial-clone", func(b *testing.B) {
+		smp := NewMonteCarloSampler(z, 1)
+		scratch := make([]Edge, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, e := range cands {
+				scratch[0] = e
+				smp.Reliability(g.WithEdges(scratch), s, t)
+			}
+		}
+	})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("batched/w%d", w), func(b *testing.B) {
+			smp, err := NewParallelSampler("mc", z, 1, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				smp.EstimateEdges(g, s, t, cands)
+			}
+		})
+	}
+}
+
 // BenchmarkSolveWorkers measures the end-to-end solver with the pool
 // threaded through elimination, path scoring and held-out evaluation.
 func BenchmarkSolveWorkers(b *testing.B) {

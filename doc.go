@@ -44,8 +44,23 @@
 // NewRSSSampler. Those serial samplers are single-goroutine only;
 // NewParallelSampler wraps either into a goroutine-safe estimator that
 // shards the sample budget across workers and supports batched evaluation
-// (EstimateMany, EstimateEdges) for serving many queries at once. Dataset
-// stand-ins for the paper's evaluation graphs and the full experiment
-// harness (one runner per table/figure) are exposed via LoadDataset and
-// RunExperiment.
+// (EstimateMany, EstimateEdges) for serving many queries at once.
+//
+// # Snapshots and the sampling hot path
+//
+// Internally every estimate runs on a frozen CSR snapshot of the graph
+// (Graph.Freeze): a flat, immutable adjacency layout with arc-aligned
+// probabilities that the samplers traverse with zero heap allocations per
+// sample in steady state. The snapshot is cached on the graph and
+// invalidated by mutations (AddEdge, SetProb); snapshots already handed
+// out remain valid. Candidate-evaluation loops derive lightweight overlay
+// views (one candidate edge over a shared base snapshot) instead of
+// cloning the graph, which is what makes the batched EstimateEdges path
+// cheap. Estimates are bit-identical for a fixed seed whether a graph is
+// sampled directly, through its snapshot, or through an overlay, at any
+// worker count.
+//
+// Dataset stand-ins for the paper's evaluation graphs and the full
+// experiment harness (one runner per table/figure) are exposed via
+// LoadDataset and RunExperiment.
 package repro

@@ -187,8 +187,11 @@ func missingPairs(g *ugraph.Graph, from, to []ugraph.NodeID, opt Options) []ugra
 	return out
 }
 
-// withinHopsUndirected BFS-explores the topology ignoring edge direction.
+// withinHopsUndirected BFS-explores the topology ignoring edge direction,
+// over the graph's cached CSR snapshot (candidate generation probes many
+// sources against the same frozen topology).
 func withinHopsUndirected(g *ugraph.Graph, src ugraph.NodeID, h int) map[ugraph.NodeID]bool {
+	c := g.Freeze()
 	dist := map[ugraph.NodeID]int{src: 0}
 	queue := []ugraph.NodeID{src}
 	for head := 0; head < len(queue); head++ {
@@ -196,13 +199,13 @@ func withinHopsUndirected(g *ugraph.Graph, src ugraph.NodeID, h int) map[ugraph.
 		if dist[u] >= h {
 			continue
 		}
-		for _, a := range g.Out(u) {
+		for _, a := range c.Out(u) {
 			if _, ok := dist[a.To]; !ok {
 				dist[a.To] = dist[u] + 1
 				queue = append(queue, a.To)
 			}
 		}
-		for _, a := range g.In(u) {
+		for _, a := range c.In(u) {
 			if _, ok := dist[a.To]; !ok {
 				dist[a.To] = dist[u] + 1
 				queue = append(queue, a.To)

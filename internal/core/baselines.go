@@ -12,14 +12,24 @@ import (
 // edgeReliabilities estimates R(s, t, g ∪ {e}) for every candidate edge in
 // isolation — the shared inner loop of the top-k and hill-climbing
 // baselines. Batch-capable samplers (ParallelSampler) evaluate the whole
-// candidate set in one fanned-out call; serial samplers fall back to the
-// one-at-a-time loop.
+// candidate set in one fanned-out call; serial samplers fall back to a
+// one-at-a-time loop that freezes the graph once and evaluates each
+// candidate on a CSR overlay, so no per-candidate clone or snapshot
+// rebuild happens.
 func edgeReliabilities(smp sampling.Sampler, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge) []float64 {
 	if bs, ok := smp.(sampling.BatchSampler); ok {
 		return bs.EstimateEdges(g, s, t, cands)
 	}
 	out := make([]float64, len(cands))
 	scratch := make([]ugraph.Edge, 1)
+	if cs, ok := smp.(sampling.CSRSampler); ok {
+		base := g.Freeze()
+		for i, e := range cands {
+			scratch[0] = e
+			out[i] = cs.ReliabilityCSR(base.WithEdges(scratch), s, t)
+		}
+		return out
+	}
 	for i, e := range cands {
 		scratch[0] = e
 		out[i] = smp.Reliability(g.WithEdges(scratch), s, t)

@@ -28,10 +28,19 @@ func exactSearch(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp s
 	best := -1.0
 	var bestSet []ugraph.Edge
 	current := make([]ugraph.Edge, 0, k)
+	// Freeze once; every combination is evaluated on a CSR overlay instead
+	// of cloning and re-indexing the whole graph per combination.
+	base := g.Freeze()
+	cs, hasCSR := smp.(sampling.CSRSampler)
 	var recurse func(start int)
 	recurse = func(start int) {
 		if len(current) == k {
-			rel := smp.Reliability(g.WithEdges(current), s, t)
+			var rel float64
+			if hasCSR {
+				rel = cs.ReliabilityCSR(base.WithEdges(current), s, t)
+			} else {
+				rel = smp.Reliability(g.WithEdges(current), s, t)
+			}
 			if rel > best {
 				best = rel
 				bestSet = append([]ugraph.Edge(nil), current...)

@@ -38,7 +38,7 @@ func (c Config) withDefaults() Config {
 func Spread(g *ugraph.Graph, sources, targets []ugraph.NodeID, cfg Config) float64 {
 	cfg = cfg.withDefaults()
 	mc := sampling.NewMonteCarlo(cfg.Z, rng.Split(cfg.Seed, 11).Int63())
-	reach := mc.MultiSourceReach(g, sources)
+	reach := mc.MultiSourceReachCSR(g.Freeze(), sources)
 	total := 0.0
 	for _, t := range targets {
 		total += reach[t]
@@ -51,8 +51,8 @@ func Spread(g *ugraph.Graph, sources, targets []ugraph.NodeID, cfg Config) float
 func IMA(g *ugraph.Graph, sources, targets []ugraph.NodeID, cands []ugraph.Edge, k int, cfg Config) []ugraph.Edge {
 	cfg = cfg.withDefaults()
 	mc := sampling.NewMonteCarlo(cfg.Z, rng.Split(cfg.Seed, 12).Int63())
-	objective := func(h *ugraph.Graph) float64 {
-		reach := mc.MultiSourceReach(h, sources)
+	objective := func(c *ugraph.CSR) float64 {
+		reach := mc.MultiSourceReachCSR(c, sources)
 		total := 0.0
 		for _, t := range targets {
 			total += reach[t]
@@ -69,25 +69,29 @@ func ESSSP(g *ugraph.Graph, sources, targets []ugraph.NodeID, cands []ugraph.Edg
 	cfg = cfg.withDefaults()
 	mc := sampling.NewMonteCarlo(cfg.Z, rng.Split(cfg.Seed, 13).Int63())
 	penalty := float64(g.N())
-	objective := func(h *ugraph.Graph) float64 {
-		return -mc.ExpectedPairHops(h, sources, targets, penalty)
+	objective := func(c *ugraph.CSR) float64 {
+		return -mc.ExpectedPairHopsCSR(c, sources, targets, penalty)
 	}
 	return greedyMaximize(g, cands, k, objective)
 }
 
 // greedyMaximize runs k rounds of marginal-gain edge selection for an
-// arbitrary graph objective (higher is better).
-func greedyMaximize(g *ugraph.Graph, cands []ugraph.Edge, k int, objective func(*ugraph.Graph) float64) []ugraph.Edge {
+// arbitrary snapshot objective (higher is better). Each round freezes the
+// working graph once and scores every remaining candidate on a CSR overlay
+// of that snapshot, so the per-candidate cost is the estimate alone — no
+// clone, no snapshot rebuild.
+func greedyMaximize(g *ugraph.Graph, cands []ugraph.Edge, k int, objective func(*ugraph.CSR) float64) []ugraph.Edge {
 	work := g.Clone()
 	remaining := append([]ugraph.Edge(nil), cands...)
 	var chosen []ugraph.Edge
+	scratch := make([]ugraph.Edge, 1)
 	for len(chosen) < k && len(remaining) > 0 {
-		base := objective(work)
+		snap := work.Freeze()
+		base := objective(snap)
 		bestIdx, bestGain := -1, 0.0
-		scratch := make([]ugraph.Edge, 1)
 		for i, e := range remaining {
 			scratch[0] = e
-			gain := objective(work.WithEdges(scratch)) - base
+			gain := objective(snap.WithEdges(scratch)) - base
 			if bestIdx < 0 || gain > bestGain {
 				bestGain = gain
 				bestIdx = i

@@ -35,6 +35,7 @@ func ImproveMostReliablePath(g *ugraph.Graph, candidates []ugraph.Edge, s, t ugr
 	if k < 0 {
 		k = 0
 	}
+	c := g.Freeze() // blue-edge relaxations walk the flat snapshot
 	n := g.N()
 	layers := k + 1
 	// Red adjacency: candidate edges by source node (both directions for
@@ -75,8 +76,8 @@ func ImproveMostReliablePath(g *ugraph.Graph, candidates []ugraph.Edge, s, t ugr
 		done[st] = true
 		layer := int(st) / n
 		u := ugraph.NodeID(int(st) % n)
-		for _, a := range g.Out(u) {
-			p := g.Prob(a.EID)
+		for _, a := range c.Out(u) {
+			p := c.Prob(a.EID)
 			if p <= 0 {
 				continue
 			}

@@ -36,8 +36,12 @@ func MostReliable(g *ugraph.Graph, s, t ugraph.NodeID) (Path, bool) {
 }
 
 // dijkstra runs a most-reliable-path search from s to t, skipping banned
-// edges and banned nodes (nil means none; s itself is never banned).
+// edges and banned nodes (nil means none; s itself is never banned). The
+// relaxation loop walks the graph's cached CSR snapshot: the Yen-style
+// top-l enumeration re-runs dijkstra once per deviation, all against the
+// same frozen topology.
 func dijkstra(g *ugraph.Graph, s, t ugraph.NodeID, bannedEdge map[int32]bool, bannedNode []bool) (Path, bool) {
+	c := g.Freeze()
 	n := g.N()
 	dist := make([]float64, n)
 	parent := make([]int32, n)     // predecessor node
@@ -60,7 +64,7 @@ func dijkstra(g *ugraph.Graph, s, t ugraph.NodeID, bannedEdge map[int32]bool, ba
 		if u == t {
 			break
 		}
-		for _, a := range g.Out(u) {
+		for _, a := range c.Out(u) {
 			if done[a.To] {
 				continue
 			}
@@ -70,7 +74,7 @@ func dijkstra(g *ugraph.Graph, s, t ugraph.NodeID, bannedEdge map[int32]bool, ba
 			if bannedNode != nil && bannedNode[a.To] {
 				continue
 			}
-			p := g.Prob(a.EID)
+			p := c.Prob(a.EID)
 			if p <= 0 {
 				continue
 			}

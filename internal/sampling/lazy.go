@@ -65,12 +65,12 @@ func (lz *Lazy) geometricSkip(p float64) int64 {
 	return skip
 }
 
-func (lz *Lazy) prepare(g *ugraph.Graph) {
-	lz.sc.reset(g.N(), g.M())
-	if cap(lz.nextOn) < g.M() {
-		lz.nextOn = make([]int64, g.M())
+func (lz *Lazy) prepare(c *ugraph.CSR) {
+	lz.sc.reset(c.N(), c.M())
+	if cap(lz.nextOn) < c.M() {
+		lz.nextOn = make([]int64, c.M())
 	}
-	lz.nextOn = lz.nextOn[:g.M()]
+	lz.nextOn = lz.nextOn[:c.M()]
 	for i := range lz.nextOn {
 		lz.nextOn[i] = 0
 	}
@@ -78,17 +78,18 @@ func (lz *Lazy) prepare(g *ugraph.Graph) {
 }
 
 // present decides the edge's state in the current sample, advancing its
-// geometric schedule as needed. Called at most once per (edge, sample); the
-// caller memoizes via the epoch arrays.
-func (lz *Lazy) present(g *ugraph.Graph, eid int32) bool {
+// geometric schedule as needed; p is the edge's probability (handed in by
+// the walk from the arc-aligned stream). Called at most once per
+// (edge, sample); the caller memoizes via the epoch arrays.
+func (lz *Lazy) present(p float64, eid int32) bool {
 	next := lz.nextOn[eid]
 	if next == 0 {
 		// First examination ever: schedule relative to the sample
 		// before this one.
-		next = lz.sample - 1 + lz.geometricSkip(g.Prob(eid))
+		next = lz.sample - 1 + lz.geometricSkip(p)
 	}
 	for next < lz.sample {
-		next += lz.geometricSkip(g.Prob(eid))
+		next += lz.geometricSkip(p)
 	}
 	lz.nextOn[eid] = next
 	return next == lz.sample
@@ -96,14 +97,19 @@ func (lz *Lazy) present(g *ugraph.Graph, eid int32) bool {
 
 // Reliability implements Sampler.
 func (lz *Lazy) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	return lz.ReliabilityCSR(g.Freeze(), s, t)
+}
+
+// ReliabilityCSR implements CSRSampler.
+func (lz *Lazy) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 {
 	if s == t {
 		return 1
 	}
-	lz.prepare(g)
+	lz.prepare(c)
 	hits := 0
 	for i := 0; i < lz.z; i++ {
 		lz.sample++
-		if lz.walk(g, s, t, true, nil) {
+		if lz.walk(c, s, t, true, nil) {
 			hits++
 		}
 	}
@@ -112,20 +118,30 @@ func (lz *Lazy) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
 
 // ReliabilityFrom implements Sampler.
 func (lz *Lazy) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
-	return lz.vector(g, s, true)
+	return lz.vector(g.Freeze(), s, true)
 }
 
 // ReliabilityTo implements Sampler.
 func (lz *Lazy) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
-	return lz.vector(g, t, false)
+	return lz.vector(g.Freeze(), t, false)
 }
 
-func (lz *Lazy) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
-	lz.prepare(g)
-	counts := make([]float64, g.N())
+// ReliabilityFromCSR implements CSRSampler.
+func (lz *Lazy) ReliabilityFromCSR(c *ugraph.CSR, s ugraph.NodeID) []float64 {
+	return lz.vector(c, s, true)
+}
+
+// ReliabilityToCSR implements CSRSampler.
+func (lz *Lazy) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64 {
+	return lz.vector(c, t, false)
+}
+
+func (lz *Lazy) vector(c *ugraph.CSR, src ugraph.NodeID, forward bool) []float64 {
+	lz.prepare(c)
+	counts := make([]float64, c.N())
 	for i := 0; i < lz.z; i++ {
 		lz.sample++
-		lz.walk(g, src, -1, forward, counts)
+		lz.walk(c, src, -1, forward, counts)
 	}
 	inv := 1 / float64(lz.z)
 	for i := range counts {
@@ -138,7 +154,7 @@ func (lz *Lazy) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float
 // subtlety shared with the plain sampler: an edge's state must be decided
 // at most once per sample, which the epoch memo guarantees — otherwise the
 // geometric schedule would advance twice.
-func (lz *Lazy) walk(g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts []float64) bool {
+func (lz *Lazy) walk(c *ugraph.CSR, src, t ugraph.NodeID, forward bool, counts []float64) bool {
 	sc := &lz.sc
 	sc.nextEpoch()
 	sc.queue = sc.queue[:0]
@@ -147,33 +163,50 @@ func (lz *Lazy) walk(g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts
 	if counts != nil {
 		counts[src]++
 	}
+	hasX := c.HasOverlay()
 	for head := 0; head < len(sc.queue); head++ {
 		u := sc.queue[head]
-		var arcs []ugraph.Arc
+		var arcs, extra []ugraph.Arc
+		var probs, xprobs []float64
 		if forward {
-			arcs = g.Out(u)
+			arcs, probs = c.Out(u), c.OutProbs(u)
+			if hasX {
+				extra, xprobs = c.OutOverlay(u), c.OutOverlayProbs(u)
+			}
 		} else {
-			arcs = g.In(u)
+			arcs, probs = c.In(u), c.InProbs(u)
+			if hasX {
+				extra, xprobs = c.InOverlay(u), c.InOverlayProbs(u)
+			}
 		}
-		for _, a := range arcs {
-			if sc.nodeEp[a.To] == sc.epoch {
-				continue
+		for {
+			for i, a := range arcs {
+				if sc.nodeEp[a.To] == sc.epoch {
+					continue
+				}
+				if st := sc.edgeSt[a.EID]; st != sc.epoch && st != -sc.epoch {
+					if lz.present(probs[i], a.EID) {
+						sc.edgeSt[a.EID] = sc.epoch
+					} else {
+						sc.edgeSt[a.EID] = -sc.epoch
+						continue
+					}
+				} else if st != sc.epoch {
+					continue
+				}
+				sc.nodeEp[a.To] = sc.epoch
+				if a.To == t {
+					return true
+				}
+				if counts != nil {
+					counts[a.To]++
+				}
+				sc.queue = append(sc.queue, a.To)
 			}
-			if sc.edgeEp[a.EID] != sc.epoch {
-				sc.edgeEp[a.EID] = sc.epoch
-				sc.edgeOn[a.EID] = lz.present(g, a.EID)
+			if len(extra) == 0 {
+				break
 			}
-			if !sc.edgeOn[a.EID] {
-				continue
-			}
-			sc.nodeEp[a.To] = sc.epoch
-			if a.To == t {
-				return true
-			}
-			if counts != nil {
-				counts[a.To]++
-			}
-			sc.queue = append(sc.queue, a.To)
+			arcs, probs, extra = extra, xprobs, nil
 		}
 	}
 	return false

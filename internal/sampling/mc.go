@@ -10,7 +10,8 @@ import (
 // MonteCarlo is the classic possible-world sampler: it draws Z deterministic
 // graphs by flipping one coin per edge (lazily, only for edges actually
 // examined by the BFS) and reports the fraction of worlds in which t is
-// reachable from s. Complexity O(Z·(n+m)) per query.
+// reachable from s. Complexity O(Z·(n+m)) per query. The inner loops run on
+// a frozen CSR snapshot and allocate nothing in steady state.
 type MonteCarlo struct {
 	z  int
 	r  *rand.Rand
@@ -37,13 +38,18 @@ func (mc *MonteCarlo) Reseed(seed int64) { mc.r.Seed(seed) }
 
 // Reliability implements Sampler.
 func (mc *MonteCarlo) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	return mc.ReliabilityCSR(g.Freeze(), s, t)
+}
+
+// ReliabilityCSR implements CSRSampler.
+func (mc *MonteCarlo) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 {
 	if s == t {
 		return 1
 	}
-	mc.sc.reset(g.N(), g.M())
+	mc.sc.reset(c.N(), c.M())
 	hits := 0
 	for i := 0; i < mc.z; i++ {
-		if mc.walk(g, s, t, true, nil) {
+		if sampledWalkPlain(&mc.sc, mc.r, c, s, t, true) {
 			hits++
 		}
 	}
@@ -52,28 +58,34 @@ func (mc *MonteCarlo) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
 
 // ReliabilityFrom implements Sampler.
 func (mc *MonteCarlo) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
-	return mc.vector(g, s, true)
+	return mc.vector(g.Freeze(), s, true)
 }
 
 // ReliabilityTo implements Sampler. For directed graphs it walks in-arcs
 // backwards from t; v can reach t in a world iff the reverse walk reaches v.
 func (mc *MonteCarlo) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
-	return mc.vector(g, t, false)
+	return mc.vector(g.Freeze(), t, false)
 }
 
-func (mc *MonteCarlo) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
-	mc.sc.reset(g.N(), g.M())
-	counts := make([]float64, g.N())
+// ReliabilityFromCSR implements CSRSampler.
+func (mc *MonteCarlo) ReliabilityFromCSR(c *ugraph.CSR, s ugraph.NodeID) []float64 {
+	return mc.vector(c, s, true)
+}
+
+// ReliabilityToCSR implements CSRSampler.
+func (mc *MonteCarlo) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64 {
+	return mc.vector(c, t, false)
+}
+
+func (mc *MonteCarlo) vector(c *ugraph.CSR, src ugraph.NodeID, forward bool) []float64 {
+	mc.sc.reset(c.N(), c.M())
+	counts := make([]float64, c.N())
 	for i := 0; i < mc.z; i++ {
-		mc.walk(g, src, -1, forward, counts)
+		sampledWalk(&mc.sc, mc.r, c, src, -1, forward, counts, nil)
 	}
 	inv := 1 / float64(mc.z)
 	for i := range counts {
 		counts[i] *= inv
 	}
 	return counts
-}
-
-func (mc *MonteCarlo) walk(g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts []float64) bool {
-	return sampledWalk(&mc.sc, mc.r, g, src, t, forward, counts, nil)
 }

@@ -7,10 +7,17 @@ import "repro/internal/ugraph"
 // probability of the independent cascade process (§8.4.2): in a possible
 // world, v is active iff some source reaches it.
 func (mc *MonteCarlo) MultiSourceReach(g *ugraph.Graph, sources []ugraph.NodeID) []float64 {
-	mc.sc.reset(g.N(), g.M())
-	counts := make([]float64, g.N())
+	return mc.MultiSourceReachCSR(g.Freeze(), sources)
+}
+
+// MultiSourceReachCSR is MultiSourceReach on a frozen snapshot; greedy
+// influence loops freeze once and evaluate candidate edges on WithEdges
+// overlays.
+func (mc *MonteCarlo) MultiSourceReachCSR(c *ugraph.CSR, sources []ugraph.NodeID) []float64 {
+	mc.sc.reset(c.N(), c.M())
+	counts := make([]float64, c.N())
 	for i := 0; i < mc.z; i++ {
-		mc.multiWalk(g, sources, counts)
+		mc.multiWalk(c, sources, counts)
 	}
 	inv := 1 / float64(mc.z)
 	for i := range counts {
@@ -20,7 +27,7 @@ func (mc *MonteCarlo) MultiSourceReach(g *ugraph.Graph, sources []ugraph.NodeID)
 }
 
 // multiWalk samples one world and BFS-expands from every source at once.
-func (mc *MonteCarlo) multiWalk(g *ugraph.Graph, sources []ugraph.NodeID, counts []float64) {
+func (mc *MonteCarlo) multiWalk(c *ugraph.CSR, sources []ugraph.NodeID, counts []float64) {
 	sc := &mc.sc
 	sc.nextEpoch()
 	sc.queue = sc.queue[:0]
@@ -31,22 +38,38 @@ func (mc *MonteCarlo) multiWalk(g *ugraph.Graph, sources []ugraph.NodeID, counts
 			sc.queue = append(sc.queue, s)
 		}
 	}
+	hasX := c.HasOverlay()
 	for head := 0; head < len(sc.queue); head++ {
 		u := sc.queue[head]
-		for _, a := range g.Out(u) {
-			if sc.nodeEp[a.To] == sc.epoch {
-				continue
+		arcs, probs := c.Out(u), c.OutProbs(u)
+		var extra []ugraph.Arc
+		var xprobs []float64
+		if hasX {
+			extra, xprobs = c.OutOverlay(u), c.OutOverlayProbs(u)
+		}
+		for {
+			for i, a := range arcs {
+				if sc.nodeEp[a.To] == sc.epoch {
+					continue
+				}
+				if st := sc.edgeSt[a.EID]; st != sc.epoch && st != -sc.epoch {
+					if mc.r.Float64() < probs[i] {
+						sc.edgeSt[a.EID] = sc.epoch
+					} else {
+						sc.edgeSt[a.EID] = -sc.epoch
+						continue
+					}
+				} else if st != sc.epoch {
+					continue
+				}
+				sc.nodeEp[a.To] = sc.epoch
+				counts[a.To]++
+				sc.queue = append(sc.queue, a.To)
 			}
-			if sc.edgeEp[a.EID] != sc.epoch {
-				sc.edgeEp[a.EID] = sc.epoch
-				sc.edgeOn[a.EID] = mc.r.Float64() < g.Prob(a.EID)
+			if len(extra) == 0 {
+				break
 			}
-			if !sc.edgeOn[a.EID] {
-				continue
-			}
-			sc.nodeEp[a.To] = sc.epoch
-			counts[a.To]++
-			sc.queue = append(sc.queue, a.To)
+			arcs, probs, extra = extra, xprobs, nil
 		}
 	}
 }
@@ -55,14 +78,19 @@ func (mc *MonteCarlo) multiWalk(g *ugraph.Graph, sources []ugraph.NodeID, counts
 // over all (s, t) ∈ sources×targets, where an unreachable pair contributes
 // penalty hops. This is the objective the ESSSP baseline minimizes.
 func (mc *MonteCarlo) ExpectedPairHops(g *ugraph.Graph, sources, targets []ugraph.NodeID, penalty float64) float64 {
-	mc.sc.reset(g.N(), g.M())
-	dist := make([]int32, g.N())
+	return mc.ExpectedPairHopsCSR(g.Freeze(), sources, targets, penalty)
+}
+
+// ExpectedPairHopsCSR is ExpectedPairHops on a frozen snapshot.
+func (mc *MonteCarlo) ExpectedPairHopsCSR(c *ugraph.CSR, sources, targets []ugraph.NodeID, penalty float64) float64 {
+	mc.sc.reset(c.N(), c.M())
+	dist := make([]int32, c.N())
 	total := 0.0
 	for i := 0; i < mc.z; i++ {
 		// One world per (sample, source) pair keeps the estimator simple
 		// and unbiased: each source sees an independent world.
 		for _, s := range sources {
-			mc.walkDistances(g, s, dist)
+			mc.walkDistances(c, s, dist)
 			for _, t := range targets {
 				if d := dist[t]; d >= 0 {
 					total += float64(d)
@@ -77,7 +105,7 @@ func (mc *MonteCarlo) ExpectedPairHops(g *ugraph.Graph, sources, targets []ugrap
 
 // walkDistances samples a world lazily and records BFS hop distances from
 // s (-1 for unreachable).
-func (mc *MonteCarlo) walkDistances(g *ugraph.Graph, s ugraph.NodeID, dist []int32) {
+func (mc *MonteCarlo) walkDistances(c *ugraph.CSR, s ugraph.NodeID, dist []int32) {
 	sc := &mc.sc
 	sc.nextEpoch()
 	sc.queue = sc.queue[:0]
@@ -87,22 +115,38 @@ func (mc *MonteCarlo) walkDistances(g *ugraph.Graph, s ugraph.NodeID, dist []int
 	dist[s] = 0
 	sc.nodeEp[s] = sc.epoch
 	sc.queue = append(sc.queue, s)
+	hasX := c.HasOverlay()
 	for head := 0; head < len(sc.queue); head++ {
 		u := sc.queue[head]
-		for _, a := range g.Out(u) {
-			if sc.nodeEp[a.To] == sc.epoch {
-				continue
+		arcs, probs := c.Out(u), c.OutProbs(u)
+		var extra []ugraph.Arc
+		var xprobs []float64
+		if hasX {
+			extra, xprobs = c.OutOverlay(u), c.OutOverlayProbs(u)
+		}
+		for {
+			for i, a := range arcs {
+				if sc.nodeEp[a.To] == sc.epoch {
+					continue
+				}
+				if st := sc.edgeSt[a.EID]; st != sc.epoch && st != -sc.epoch {
+					if mc.r.Float64() < probs[i] {
+						sc.edgeSt[a.EID] = sc.epoch
+					} else {
+						sc.edgeSt[a.EID] = -sc.epoch
+						continue
+					}
+				} else if st != sc.epoch {
+					continue
+				}
+				sc.nodeEp[a.To] = sc.epoch
+				dist[a.To] = dist[u] + 1
+				sc.queue = append(sc.queue, a.To)
 			}
-			if sc.edgeEp[a.EID] != sc.epoch {
-				sc.edgeEp[a.EID] = sc.epoch
-				sc.edgeOn[a.EID] = mc.r.Float64() < g.Prob(a.EID)
+			if len(extra) == 0 {
+				break
 			}
-			if !sc.edgeOn[a.EID] {
-				continue
-			}
-			sc.nodeEp[a.To] = sc.epoch
-			dist[a.To] = dist[u] + 1
-			sc.queue = append(sc.queue, a.To)
+			arcs, probs, extra = extra, xprobs, nil
 		}
 	}
 }

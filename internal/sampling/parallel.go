@@ -21,16 +21,18 @@ const DefaultShards = 16
 
 // Factory constructs a fresh serial Sampler; the budget and seed handed to
 // it are placeholders, overwritten per shard via SetSampleSize and Reseed.
+// Factories returning a CSRSampler (all built-in ones do) let the pool run
+// entirely on frozen snapshots; other samplers fall back to the Graph path.
 type Factory func(z int, seed int64) Sampler
 
 // ParallelSampler runs a serial estimator's sample budget across a worker
-// pool. It is safe for concurrent use: every public call atomically claims
-// a call index (which decorrelates successive calls, mirroring the
-// advancing RNG state of a serial sampler), takes per-worker serial
-// samplers from an internal pool, and merges per-shard results in a fixed
-// order. For a given seed the i-th call returns bit-identical results at
-// any worker count; concurrent callers are race-free but observe call
-// indices in arrival order.
+// pool. It is safe for concurrent use: every public call freezes the graph
+// once (a cached CSR snapshot), atomically claims a call index (which
+// decorrelates successive calls, mirroring the advancing RNG state of a
+// serial sampler), takes per-worker serial samplers from an internal pool,
+// and merges per-shard results in a fixed order. For a given seed the i-th
+// call returns bit-identical results at any worker count; concurrent
+// callers are race-free but observe call indices in arrival order.
 type ParallelSampler struct {
 	name    string
 	factory Factory
@@ -151,10 +153,28 @@ const minShardBudget = 64
 // (shards never exceed z; the first z mod shards shards get one extra
 // sample).
 func (ps *ParallelSampler) shardBudgets(z int) []int {
+	return ps.shardBudgetsFor(z, 1)
+}
+
+// shardBudgetsFor is shardBudgets for a batch of items evaluated in one
+// fan-out: the per-item shard count scales down as the batch grows, so a
+// one-item batch is sharded like a scalar call (the whole pool works on
+// it) while a batch that alone saturates the shard target gets one shard
+// per item and pays no per-shard overhead (each shard costs a full RNG
+// reseed — the 607-word rand source re-init — plus a scratch reset). The
+// count depends only on (z, items), never on the worker count, so results
+// stay bit-identical across pool sizes.
+func (ps *ParallelSampler) shardBudgetsFor(z, items int) []int {
 	if z < 1 {
 		z = 1
 	}
+	if items < 1 {
+		items = 1
+	}
 	shards := (z + minShardBudget - 1) / minShardBudget
+	if target := (ps.shards + items - 1) / items; shards > target {
+		shards = target
+	}
 	if shards > ps.shards {
 		shards = ps.shards
 	}
@@ -169,6 +189,22 @@ func (ps *ParallelSampler) shardBudgets(z int) []int {
 	return out
 }
 
+// shardReliability runs one shard's conditioned estimate on the snapshot,
+// falling back to a Graph-path call for non-CSR factories. g is nil when
+// the public call entered through a snapshot-level CSRSampler method — no
+// Graph exists to fall back to, so a non-CSR factory is a contract
+// violation reported as an explicit panic rather than a nil dereference
+// deep inside the sampler.
+func shardReliability(smp Sampler, c *ugraph.CSR, g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	if cs, ok := smp.(CSRSampler); ok {
+		return cs.ReliabilityCSR(c, s, t)
+	}
+	if g == nil {
+		panic("sampling: snapshot-level ParallelSampler calls require the factory's sampler to implement CSRSampler")
+	}
+	return smp.Reliability(g, s, t)
+}
+
 // Reliability implements Sampler: shard i estimates with budget z_i on the
 // stream Split(callSeed, i), and the estimates combine as the
 // budget-weighted mean Σ (z_i/Z)·est_i — for MC exactly the pooled
@@ -178,6 +214,21 @@ func (ps *ParallelSampler) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) floa
 	if s == t {
 		return 1
 	}
+	return ps.reliabilityCSR(g.Freeze(), g, s, t)
+}
+
+// ReliabilityCSR implements CSRSampler on an already-frozen snapshot (or a
+// WithEdges overlay). Non-CSR factory samplers cannot be driven from a bare
+// snapshot, so this entry point requires a CSR-capable factory; the
+// built-in mc/rss/lazy kinds all are.
+func (ps *ParallelSampler) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 {
+	if s == t {
+		return 1
+	}
+	return ps.reliabilityCSR(c, nil, s, t)
+}
+
+func (ps *ParallelSampler) reliabilityCSR(c *ugraph.CSR, g *ugraph.Graph, s, t ugraph.NodeID) float64 {
 	z := ps.SampleSize()
 	callSeed := ps.nextCallSeed()
 	budgets := ps.shardBudgets(z)
@@ -185,22 +236,32 @@ func (ps *ParallelSampler) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) floa
 	ps.fanOut(len(budgets), func(smp Sampler, i int) {
 		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
 		smp.SetSampleSize(budgets[i])
-		est[i] = smp.Reliability(g, s, t)
+		est[i] = shardReliability(smp, c, g, s, t)
 	})
 	return mergeScalar(est, budgets)
 }
 
 // ReliabilityFrom implements Sampler.
 func (ps *ParallelSampler) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
-	return ps.vector(g, s, true)
+	return ps.vector(g.Freeze(), g, s, true)
 }
 
 // ReliabilityTo implements Sampler.
 func (ps *ParallelSampler) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
-	return ps.vector(g, t, false)
+	return ps.vector(g.Freeze(), g, t, false)
 }
 
-func (ps *ParallelSampler) vector(g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
+// ReliabilityFromCSR implements CSRSampler.
+func (ps *ParallelSampler) ReliabilityFromCSR(c *ugraph.CSR, s ugraph.NodeID) []float64 {
+	return ps.vector(c, nil, s, true)
+}
+
+// ReliabilityToCSR implements CSRSampler.
+func (ps *ParallelSampler) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64 {
+	return ps.vector(c, nil, t, false)
+}
+
+func (ps *ParallelSampler) vector(c *ugraph.CSR, g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
 	z := ps.SampleSize()
 	callSeed := ps.nextCallSeed()
 	budgets := ps.shardBudgets(z)
@@ -208,13 +269,25 @@ func (ps *ParallelSampler) vector(g *ugraph.Graph, src ugraph.NodeID, forward bo
 	ps.fanOut(len(budgets), func(smp Sampler, i int) {
 		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
 		smp.SetSampleSize(budgets[i])
-		if forward {
-			vecs[i] = smp.ReliabilityFrom(g, src)
-		} else {
-			vecs[i] = smp.ReliabilityTo(g, src)
-		}
+		vecs[i] = shardVector(smp, c, g, src, forward)
 	})
-	return mergeVectors(vecs, budgets, g.N())
+	return mergeVectors(vecs, budgets, c.N())
+}
+
+func shardVector(smp Sampler, c *ugraph.CSR, g *ugraph.Graph, src ugraph.NodeID, forward bool) []float64 {
+	if cs, ok := smp.(CSRSampler); ok {
+		if forward {
+			return cs.ReliabilityFromCSR(c, src)
+		}
+		return cs.ReliabilityToCSR(c, src)
+	}
+	if g == nil {
+		panic("sampling: snapshot-level ParallelSampler calls require the factory's sampler to implement CSRSampler")
+	}
+	if forward {
+		return smp.ReliabilityFrom(g, src)
+	}
+	return smp.ReliabilityTo(g, src)
 }
 
 // mergeScalar folds per-shard estimates as Σ(b_i·e_i)/z in shard order;
@@ -252,38 +325,76 @@ func mergeVectors(vecs [][]float64, budgets []int, n int) []float64 {
 	return acc
 }
 
-// EstimateMany implements BatchSampler: queries are evaluated concurrently,
-// each with the full budget Z on its own stream Split(callSeed, i), so
-// result i is deterministic regardless of how queries land on workers.
+// EstimateMany implements BatchSampler. The fan-out covers the
+// (query, shard) product — not just the queries — so a two-query batch at
+// Workers=8 still keeps every worker busy: query q's shard i draws from
+// the stream Split(Split(callSeed, q), i) with the same deterministic
+// budget split as a scalar call. Result q is deterministic in (seed, q)
+// at any worker count; the streams are keyed on the (query, shard) pair,
+// so results are statistically equivalent but not bit-identical to
+// one-at-a-time Reliability calls.
 func (ps *ParallelSampler) EstimateMany(g *ugraph.Graph, queries []PairQuery) []float64 {
+	if len(queries) == 0 {
+		return nil
+	}
 	z := ps.SampleSize()
 	callSeed := ps.nextCallSeed()
-	out := make([]float64, len(queries))
-	ps.fanOut(len(queries), func(smp Sampler, i int) {
-		q := queries[i]
+	budgets := ps.shardBudgetsFor(z, len(queries))
+	shards := len(budgets)
+	c := g.Freeze()
+	est := make([]float64, len(queries)*shards)
+	ps.fanOut(len(est), func(smp Sampler, k int) {
+		qi, si := k/shards, k%shards
+		q := queries[qi]
 		if q.S == q.T {
-			out[i] = 1
+			est[k] = 1
 			return
 		}
-		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
-		smp.SetSampleSize(z)
-		out[i] = smp.Reliability(g, q.S, q.T)
+		smp.Reseed(rng.SplitSeed(rng.SplitSeed(callSeed, int64(qi)), int64(si)))
+		smp.SetSampleSize(budgets[si])
+		est[k] = shardReliability(smp, c, g, q.S, q.T)
 	})
+	out := make([]float64, len(queries))
+	for qi := range queries {
+		out[qi] = mergeScalar(est[qi*shards:(qi+1)*shards], budgets)
+	}
 	return out
 }
 
-// EstimateEdges implements BatchSampler: candidate edge i is evaluated on
-// its own augmented copy of g, in parallel across the candidate set — the
-// batched form of the hill-climbing / individual-top-k inner loop.
+// EstimateEdges implements BatchSampler: the base graph is frozen once,
+// candidate edge e is evaluated on a lightweight CSR overlay (no per-
+// candidate clone or snapshot rebuild), and — like EstimateMany — the
+// fan-out covers the (candidate, shard) product so small candidate sets
+// still saturate the pool. This is the batched form of the hill-climbing /
+// individual-top-k inner loop.
 func (ps *ParallelSampler) EstimateEdges(g *ugraph.Graph, s, t ugraph.NodeID, edges []ugraph.Edge) []float64 {
+	if len(edges) == 0 {
+		return nil
+	}
 	z := ps.SampleSize()
 	callSeed := ps.nextCallSeed()
-	out := make([]float64, len(edges))
-	ps.fanOut(len(edges), func(smp Sampler, i int) {
-		smp.Reseed(rng.SplitSeed(callSeed, int64(i)))
-		smp.SetSampleSize(z)
-		out[i] = smp.Reliability(g.WithEdges(edges[i:i+1]), s, t)
+	budgets := ps.shardBudgetsFor(z, len(edges))
+	shards := len(budgets)
+	base := g.Freeze()
+	views := make([]*ugraph.CSR, len(edges))
+	for i := range edges {
+		views[i] = base.WithEdges(edges[i : i+1])
+	}
+	est := make([]float64, len(edges)*shards)
+	ps.fanOut(len(est), func(smp Sampler, k int) {
+		ei, si := k/shards, k%shards
+		smp.Reseed(rng.SplitSeed(rng.SplitSeed(callSeed, int64(ei)), int64(si)))
+		smp.SetSampleSize(budgets[si])
+		if cs, ok := smp.(CSRSampler); ok {
+			est[k] = cs.ReliabilityCSR(views[ei], s, t)
+		} else {
+			est[k] = smp.Reliability(g.WithEdges(edges[ei:ei+1]), s, t)
+		}
 	})
+	out := make([]float64, len(edges))
+	for ei := range edges {
+		out[ei] = mergeScalar(est[ei*shards:(ei+1)*shards], budgets)
+	}
 	return out
 }
 
@@ -307,22 +418,19 @@ func (ps *ParallelSampler) ReliabilityToMany(g *ugraph.Graph, targets []ugraph.N
 func (ps *ParallelSampler) vectorMany(g *ugraph.Graph, nodes []ugraph.NodeID, forward bool) [][]float64 {
 	z := ps.SampleSize()
 	callSeed := ps.nextCallSeed()
-	budgets := ps.shardBudgets(z)
+	budgets := ps.shardBudgetsFor(z, len(nodes))
 	shards := len(budgets)
+	c := g.Freeze()
 	vecs := make([][]float64, len(nodes)*shards)
 	ps.fanOut(len(vecs), func(smp Sampler, k int) {
 		n, i := k/shards, k%shards
 		smp.Reseed(rng.SplitSeed(rng.SplitSeed(callSeed, int64(n)), int64(i)))
 		smp.SetSampleSize(budgets[i])
-		if forward {
-			vecs[k] = smp.ReliabilityFrom(g, nodes[n])
-		} else {
-			vecs[k] = smp.ReliabilityTo(g, nodes[n])
-		}
+		vecs[k] = shardVector(smp, c, g, nodes[n], forward)
 	})
 	out := make([][]float64, len(nodes))
 	for n := range nodes {
-		out[n] = mergeVectors(vecs[n*shards:(n+1)*shards], budgets, g.N())
+		out[n] = mergeVectors(vecs[n*shards:(n+1)*shards], budgets, c.N())
 	}
 	return out
 }

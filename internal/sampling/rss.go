@@ -26,6 +26,10 @@ const DefaultRSSThreshold = 24
 // the stratum budget drops below Threshold. Same O(Z·(n+m)) complexity as
 // MC but with significantly reduced estimator variance, so fewer samples
 // reach the same dispersion (Tables 6-7).
+//
+// The recursion keeps its per-level boundary edges in one reusable arena
+// stack (indexed, never resliced across appends), so a warmed-up estimate
+// performs zero heap allocations.
 type RSS struct {
 	z         int
 	width     int
@@ -33,7 +37,7 @@ type RSS struct {
 	r         *rand.Rand
 	sc        scratch
 	status    []int8
-	reach     []ugraph.NodeID // copy of the present-reachable set per level
+	arena     []int32 // stack of boundary edge IDs across recursion levels
 }
 
 // NewRSS returns an RSS sampler with total budget z and default width and
@@ -70,85 +74,122 @@ func (rs *RSS) SetThreshold(th int) {
 	rs.threshold = th
 }
 
-func (rs *RSS) prepare(g *ugraph.Graph) {
-	rs.sc.reset(g.N(), g.M())
-	if cap(rs.status) < g.M() {
-		rs.status = make([]int8, g.M())
+func (rs *RSS) prepare(c *ugraph.CSR) {
+	rs.sc.reset(c.N(), c.M())
+	if cap(rs.status) < c.M() {
+		rs.status = make([]int8, c.M())
 	}
-	rs.status = rs.status[:g.M()]
+	rs.status = rs.status[:c.M()]
 	for i := range rs.status {
 		rs.status[i] = 0
 	}
+	rs.arena = rs.arena[:0]
 }
 
 // Reliability implements Sampler.
 func (rs *RSS) Reliability(g *ugraph.Graph, s, t ugraph.NodeID) float64 {
+	return rs.ReliabilityCSR(g.Freeze(), s, t)
+}
+
+// ReliabilityCSR implements CSRSampler.
+func (rs *RSS) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 {
 	if s == t {
 		return 1
 	}
-	rs.prepare(g)
-	return rs.recurse(g, s, t, rs.z)
+	rs.prepare(c)
+	return rs.recurse(c, s, t, rs.z)
 }
 
 // ReliabilityFrom implements Sampler.
 func (rs *RSS) ReliabilityFrom(g *ugraph.Graph, s ugraph.NodeID) []float64 {
-	acc := make([]float64, g.N())
-	rs.prepare(g)
-	rs.recurseVec(g, s, true, rs.z, 1.0, acc)
-	return acc
+	return rs.ReliabilityFromCSR(g.Freeze(), s)
 }
 
 // ReliabilityTo implements Sampler.
 func (rs *RSS) ReliabilityTo(g *ugraph.Graph, t ugraph.NodeID) []float64 {
-	acc := make([]float64, g.N())
-	rs.prepare(g)
-	rs.recurseVec(g, t, false, rs.z, 1.0, acc)
+	return rs.ReliabilityToCSR(g.Freeze(), t)
+}
+
+// ReliabilityFromCSR implements CSRSampler.
+func (rs *RSS) ReliabilityFromCSR(c *ugraph.CSR, s ugraph.NodeID) []float64 {
+	acc := make([]float64, c.N())
+	rs.prepare(c)
+	rs.recurseVec(c, s, true, rs.z, 1.0, acc)
 	return acc
 }
 
-// boundary collects up to width undetermined edges leaving the current
-// source-reachable (present-edges-only) region. It must be called right
-// after deterministicReach, while the epoch marks are valid.
-func (rs *RSS) boundary(g *ugraph.Graph, reach []ugraph.NodeID, forward bool) []int32 {
-	var edges []int32
+// ReliabilityToCSR implements CSRSampler.
+func (rs *RSS) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64 {
+	acc := make([]float64, c.N())
+	rs.prepare(c)
+	rs.recurseVec(c, t, false, rs.z, 1.0, acc)
+	return acc
+}
+
+// pushBoundary appends up to width undetermined edges leaving the current
+// source-reachable (present-edges-only) region onto the arena stack. It
+// must be called right after deterministicReach, while the epoch marks are
+// valid. The caller owns the arena range [lo, len(arena)) it grew.
+func (rs *RSS) pushBoundary(c *ugraph.CSR, reach []ugraph.NodeID, forward bool) {
+	lo := len(rs.arena)
+	hasX := c.HasOverlay()
 	for _, u := range reach {
-		var arcs []ugraph.Arc
+		var arcs, extra []ugraph.Arc
 		if forward {
-			arcs = g.Out(u)
+			arcs = c.Out(u)
+			if hasX {
+				extra = c.OutOverlay(u)
+			}
 		} else {
-			arcs = g.In(u)
+			arcs = c.In(u)
+			if hasX {
+				extra = c.InOverlay(u)
+			}
 		}
-		for _, a := range arcs {
-			if rs.sc.nodeEp[a.To] == rs.sc.epoch {
-				continue // both endpoints inside the region
+		for {
+			for _, a := range arcs {
+				if rs.sc.nodeEp[a.To] == rs.sc.epoch {
+					continue // both endpoints inside the region
+				}
+				if rs.status[a.EID] != 0 {
+					continue
+				}
+				rs.arena = append(rs.arena, a.EID)
+				if len(rs.arena)-lo >= rs.width {
+					return
+				}
 			}
-			if rs.status[a.EID] != 0 {
-				continue
+			if len(extra) == 0 {
+				break
 			}
-			edges = append(edges, a.EID)
-			if len(edges) >= rs.width {
-				return edges
-			}
+			arcs, extra = extra, nil
 		}
 	}
-	return edges
 }
 
 // recurse estimates R(s,t | status) · 1.0 under the current conditioning.
-func (rs *RSS) recurse(g *ugraph.Graph, s, t ugraph.NodeID, budget int) float64 {
+// Boundary edges live in rs.arena[lo:hi]; they are addressed through the
+// arena (never via a captured slice header) because nested recursions may
+// grow and reallocate the backing array.
+func (rs *RSS) recurse(c *ugraph.CSR, s, t ugraph.NodeID, budget int) float64 {
 	// Certain success: t reachable through forced-present edges alone.
-	reach := deterministicReach(&rs.sc, g, s, true, rs.status, false)
+	reach := deterministicReach(&rs.sc, c, s, t, true, rs.status, false)
 	if rs.sc.nodeEp[t] == rs.sc.epoch {
 		return 1
 	}
-	edges := rs.boundary(g, reach, true)
-	if len(edges) == 0 {
+	lo := len(rs.arena)
+	rs.pushBoundary(c, reach, true)
+	hi := len(rs.arena)
+	if hi == lo {
 		// The reachable region cannot grow: certain failure.
 		return 0
 	}
-	// Certain failure: t unreachable even optimistically.
-	deterministicReach(&rs.sc, g, s, true, rs.status, true)
+	// Certain failure: t unreachable even optimistically. (The arena is
+	// truncated manually on every return: a deferred closure would defeat
+	// the zero-allocation contract of the inner loop.)
+	deterministicReach(&rs.sc, c, s, t, true, rs.status, true)
 	if rs.sc.nodeEp[t] != rs.sc.epoch {
+		rs.arena = rs.arena[:lo]
 		return 0
 	}
 	if budget <= rs.threshold {
@@ -158,42 +199,46 @@ func (rs *RSS) recurse(g *ugraph.Graph, s, t ugraph.NodeID, budget int) float64 
 		}
 		hits := 0
 		for i := 0; i < z; i++ {
-			if sampledWalk(&rs.sc, rs.r, g, s, t, true, nil, rs.status) {
+			if sampledWalkCond(&rs.sc, rs.r, c, s, t, true, rs.status) {
 				hits++
 			}
 		}
+		rs.arena = rs.arena[:lo]
 		return float64(hits) / float64(z)
 	}
 	total := 0.0
 	remaining := 1.0 // ∏_{j<i} (1 - p_j)
-	for i := 0; i <= len(edges); i++ {
+	for i := lo; i <= hi; i++ {
 		var pi float64
-		if i < len(edges) {
-			p := g.Prob(edges[i])
+		if i < hi {
+			p := c.Prob(rs.arena[i])
 			pi = remaining * p
-			rs.status[edges[i]] = 1
+			rs.status[rs.arena[i]] = 1
 		} else {
 			pi = remaining
 		}
 		if pi > 0 {
-			total += pi * rs.recurse(g, s, t, int(pi*float64(budget)+0.5))
+			total += pi * rs.recurse(c, s, t, int(pi*float64(budget)+0.5))
 		}
-		if i < len(edges) {
-			rs.status[edges[i]] = -1
-			remaining *= 1 - g.Prob(edges[i])
+		if i < hi {
+			rs.status[rs.arena[i]] = -1
+			remaining *= 1 - c.Prob(rs.arena[i])
 		}
 	}
-	for _, eid := range edges {
-		rs.status[eid] = 0
+	for i := lo; i < hi; i++ {
+		rs.status[rs.arena[i]] = 0
 	}
+	rs.arena = rs.arena[:lo]
 	return total
 }
 
 // recurseVec accumulates weight·R(src, v | status) into acc for every node v.
-func (rs *RSS) recurseVec(g *ugraph.Graph, src ugraph.NodeID, forward bool, budget int, weight float64, acc []float64) {
-	reach := deterministicReach(&rs.sc, g, src, forward, rs.status, false)
-	edges := rs.boundary(g, reach, forward)
-	if len(edges) == 0 {
+func (rs *RSS) recurseVec(c *ugraph.CSR, src ugraph.NodeID, forward bool, budget int, weight float64, acc []float64) {
+	reach := deterministicReach(&rs.sc, c, src, -1, forward, rs.status, false)
+	lo := len(rs.arena)
+	rs.pushBoundary(c, reach, forward)
+	hi := len(rs.arena)
+	if hi == lo {
 		// Fully determined region: every reached node is certain.
 		for _, v := range reach {
 			acc[v] += weight
@@ -207,31 +252,33 @@ func (rs *RSS) recurseVec(g *ugraph.Graph, src ugraph.NodeID, forward bool, budg
 		}
 		w := weight / float64(z)
 		for i := 0; i < z; i++ {
-			sampledWalk(&rs.sc, rs.r, g, src, -1, forward, nil, rs.status)
+			sampledWalkCond(&rs.sc, rs.r, c, src, -1, forward, rs.status)
 			for _, v := range rs.sc.queue {
 				acc[v] += w
 			}
 		}
+		rs.arena = rs.arena[:lo]
 		return
 	}
 	remaining := 1.0
-	for i := 0; i <= len(edges); i++ {
+	for i := lo; i <= hi; i++ {
 		var pi float64
-		if i < len(edges) {
-			pi = remaining * g.Prob(edges[i])
-			rs.status[edges[i]] = 1
+		if i < hi {
+			pi = remaining * c.Prob(rs.arena[i])
+			rs.status[rs.arena[i]] = 1
 		} else {
 			pi = remaining
 		}
 		if pi > 0 {
-			rs.recurseVec(g, src, forward, int(pi*float64(budget)+0.5), weight*pi, acc)
+			rs.recurseVec(c, src, forward, int(pi*float64(budget)+0.5), weight*pi, acc)
 		}
-		if i < len(edges) {
-			rs.status[edges[i]] = -1
-			remaining *= 1 - g.Prob(edges[i])
+		if i < hi {
+			rs.status[rs.arena[i]] = -1
+			remaining *= 1 - c.Prob(rs.arena[i])
 		}
 	}
-	for _, eid := range edges {
-		rs.status[eid] = 0
+	for i := lo; i < hi; i++ {
+		rs.status[rs.arena[i]] = 0
 	}
+	rs.arena = rs.arena[:lo]
 }

@@ -4,16 +4,31 @@
 // sampling (RSS, Li et al. TKDE'16; §5.3), plus single-source reliability
 // vectors used by the search-space elimination of Algorithm 4.
 //
+// # Snapshots
+//
+// All estimators run their inner loops on a frozen ugraph.CSR snapshot —
+// a flat, immutable, cache-friendly view of the graph. The Graph-taking
+// Sampler methods are thin wrappers that call Graph.Freeze (cached on the
+// graph, rebuilt only after a mutation) and delegate to the CSR-taking
+// methods of CSRSampler. Hot callers that evaluate many candidate edges
+// against one base graph freeze once and use CSR.WithEdges overlays, so no
+// snapshot is rebuilt per candidate. Estimates on a CSR are bit-identical
+// to estimates on the Graph it was frozen from at the same seed: freezing
+// preserves arc order, so the samplers consume randomness identically.
+//
 // # Concurrency
 //
-// The serial estimators (MonteCarlo, RSS, Lazy) are deterministic given
-// their construction seed but are NOT safe for concurrent use: they reuse
-// internal scratch buffers across calls. ParallelSampler wraps any of them
-// into a goroutine-safe estimator that shards each sample budget across a
-// worker pool and merges the shard estimates deterministically, so a fixed
-// seed yields bit-identical results regardless of the worker count or
-// GOMAXPROCS. Batched evaluation of many queries, candidate edges or
-// source/target vectors at once goes through the BatchSampler interface.
+// A CSR is immutable and safe for unrestricted concurrent traversal. The
+// serial estimators (MonteCarlo, RSS, Lazy) are deterministic given their
+// construction seed but are NOT safe for concurrent use: they reuse
+// internal scratch buffers (epoch-stamped visited/edge-state arrays, BFS
+// queue, RSS conditioning stack) across calls. ParallelSampler wraps any
+// of them into a goroutine-safe estimator that freezes the graph once per
+// call, shards the sample budget across a worker pool and merges the shard
+// estimates deterministically, so a fixed seed yields bit-identical results
+// regardless of the worker count or GOMAXPROCS. Batched evaluation of many
+// queries, candidate edges or source/target vectors at once goes through
+// the BatchSampler interface.
 package sampling
 
 import (
@@ -50,6 +65,23 @@ type Sampler interface {
 	Reseed(seed int64)
 }
 
+// CSRSampler is the snapshot-level interface implemented by every built-in
+// sampler: the same estimates as the Sampler methods, but on an
+// already-frozen ugraph.CSR. Callers that evaluate many candidate views of
+// one base graph (candidate elimination, greedy edge scoring) freeze once,
+// derive CSR.WithEdges overlays, and call these methods directly so the
+// per-candidate snapshot cost disappears. For the built-in samplers the
+// Graph-taking methods are exactly ReliabilityCSR(g.Freeze(), ...).
+type CSRSampler interface {
+	Sampler
+	// ReliabilityCSR estimates R(s, t) on a frozen snapshot.
+	ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64
+	// ReliabilityFromCSR estimates R(s, v) for every node v on a snapshot.
+	ReliabilityFromCSR(c *ugraph.CSR, s ugraph.NodeID) []float64
+	// ReliabilityToCSR estimates R(v, t) for every node v on a snapshot.
+	ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64
+}
+
 // PairQuery is one (source, target) reliability query, used by the batched
 // estimation APIs.
 type PairQuery struct {
@@ -64,11 +96,14 @@ type PairQuery struct {
 type BatchSampler interface {
 	Sampler
 	// EstimateMany estimates R(q.S, q.T, G) for every query, each with
-	// the full sample budget Z. Result i is deterministic in (seed, i)
-	// regardless of scheduling.
+	// the full sample budget Z sharded across the pool (so even a
+	// one-query batch keeps every worker busy). Result i is deterministic
+	// in (seed, i) regardless of scheduling.
 	EstimateMany(g *ugraph.Graph, queries []PairQuery) []float64
 	// EstimateEdges estimates R(s, t, G ∪ {e}) for each candidate edge e
 	// in isolation — the inner loop of the greedy and top-k baselines.
+	// The graph is frozen once and each candidate is evaluated on a
+	// lightweight CSR overlay, budget-sharded like EstimateMany.
 	EstimateEdges(g *ugraph.Graph, s, t ugraph.NodeID, edges []ugraph.Edge) []float64
 	// ReliabilityFromMany estimates one ReliabilityFrom vector per
 	// source. Statistically equivalent to per-source calls but drawn
@@ -80,25 +115,39 @@ type BatchSampler interface {
 	ReliabilityToMany(g *ugraph.Graph, targets []ugraph.NodeID) [][]float64
 }
 
-// scratch holds reusable per-graph working memory shared by the estimators.
-// The epoch trick avoids clearing the visited/edge-state arrays between the
-// thousands of BFS walks a single query performs.
+// scratch holds reusable per-snapshot working memory shared by the
+// estimators. The epoch trick avoids clearing the visited/edge-state
+// arrays between the thousands of BFS walks a single query performs, and
+// the walk queue is reused across samples, so the steady-state inner loop
+// performs zero heap allocations (asserted by the alloc regression tests).
 type scratch struct {
 	epoch  int32
 	nodeEp []int32 // per-node visited epoch
-	edgeEp []int32 // per-edge sampled epoch
-	edgeOn []bool  // per-edge sampled state, valid when edgeEp==epoch
+	// edgeSt packs the per-edge sampled state and its epoch into one
+	// array: |edgeSt[e]| == epoch means e was sampled this walk, and the
+	// sign carries the coin (+epoch present, -epoch absent). One int32
+	// load where the old layout (epoch array + bool array) took two.
+	edgeSt []int32
 	queue  []ugraph.NodeID
 }
 
 func (sc *scratch) reset(n, m int) {
-	if len(sc.nodeEp) < n {
-		sc.nodeEp = make([]int32, n)
-		sc.epoch = 0
-	}
-	if len(sc.edgeEp) < m {
-		sc.edgeEp = make([]int32, m)
-		sc.edgeOn = make([]bool, m)
+	// When the epoch counter restarts, EVERY mark array must be zeroed —
+	// not just the one that grew. A stale mark equal to a reused low epoch
+	// would make the BFS skip an unvisited node (e.g. a base-graph call
+	// followed by a one-edge-larger overlay call reallocates edgeSt only,
+	// while nodeEp still holds marks from the previous epochs).
+	if len(sc.nodeEp) < n || len(sc.edgeSt) < m {
+		if len(sc.nodeEp) < n {
+			sc.nodeEp = make([]int32, n)
+		} else {
+			clear(sc.nodeEp)
+		}
+		if len(sc.edgeSt) < m {
+			sc.edgeSt = make([]int32, m)
+		} else {
+			clear(sc.edgeSt)
+		}
 		sc.epoch = 0
 	}
 	if cap(sc.queue) < n {
@@ -114,96 +163,276 @@ func (sc *scratch) nextEpoch() {
 		for i := range sc.nodeEp {
 			sc.nodeEp[i] = 0
 		}
-		for i := range sc.edgeEp {
-			sc.edgeEp[i] = 0
+		for i := range sc.edgeSt {
+			sc.edgeSt[i] = 0
 		}
 		sc.epoch = 1
 	}
 }
 
-// sampledWalk performs one possible-world BFS from src. When t >= 0 it stops
-// early upon reaching t and returns whether it did; when counts != nil every
-// reached node's counter is incremented. Edge states are sampled lazily and
-// memoized per walk via the epoch arrays, so an undirected edge examined
-// from both endpoints gets one consistent coin flip. A non-nil status slice
-// conditions the walk: entries +1 force the edge present, -1 absent, 0
-// leaves it random — this is what the RSS strata use.
-func sampledWalk(sc *scratch, r *rand.Rand, g *ugraph.Graph, src, t ugraph.NodeID, forward bool, counts []float64, status []int8) bool {
+// sampledWalk performs one possible-world BFS from src over a frozen
+// snapshot. When t >= 0 it stops early upon reaching t and returns whether
+// it did; when counts != nil every reached node's counter is incremented.
+// Edge states are sampled lazily and memoized per walk via the signed
+// epoch array, so an undirected edge examined from both endpoints gets one
+// consistent coin flip. A non-nil status slice conditions the walk:
+// entries +1 force the edge present, -1 absent, 0 leaves it random — this
+// is what the RSS strata use. Overlay arcs are visited after the base row
+// of each node, matching mutable-Graph arc order.
+func sampledWalk(sc *scratch, r *rand.Rand, c *ugraph.CSR, src, t ugraph.NodeID, forward bool, counts []float64, status []int8) bool {
 	sc.nextEpoch()
-	sc.queue = sc.queue[:0]
-	sc.queue = append(sc.queue, src)
-	sc.nodeEp[src] = sc.epoch
+	// Hoist the scratch fields into locals: the loop below is the hottest
+	// code in the library and the compiler cannot cache pointer-reached
+	// fields across the append.
+	epoch := sc.epoch
+	nodeEp, edgeSt := sc.nodeEp, sc.edgeSt
+	queue := sc.queue[:0]
+	queue = append(queue, src)
+	nodeEp[src] = epoch
 	if counts != nil {
 		counts[src]++
 	}
-	for head := 0; head < len(sc.queue); head++ {
-		u := sc.queue[head]
-		var arcs []ugraph.Arc
+	hasX := c.HasOverlay()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		var arcs, extra []ugraph.Arc
+		var probs, xprobs []float64
 		if forward {
-			arcs = g.Out(u)
-		} else {
-			arcs = g.In(u)
-		}
-		for _, a := range arcs {
-			if sc.nodeEp[a.To] == sc.epoch {
-				continue
+			arcs, probs = c.Out(u), c.OutProbs(u)
+			if hasX {
+				extra, xprobs = c.OutOverlay(u), c.OutOverlayProbs(u)
 			}
-			if status != nil {
-				switch status[a.EID] {
-				case 1:
-					goto traverse
-				case -1:
+		} else {
+			arcs, probs = c.In(u), c.InProbs(u)
+			if hasX {
+				extra, xprobs = c.InOverlay(u), c.InOverlayProbs(u)
+			}
+		}
+		for {
+			for i, a := range arcs {
+				if nodeEp[a.To] == epoch {
 					continue
 				}
+				if status != nil {
+					switch status[a.EID] {
+					case 1:
+						goto traverse
+					case -1:
+						continue
+					}
+				}
+				if st := edgeSt[a.EID]; st != epoch && st != -epoch {
+					if r.Float64() < probs[i] {
+						edgeSt[a.EID] = epoch
+					} else {
+						edgeSt[a.EID] = -epoch
+						continue
+					}
+				} else if st != epoch {
+					continue
+				}
+			traverse:
+				nodeEp[a.To] = epoch
+				if a.To == t {
+					sc.queue = queue
+					return true
+				}
+				if counts != nil {
+					counts[a.To]++
+				}
+				queue = append(queue, a.To)
 			}
-			if sc.edgeEp[a.EID] != sc.epoch {
-				sc.edgeEp[a.EID] = sc.epoch
-				sc.edgeOn[a.EID] = r.Float64() < g.Prob(a.EID)
+			if len(extra) == 0 {
+				break
 			}
-			if !sc.edgeOn[a.EID] {
-				continue
-			}
-		traverse:
-			sc.nodeEp[a.To] = sc.epoch
-			if a.To == t {
-				return true
-			}
-			if counts != nil {
-				counts[a.To]++
-			}
-			sc.queue = append(sc.queue, a.To)
+			arcs, probs, extra = extra, xprobs, nil
 		}
 	}
+	sc.queue = queue
+	return false
+}
+
+// sampledWalkPlain is sampledWalk specialized for the scalar early-exit
+// query (no conditioning, no counts) — the single hottest loop in the
+// library. Dropping the two always-false per-edge branches of the generic
+// walk is worth several percent on the MC hot path. It consumes randomness
+// identically to sampledWalk(sc, r, c, src, t, forward, nil, nil).
+func sampledWalkPlain(sc *scratch, r *rand.Rand, c *ugraph.CSR, src, t ugraph.NodeID, forward bool) bool {
+	sc.nextEpoch()
+	epoch := sc.epoch
+	nodeEp, edgeSt := sc.nodeEp, sc.edgeSt
+	queue := sc.queue[:0]
+	queue = append(queue, src)
+	nodeEp[src] = epoch
+	hasX := c.HasOverlay()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		var arcs, extra []ugraph.Arc
+		var probs, xprobs []float64
+		if forward {
+			arcs, probs = c.Out(u), c.OutProbs(u)
+			if hasX {
+				extra, xprobs = c.OutOverlay(u), c.OutOverlayProbs(u)
+			}
+		} else {
+			arcs, probs = c.In(u), c.InProbs(u)
+			if hasX {
+				extra, xprobs = c.InOverlay(u), c.InOverlayProbs(u)
+			}
+		}
+		for {
+			for i, a := range arcs {
+				if nodeEp[a.To] == epoch {
+					continue
+				}
+				if st := edgeSt[a.EID]; st != epoch && st != -epoch {
+					if r.Float64() < probs[i] {
+						edgeSt[a.EID] = epoch
+					} else {
+						edgeSt[a.EID] = -epoch
+						continue
+					}
+				} else if st != epoch {
+					continue
+				}
+				nodeEp[a.To] = epoch
+				if a.To == t {
+					sc.queue = queue
+					return true
+				}
+				queue = append(queue, a.To)
+			}
+			if len(extra) == 0 {
+				break
+			}
+			arcs, probs, extra = extra, xprobs, nil
+		}
+	}
+	sc.queue = queue
 	return false
 }
 
 // deterministicReach computes the set of nodes reachable from src using
 // edges whose status passes the filter: present-only, or present plus
 // undetermined (optimistic). It writes the epoch marks into sc and returns
-// the reached queue slice (valid until the next walk).
-func deterministicReach(sc *scratch, g *ugraph.Graph, src ugraph.NodeID, forward bool, status []int8, optimistic bool) []ugraph.NodeID {
+// the reached queue slice (valid until the next walk). When target >= 0
+// the BFS stops as soon as the target is marked — callers that only test
+// "is t reachable?" (the RSS certain-success/certain-failure pruning) skip
+// the rest of the closure; the traversal consumes no randomness, so the
+// early exit cannot perturb any estimate.
+func deterministicReach(sc *scratch, c *ugraph.CSR, src, target ugraph.NodeID, forward bool, status []int8, optimistic bool) []ugraph.NodeID {
 	sc.nextEpoch()
-	sc.queue = sc.queue[:0]
-	sc.queue = append(sc.queue, src)
-	sc.nodeEp[src] = sc.epoch
-	for head := 0; head < len(sc.queue); head++ {
-		u := sc.queue[head]
-		var arcs []ugraph.Arc
+	epoch := sc.epoch
+	nodeEp := sc.nodeEp
+	queue := sc.queue[:0]
+	queue = append(queue, src)
+	nodeEp[src] = epoch
+	if src == target {
+		sc.queue = queue
+		return queue
+	}
+	hasX := c.HasOverlay()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		var arcs, extra []ugraph.Arc
 		if forward {
-			arcs = g.Out(u)
+			arcs = c.Out(u)
+			if hasX {
+				extra = c.OutOverlay(u)
+			}
 		} else {
-			arcs = g.In(u)
+			arcs = c.In(u)
+			if hasX {
+				extra = c.InOverlay(u)
+			}
 		}
-		for _, a := range arcs {
-			if sc.nodeEp[a.To] == sc.epoch {
-				continue
+		for {
+			for _, a := range arcs {
+				if nodeEp[a.To] == epoch {
+					continue
+				}
+				st := status[a.EID]
+				if st == 1 || (optimistic && st == 0) {
+					nodeEp[a.To] = epoch
+					queue = append(queue, a.To)
+					if a.To == target {
+						sc.queue = queue
+						return queue
+					}
+				}
 			}
-			st := status[a.EID]
-			if st == 1 || (optimistic && st == 0) {
-				sc.nodeEp[a.To] = sc.epoch
-				sc.queue = append(sc.queue, a.To)
+			if len(extra) == 0 {
+				break
 			}
+			arcs, extra = extra, nil
 		}
 	}
-	return sc.queue
+	sc.queue = queue
+	return queue
+}
+
+// sampledWalkCond is sampledWalk specialized for the RSS conditioned
+// fallback: status is mandatory (no nil check per edge) and no counts are
+// collected. It consumes randomness identically to
+// sampledWalk(sc, r, c, src, t, forward, nil, status).
+func sampledWalkCond(sc *scratch, r *rand.Rand, c *ugraph.CSR, src, t ugraph.NodeID, forward bool, status []int8) bool {
+	sc.nextEpoch()
+	epoch := sc.epoch
+	nodeEp, edgeSt := sc.nodeEp, sc.edgeSt
+	queue := sc.queue[:0]
+	queue = append(queue, src)
+	nodeEp[src] = epoch
+	hasX := c.HasOverlay()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		var arcs, extra []ugraph.Arc
+		var probs, xprobs []float64
+		if forward {
+			arcs, probs = c.Out(u), c.OutProbs(u)
+			if hasX {
+				extra, xprobs = c.OutOverlay(u), c.OutOverlayProbs(u)
+			}
+		} else {
+			arcs, probs = c.In(u), c.InProbs(u)
+			if hasX {
+				extra, xprobs = c.InOverlay(u), c.InOverlayProbs(u)
+			}
+		}
+		for {
+			for i, a := range arcs {
+				if nodeEp[a.To] == epoch {
+					continue
+				}
+				switch status[a.EID] {
+				case 1:
+					goto traverse
+				case -1:
+					continue
+				}
+				if st := edgeSt[a.EID]; st != epoch && st != -epoch {
+					if r.Float64() < probs[i] {
+						edgeSt[a.EID] = epoch
+					} else {
+						edgeSt[a.EID] = -epoch
+						continue
+					}
+				} else if st != epoch {
+					continue
+				}
+			traverse:
+				nodeEp[a.To] = epoch
+				if a.To == t {
+					sc.queue = queue
+					return true
+				}
+				queue = append(queue, a.To)
+			}
+			if len(extra) == 0 {
+				break
+			}
+			arcs, probs, extra = extra, xprobs, nil
+		}
+	}
+	sc.queue = queue
+	return false
 }

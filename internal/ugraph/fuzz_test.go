@@ -1,0 +1,125 @@
+package ugraph
+
+// Fuzz targets for the two construction surfaces a corrupt input can
+// reach: the plain-text edge-list reader (round-trip property) and the
+// AddEdge/Freeze/WithEdges pipeline (snapshot-consistency property). Seed
+// corpora live in testdata/fuzz/<Target>/ and run as ordinary test cases
+// under plain `go test`; CI additionally runs each target for a short
+// -fuzztime smoke (see the fuzz-smoke Makefile target).
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// maxFuzzNodes caps the node count the fuzz harness will instantiate:
+// ReadEdgeList legitimately allocates O(n) for the adjacency index, so a
+// forged "ugraph directed 2000000000 0" header would OOM the fuzzer, not
+// find a bug.
+const maxFuzzNodes = 1 << 16
+
+func headerNodeCount(data []byte) (int, bool) {
+	line, _, _ := bytes.Cut(data, []byte("\n"))
+	fields := strings.Fields(string(line))
+	if len(fields) != 4 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() || a.Directed() != b.Directed() {
+		t.Fatalf("shape mismatch after round-trip: (%d,%d,%v) vs (%d,%d,%v)",
+			a.N(), a.M(), a.Directed(), b.N(), b.M(), b.Directed())
+	}
+	for eid := int32(0); int(eid) < a.M(); eid++ {
+		ea, eb := a.Endpoints(eid), b.Endpoints(eid)
+		if ea != eb {
+			t.Fatalf("edge %d mismatch after round-trip: %+v vs %+v", eid, ea, eb)
+		}
+	}
+}
+
+// FuzzEdgeListRoundTrip asserts that any input ReadEdgeList accepts
+// serializes (WriteEdgeList) to a form that parses back to the identical
+// graph — the property that makes the on-disk format trustworthy.
+func FuzzEdgeListRoundTrip(f *testing.F) {
+	f.Add([]byte("ugraph undirected 3 2\n0 1 0.5\n1 2 1\n"))
+	f.Add([]byte("ugraph directed 4 3\n0 1 0.25\n1 2 0\n2 3 0.75\n"))
+	f.Add([]byte("ugraph undirected 2 1\n# comment\n\n0 1 1e-3\n"))
+	f.Add([]byte("ugraph directed 1 0\n"))
+	f.Add([]byte("ugraph undirected 5 2\n0 1 0.1\n0 1 0.2\n")) // duplicate: must error
+	f.Add([]byte("not a graph at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if n, ok := headerNodeCount(data); !ok || n > maxFuzzNodes {
+			return
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; we fuzz the accepted ones
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write failed for accepted graph: %v", err)
+		}
+		h, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\ninput: %q\nwritten: %q", err, data, buf.Bytes())
+		}
+		graphsEqual(t, g, h)
+	})
+}
+
+// FuzzFreezeConsistency drives AddEdge (including rejected inserts),
+// Freeze, and WithEdges from a byte script and asserts the CSR snapshot
+// and its overlays agree with the mutable graph and its clones on every
+// accessor — the fuzz twin of the deterministic differential tests.
+func FuzzFreezeConsistency(f *testing.F) {
+	f.Add([]byte{0, 1, 128, 1, 2, 255, 2, 3, 0}, true)
+	f.Add([]byte{0, 1, 10, 0, 1, 20, 1, 0, 30, 5, 5, 40}, false)
+	f.Add([]byte{9, 2, 77, 3, 4, 200, 4, 3, 1, 2, 9, 90}, true)
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		const n = 12
+		g := New(n, directed)
+		// First half of the script: AddEdge ops (rejections included).
+		half := len(data) / 2
+		for i := 0; i+2 < half; i += 3 {
+			u := NodeID(data[i] % n)
+			v := NodeID(data[i+1] % n)
+			p := float64(data[i+2]) / 255
+			g.AddEdge(u, v, p) //nolint:errcheck // rejected ops must be no-ops
+		}
+		c := g.Freeze()
+		assertCSRMatchesGraph(t, c, g)
+		if g.Freeze() != c {
+			t.Fatal("Freeze not cached between mutations")
+		}
+		// Second half: WithEdges overlay vs clone ground truth.
+		var extra []Edge
+		for i := half; i+2 < len(data); i += 3 {
+			u := NodeID(data[i] % n)
+			v := NodeID(data[i+1] % n)
+			if u == v {
+				continue
+			}
+			extra = append(extra, Edge{U: u, V: v, P: float64(data[i+2]) / 255})
+		}
+		assertCSRMatchesGraph(t, c.WithEdges(extra), g.WithEdges(extra))
+		// Mutating after Freeze must leave the issued snapshot intact.
+		if g.N() >= 2 && !g.HasEdge(0, 1) {
+			m := c.M()
+			g.MustAddEdge(0, 1, 0.5)
+			if c.M() != m {
+				t.Fatal("issued snapshot observed a later mutation")
+			}
+			assertCSRMatchesGraph(t, g.Freeze(), g)
+		}
+	})
+}

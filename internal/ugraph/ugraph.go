@@ -7,11 +7,20 @@
 // distances), exact s-t reliability by conditioning over possible worlds
 // (tractable for small graphs; used by tests and by the exact-solution
 // competitor of Table 11), and plain-text edge-list I/O.
+//
+// Two representations coexist. The mutable Graph (slice-of-slices
+// adjacency) serves construction and solver edge-insertion; Freeze
+// produces an immutable CSR snapshot — flat arc arrays with arc-aligned
+// probabilities — that the sampling hot loops traverse. The snapshot is
+// cached per graph version and shared by all readers; CSR.WithEdges
+// derives cheap overlay views for candidate evaluation. See the CSR type
+// for the lifecycle and concurrency contract.
 package ugraph
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // NodeID identifies a node; nodes are the dense range [0, N).
@@ -42,6 +51,11 @@ type Graph struct {
 	out      [][]Arc   // out-adjacency
 	in       [][]Arc   // in-adjacency (directed only; nil when undirected)
 	index    map[int64]int32
+
+	// frozen caches the CSR snapshot handed out by Freeze; any mutation
+	// clears it. Snapshots already obtained stay valid — they never alias
+	// the mutable slices above.
+	frozen atomic.Pointer[CSR]
 }
 
 // New returns an empty uncertain graph over n nodes.
@@ -101,6 +115,7 @@ func (g *Graph) AddEdge(u, v NodeID, p float64) (int32, error) {
 	if _, dup := g.index[key]; dup {
 		return -1, fmt.Errorf("ugraph: duplicate edge (%d,%d)", u, v)
 	}
+	g.frozen.Store(nil) // invalidate the cached snapshot
 	eid := int32(len(g.p))
 	g.p = append(g.p, p)
 	g.ends = append(g.ends, Edge{U: u, V: v, P: p})
@@ -145,6 +160,7 @@ func (g *Graph) SetProb(eid int32, p float64) error {
 	if p < 0 || p > 1 || math.IsNaN(p) {
 		return fmt.Errorf("ugraph: probability %v outside [0,1]", p)
 	}
+	g.frozen.Store(nil) // invalidate the cached snapshot
 	g.p[eid] = p
 	g.ends[eid].P = p
 	return nil

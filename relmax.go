@@ -21,6 +21,11 @@ type (
 	Edge = ugraph.Edge
 	// NodeID identifies a node in the dense range [0, N).
 	NodeID = ugraph.NodeID
+	// CSR is an immutable frozen snapshot of a Graph (Graph.Freeze):
+	// flat cache-friendly adjacency that samplers traverse without
+	// allocating, safe for unrestricted concurrent reads. CSR.WithEdges
+	// derives cheap overlay views for candidate evaluation.
+	CSR = ugraph.CSR
 )
 
 // Solver types (see internal/core).
@@ -117,6 +122,12 @@ type Sampler = sampling.Sampler
 // NewParallelSampler's result: many (s, t) queries, candidate edges or
 // source/target vectors in one fanned-out call.
 type BatchSampler = sampling.BatchSampler
+
+// CSRSampler is the snapshot-level estimation interface implemented by all
+// built-in samplers: freeze a graph once (or derive a CSR.WithEdges
+// overlay) and estimate on it directly, skipping the per-call snapshot
+// lookup in tight candidate-evaluation loops.
+type CSRSampler = sampling.CSRSampler
 
 // PairQuery is one (source, target) query for BatchSampler.EstimateMany.
 type PairQuery = sampling.PairQuery
