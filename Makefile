@@ -5,7 +5,7 @@ GO ?= go
 BENCH_COUNT ?= 6
 BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval
 
-.PHONY: build test race bench bench-smoke bench-baseline bench-compare fuzz-smoke cover lint fmt ci
+.PHONY: build test race bench bench-smoke bench-baseline bench-compare fuzz-smoke smoke-relmaxd cover lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-bearing packages (parallel sampler + solvers).
+# Race-check the concurrency-bearing packages: parallel sampler, solvers,
+# the root package (Engine's concurrent-use contract) and the HTTP server.
 race:
-	$(GO) test -race ./internal/sampling/... ./internal/core/...
+	$(GO) test -race . ./internal/sampling/... ./internal/core/... ./cmd/relmaxd
 
 # Full benchmark run with stable settings for recording numbers.
 bench:
@@ -42,6 +43,12 @@ bench-compare:
 		echo "--- benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
 		echo "--- raw results left in bench-baseline.txt / bench-new.txt"; \
 	fi
+
+# End-to-end serving smoke: build cmd/relmaxd, start it on a tiny dataset,
+# issue one Solve and one EstimateMany over real HTTP, assert 200s and
+# deterministic payloads, and check SIGINT shuts down gracefully.
+smoke-relmaxd:
+	./scripts/relmaxd_smoke.sh
 
 # Short fuzz smoke: each target fuzzes for 10s on top of the checked-in
 # seed corpus, catching shallow regressions in the I/O and Freeze paths.

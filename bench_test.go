@@ -10,6 +10,8 @@ package repro
 // themselves come from `go run ./cmd/experiments -run all`.
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -25,7 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 	p := benchParams()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.Run(id, p)
+		tab, err := exp.Run(context.Background(), id, p)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,13 +4,23 @@
 //	relmax -graph g.txt -s 3 -t 42 -k 10 -zeta 0.5 -method be
 //
 // It prints the chosen shortcut edges and the reliability before/after.
+//
+// Queries run under a context: -timeout bounds the solve, and a first
+// SIGINT (Ctrl-C) cancels it cooperatively — the solver stops at the next
+// sample block and the partial result (edges chosen so far) is printed
+// instead of the process being killed mid-computation. A second SIGINT
+// kills the process.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 )
@@ -32,12 +42,30 @@ func main() {
 		method    = flag.String("method", "be", "solver: "+methodList())
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "sampling worker pool size (0 = serial, -1 = all CPUs)")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
 		sources   = flag.String("sources", "", "comma-separated source set (multi-source mode)")
 		targets   = flag.String("targets", "", "comma-separated target set (multi-source mode)")
 		agg       = flag.String("agg", "avg", "aggregate for multi mode: avg, min or max")
 		budget    = flag.Float64("budget", 0, "total probability budget (enables the §9 extension)")
 	)
 	flag.Parse()
+
+	// First SIGINT/SIGTERM cancels the context (cooperative shutdown with
+	// a partial result). Once it has fired, stop() restores the default
+	// signal disposition so a second one really kills the process even if
+	// a solver stage is slow to reach its next cancellation point.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-sigCtx.Done()
+		stop()
+	}()
+	ctx := sigCtx
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
 	if err != nil {
@@ -46,6 +74,10 @@ func main() {
 	opt := repro.Options{
 		K: *k, Zeta: *zeta, R: *r, L: *l, H: *h,
 		Z: *z, Sampler: *sampler, Seed: *seed, Workers: *workers,
+	}
+	eng, err := repro.NewEngine(g, repro.WithSolverDefaults(opt))
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Printf("graph: n=%d m=%d directed=%v\n", g.N(), g.M(), g.Directed())
 
@@ -58,7 +90,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sol, err := repro.SolveMulti(g, S, T, repro.Aggregate(*agg), repro.Method(*method), opt)
+		sol, err := eng.SolveMulti(ctx, repro.MultiRequest{
+			Sources: S, Targets: T,
+			Aggregate: repro.Aggregate(*agg), Method: repro.Method(*method),
+		})
+		if interrupted(err) {
+			fmt.Printf("multi query interrupted (%v): partial result below\n", reason(err))
+			printEdges(sol.Edges)
+			os.Exit(1)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -69,7 +109,14 @@ func main() {
 	}
 
 	if *budget > 0 {
-		sol, err := repro.SolveTotalBudget(g, repro.NodeID(*s), repro.NodeID(*t), *budget, opt)
+		sol, err := eng.SolveTotalBudget(ctx, repro.BudgetRequest{
+			S: repro.NodeID(*s), T: repro.NodeID(*t), Budget: *budget,
+		})
+		if interrupted(err) {
+			fmt.Printf("total-budget query interrupted (%v): partial allocation below (spent %.2f)\n", reason(err), sol.Spent)
+			printEdges(sol.Edges)
+			os.Exit(1)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -79,8 +126,21 @@ func main() {
 		return
 	}
 
-	sol, err := repro.Solve(g, repro.NodeID(*s), repro.NodeID(*t), repro.Method(*method), opt)
-	if err != nil {
+	sol, err := eng.Solve(ctx, repro.Request{
+		S: repro.NodeID(*s), T: repro.NodeID(*t), Method: repro.Method(*method),
+	})
+	if interrupted(err) {
+		fmt.Printf("query interrupted (%v): partial result below (%d candidates, %d edges chosen)\n",
+			reason(err), sol.CandidateCount, len(sol.Edges))
+		printEdges(sol.Edges)
+		os.Exit(1)
+	}
+	if errors.Is(err, repro.ErrNoPath) {
+		// "Nothing to improve" is a valid scripted answer for the CLI, as
+		// it was before the Engine's stricter surface: print the zero-gain
+		// result and exit 0.
+		fmt.Printf("no s-t path to improve: reliability stays %.4f (0 edges)\n", sol.Base)
+	} else if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("query: %d -> %d  method=%s k=%d zeta=%.2f\n", *s, *t, sol.Method, *k, *zeta)
@@ -88,6 +148,19 @@ func main() {
 	fmt.Printf("reliability: %.4f -> %.4f (gain %.4f)\n", sol.Base, sol.After, sol.Gain)
 	fmt.Printf("time: elimination %v, selection %v\n", sol.ElimTime, sol.SelectTime)
 	printEdges(sol.Edges)
+}
+
+// interrupted reports whether err stems from cancellation or a deadline.
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// reason renders the interruption cause for the partial-result message.
+func reason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline exceeded"
+	}
+	return "cancelled"
 }
 
 func printEdges(edges []repro.Edge) {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := parseNodes("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[2] != 3 {
+		t.Fatalf("parseNodes = %v", nodes)
+	}
+	if _, err := parseNodes(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := parseNodes("1,x"); err == nil {
+		t.Fatal("non-numeric id accepted")
+	}
+}
+
+func TestLoadGraphSources(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("ugraph undirected 3 2\n0 1 0.5\n1 2 0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("graph shape n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := loadGraph("", "lastfm", 0.03, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGraph("", "", 0.03, 1); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadGraph("", "nope", 0.03, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestMethodList(t *testing.T) {
+	list := methodList()
+	for _, want := range []string{"be", "ip", "mrp", "hc", "exact"} {
+		if !strings.Contains(list, want) {
+			t.Fatalf("method list %q missing %q", list, want)
+		}
+	}
+}
+
+func TestInterruptedAndReason(t *testing.T) {
+	wrapped := fmt.Errorf("solve interrupted: %w", context.Canceled)
+	if !interrupted(wrapped) {
+		t.Fatal("wrapped Canceled not detected")
+	}
+	if reason(wrapped) != "cancelled" {
+		t.Fatalf("reason = %q", reason(wrapped))
+	}
+	deadline := fmt.Errorf("x: %w", context.DeadlineExceeded)
+	if !interrupted(deadline) || reason(deadline) != "deadline exceeded" {
+		t.Fatalf("deadline detection failed: %v / %q", interrupted(deadline), reason(deadline))
+	}
+	if interrupted(errors.New("other")) {
+		t.Fatal("plain error misclassified as interruption")
+	}
+	if interrupted(nil) {
+		t.Fatal("nil error misclassified as interruption")
+	}
+}

@@ -1,0 +1,158 @@
+// Command relmaxd serves reliability-maximization and reliability-
+// estimation queries over HTTP/JSON — the first real serving scenario for
+// the library: one long-lived Engine per dataset (pinned CSR snapshot +
+// warm sampler pool), per-request timeouts, cooperative cancellation when
+// clients disconnect, and graceful shutdown.
+//
+//	relmaxd -addr :8080 -dataset lastfm -scale 0.05 -workers -1
+//	relmaxd -addr :8080 -datasets lastfm,astopo -z 1000
+//	relmaxd -addr :8080 -graph g.txt
+//
+// Endpoints:
+//
+//	GET  /healthz      — liveness + served datasets and graph sizes
+//	POST /v1/solve     — one Problem 1 query        {"s":0,"t":5,"method":"be","k":2}
+//	POST /v1/estimate  — batched reliability        {"pairs":[[0,5],[1,7]]}
+//
+// Responses are deterministic for a fixed dataset and seed (identical
+// requests return identical payloads, modulo the "timing" block), which is
+// what makes the CI smoke test possible — see scripts/relmaxd_smoke.sh and
+// examples/server for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		graph    = flag.String("graph", "", "serve one edge-list graph file")
+		datasets = flag.String("datasets", "", "comma-separated built-in dataset names to serve (alias: -dataset)")
+		dataset  = flag.String("dataset", "", "single built-in dataset name")
+		scale    = flag.Float64("scale", 0.08, "dataset scale factor")
+		z        = flag.Int("z", 500, "default reliability samples per estimate")
+		sampler  = flag.String("sampler", "rss", "default estimator: mc, rss or lazy")
+		seed     = flag.Int64("seed", 1, "base seed (fixes every response payload)")
+		workers  = flag.Int("workers", -1, "sampling worker pool size per engine (0 = serial, -1 = all CPUs)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	engines, err := buildEngines(*graph, *datasets, *dataset, *scale, *z, *sampler, *seed, *workers)
+	if err != nil {
+		log.Fatalf("relmaxd: %v", err)
+	}
+	srv := newServer(engines, *timeout)
+	// Read timeouts bound the request *transport* (slow-loris headers and
+	// bodies), complementing the per-request solve timeout which only
+	// starts once the body is decoded.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("relmaxd: serving %v on %s (workers=%d, z=%d, sampler=%s, timeout=%v)",
+			srv.names(), *addr, *workers, *z, *sampler, *timeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("relmaxd: %v", err)
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, let in-flight requests
+		// finish within the grace period (their contexts also fire when
+		// the client goes away), then exit cleanly.
+		log.Printf("relmaxd: shutting down (grace %v)", *grace)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("relmaxd: shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("relmaxd: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("relmaxd: bye")
+	}
+}
+
+// buildEngines constructs one Engine per served dataset.
+func buildEngines(graphPath, datasetsCSV, dataset string, scale float64, z int, sampler string, seed int64, workers int) (map[string]*repro.Engine, error) {
+	opts := []repro.EngineOption{
+		repro.WithSamplerKind(sampler),
+		repro.WithSampleSize(z),
+		repro.WithSeed(seed),
+		repro.WithWorkers(workers),
+	}
+	engines := make(map[string]*repro.Engine)
+	add := func(name string, g *repro.Graph) error {
+		eng, err := repro.NewEngine(g, opts...)
+		if err != nil {
+			return fmt.Errorf("dataset %s: %w", name, err)
+		}
+		engines[name] = eng
+		return nil
+	}
+	switch {
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := repro.ReadGraph(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := add("graph", g); err != nil {
+			return nil, err
+		}
+	case datasetsCSV != "" || dataset != "":
+		names := strings.Split(datasetsCSV, ",")
+		if datasetsCSV == "" {
+			names = []string{dataset}
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			g, err := repro.LoadDataset(name, scale, seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(name, g); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("one of -graph, -dataset or -datasets is required (datasets: %s)",
+			strings.Join(repro.DatasetNames(), ", "))
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("no datasets to serve")
+	}
+	return engines, nil
+}

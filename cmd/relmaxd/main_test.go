@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildEnginesFromDatasets(t *testing.T) {
+	engines, err := buildEngines("", "lastfm, astopo", "", 0.03, 100, "rss", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != 2 || engines["lastfm"] == nil || engines["astopo"] == nil {
+		t.Fatalf("engines = %v", engines)
+	}
+	// Single -dataset alias.
+	engines, err = buildEngines("", "", "lastfm", 0.03, 100, "mc", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != 1 || engines["lastfm"] == nil {
+		t.Fatalf("engines = %v", engines)
+	}
+}
+
+func TestBuildEnginesFromGraphFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	data := "ugraph undirected 3 2\n0 1 0.5\n1 2 0.5\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	engines, err := buildEngines(path, "", "", 0.03, 100, "rss", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != 1 || engines["graph"] == nil {
+		t.Fatalf("engines = %v", engines)
+	}
+	if n := engines["graph"].Snapshot().N(); n != 3 {
+		t.Fatalf("graph engine has n=%d, want 3", n)
+	}
+}
+
+func TestBuildEnginesErrors(t *testing.T) {
+	if _, err := buildEngines("", "", "", 0.03, 100, "rss", 1, 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := buildEngines("", "", "nope", 0.03, 100, "rss", 1, 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := buildEngines("", "", "lastfm", 0.03, 100, "bogus", 1, 0); err == nil {
+		t.Fatal("unknown sampler kind accepted")
+	}
+	if _, err := buildEngines(filepath.Join(t.TempDir(), "missing.txt"), "", "", 0.03, 100, "rss", 1, 0); err == nil {
+		t.Fatal("missing graph file accepted")
+	}
+}

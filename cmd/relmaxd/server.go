@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+// server routes HTTP/JSON queries to one Engine per dataset. All state is
+// immutable after construction, so the handler is safe for any number of
+// concurrent requests; per-request work (sampler state, solver scratch)
+// lives inside the Engine calls.
+type server struct {
+	engines map[string]*repro.Engine
+	// defaultName addresses the single engine when a request omits
+	// "dataset"; empty when several datasets are served.
+	defaultName string
+	// timeout bounds every request; per-request "timeout_ms" may shorten
+	// but never extend it.
+	timeout time.Duration
+	logf    func(format string, args ...any)
+}
+
+func newServer(engines map[string]*repro.Engine, timeout time.Duration) *server {
+	s := &server{engines: engines, timeout: timeout, logf: log.Printf}
+	if len(engines) == 1 {
+		for name := range engines {
+			s.defaultName = name
+		}
+	}
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	return mux
+}
+
+// solveRequest is the JSON body of POST /v1/solve. Zero-valued solver
+// parameters inherit the engine defaults, so `{"s":0,"t":5}` is a valid
+// minimal query.
+type solveRequest struct {
+	Dataset string  `json:"dataset,omitempty"`
+	S       int32   `json:"s"`
+	T       int32   `json:"t"`
+	Method  string  `json:"method,omitempty"`
+	K       int     `json:"k,omitempty"`
+	Zeta    float64 `json:"zeta,omitempty"`
+	R       int     `json:"r,omitempty"`
+	L       int     `json:"l,omitempty"`
+	H       int     `json:"h,omitempty"`
+	Z       int     `json:"z,omitempty"`
+	Sampler string  `json:"sampler,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// TimeoutMS shortens (never extends) the server's per-request timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type edgeJSON struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	P float64 `json:"p"`
+}
+
+// solveResponse mirrors repro.Solution. The timing block is the only
+// non-deterministic part of the payload; everything else is a pure
+// function of the request for a fixed dataset and seed.
+type solveResponse struct {
+	Method     string     `json:"method"`
+	Edges      []edgeJSON `json:"edges"`
+	Base       float64    `json:"base"`
+	After      float64    `json:"after"`
+	Gain       float64    `json:"gain"`
+	Candidates int        `json:"candidates"`
+	Paths      int        `json:"paths"`
+	Timing     struct {
+		ElimMS   float64 `json:"elim_ms"`
+		SelectMS float64 `json:"select_ms"`
+	} `json:"timing"`
+}
+
+// estimateRequest is the JSON body of POST /v1/estimate: a batch of (s, t)
+// pairs evaluated by Engine.EstimateMany.
+type estimateRequest struct {
+	Dataset   string     `json:"dataset,omitempty"`
+	Pairs     [][2]int32 `json:"pairs"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+}
+
+type estimateResponse struct {
+	Reliabilities []float64 `json:"reliabilities"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) engineFor(name string) (*repro.Engine, error) {
+	if name == "" {
+		name = s.defaultName
+	}
+	if name == "" {
+		return nil, fmt.Errorf("request must name a dataset (serving: %v)", s.names())
+	}
+	eng, ok := s.engines[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q (serving: %v)", name, s.names())
+	}
+	return eng, nil
+}
+
+func (s *server) names() []string {
+	out := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// requestContext derives the per-request context: the client disconnect
+// context, bounded by the server timeout and any shorter per-request one.
+func (s *server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.timeout
+	if reqTO := time.Duration(timeoutMS) * time.Millisecond; reqTO > 0 && (timeout <= 0 || reqTO < timeout) {
+		timeout = reqTO
+	}
+	if timeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	type graphInfo struct {
+		N        int  `json:"n"`
+		M        int  `json:"m"`
+		Directed bool `json:"directed"`
+	}
+	info := make(map[string]graphInfo, len(s.engines))
+	for name, eng := range s.engines {
+		c := eng.Snapshot()
+		info[name] = graphInfo{N: c.N(), M: c.M(), Directed: c.Directed()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "datasets": info})
+}
+
+// maxBodyBytes caps request bodies: a solve request is a handful of
+// scalars and an estimate batch of even 100k pairs fits comfortably, so
+// anything larger is abuse, not traffic.
+const maxBodyBytes = 4 << 20
+
+// Per-request parameter ceilings. The body cap bounds payload size; these
+// bound computational cost, so one client cannot monopolize the worker
+// pool for the full request timeout with a single oversized query.
+const (
+	maxZ     = 1_000_000 // samples per estimate
+	maxK     = 1_000     // edge budget
+	maxRL    = 100_000   // elimination width r / path count l
+	maxPairs = 10_000    // estimate batch size
+)
+
+// checkLimits rejects parameter values beyond the serving ceilings.
+func (req *solveRequest) checkLimits() error {
+	switch {
+	case req.Z < 0 || req.Z > maxZ:
+		return fmt.Errorf("z %d outside [0,%d]", req.Z, maxZ)
+	case req.K < 0 || req.K > maxK:
+		return fmt.Errorf("k %d outside [0,%d]", req.K, maxK)
+	case req.R < 0 || req.R > maxRL:
+		return fmt.Errorf("r %d outside [0,%d]", req.R, maxRL)
+	case req.L < 0 || req.L > maxRL:
+		return fmt.Errorf("l %d outside [0,%d]", req.L, maxRL)
+	}
+	return nil
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	eng, err := s.engineFor(req.Dataset)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := req.checkLimits(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var opt *repro.Options
+	if req.K != 0 || req.Zeta != 0 || req.R != 0 || req.L != 0 || req.H != 0 ||
+		req.Z != 0 || req.Sampler != "" || req.Seed != 0 {
+		opt = &repro.Options{
+			K: req.K, Zeta: req.Zeta, R: req.R, L: req.L, H: req.H,
+			Z: req.Z, Sampler: req.Sampler, Seed: req.Seed,
+		}
+	}
+	sol, err := eng.Solve(ctx, repro.Request{
+		S: req.S, T: req.T, Method: repro.Method(req.Method), Options: opt,
+	})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp := solveResponse{
+		Method:     string(sol.Method),
+		Edges:      toEdgeJSON(sol.Edges),
+		Base:       sol.Base,
+		After:      sol.After,
+		Gain:       sol.Gain,
+		Candidates: sol.CandidateCount,
+		Paths:      sol.PathCount,
+	}
+	resp.Timing.ElimMS = float64(sol.ElimTime.Microseconds()) / 1000
+	resp.Timing.SelectMS = float64(sol.SelectTime.Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	eng, err := s.engineFor(req.Dataset)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "pairs must be non-empty"})
+		return
+	}
+	if len(req.Pairs) > maxPairs {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("batch of %d pairs exceeds the %d-pair ceiling", len(req.Pairs), maxPairs)})
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	queries := make([]repro.PairQuery, len(req.Pairs))
+	for i, p := range req.Pairs {
+		queries[i] = repro.PairQuery{S: p[0], T: p[1]}
+	}
+	rels, err := eng.EstimateMany(ctx, queries)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{Reliabilities: rels})
+}
+
+// writeError maps the library's typed error taxonomy to HTTP statuses:
+// invalid input 400, timeouts 504, client-abandoned requests are logged
+// only, everything else 500.
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody is reading the response.
+		s.logf("relmaxd: %s %s abandoned: %v", r.Method, r.URL.Path, err)
+	case errors.Is(err, repro.ErrBadQuery),
+		errors.Is(err, repro.ErrUnknownMethod),
+		errors.Is(err, repro.ErrUnknownSampler),
+		errors.Is(err, repro.ErrBudget),
+		errors.Is(err, repro.ErrNoPath):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		s.logf("relmaxd: %s %s failed: %v", r.Method, r.URL.Path, err)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func toEdgeJSON(edges []repro.Edge) []edgeJSON {
+	out := make([]edgeJSON, len(edges))
+	for i, e := range edges {
+		out[i] = edgeJSON{U: e.U, V: e.V, P: e.P}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

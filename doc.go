@@ -19,32 +19,74 @@
 //     (individual top-k, hill climbing, centrality, eigenvalue), and
 //     exhaustive search for small instances as alternatives.
 //
-// Multiple-source/target queries (Problem 4) are supported under Average,
-// Minimum and Maximum aggregates, serving applications such as targeted
-// influence maximization; see SolveMulti.
+// # Quick start: the Engine
 //
-// # Quick start
+// Engine is the primary entry point: built once per dataset, it pins an
+// immutable CSR snapshot of the graph and a reusable sampler pool, and
+// serves concurrent, cancellable queries:
 //
 //	g := repro.NewGraph(4, false)
 //	g.MustAddEdge(2, 1, 0.9)
 //	g.MustAddEdge(2, 3, 0.3)
-//	sol, err := repro.Solve(g, 0, 3, repro.MethodBE, repro.Options{K: 2, Zeta: 0.5})
+//	eng, err := repro.NewEngine(g,
+//		repro.WithSeed(7),
+//		repro.WithWorkers(-1), // parallel sampling on all CPUs
+//	)
+//	if err != nil { ... }
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	sol, err := eng.Solve(ctx, repro.Request{S: 0, T: 3, Method: repro.MethodBE,
+//		Options: &repro.Options{K: 2, Zeta: 0.5}})
 //	// sol.Edges are the shortcut edges; sol.Gain the reliability gain.
 //
-// Set Options.Workers to run every reliability estimate inside the solver
-// on a parallel worker pool (Workers: -1 uses all CPUs). Results stay
-// deterministic in Options.Seed: any Workers >= 1 gives bit-identical
-// output regardless of the pool size or GOMAXPROCS.
+//	rel, err := eng.Estimate(ctx, 0, 3)                   // one reliability
+//	rels, err := eng.EstimateMany(ctx, []repro.PairQuery{ // a batch
+//		{S: 0, T: 3}, {S: 1, T: 3}})
 //
-//	sol, err = repro.Solve(g, 0, 3, repro.MethodBE,
-//		repro.Options{K: 2, Zeta: 0.5, Workers: -1})
+// Cancellation is cooperative and cheap: the samplers poll ctx between
+// sample blocks (never per edge), so a cancelled or deadline-expired query
+// returns within one block with an error wrapping context.Canceled or
+// context.DeadlineExceeded — and, where meaningful, the partial result
+// built so far (Solution.Edges holds the edges committed before the
+// context fired). Uncancelled queries consume exactly the randomness the
+// legacy entry points consume: results are bit-identical at the same
+// Options, at any worker count.
 //
-// Reliability estimation uses Monte Carlo sampling or recursive stratified
-// sampling (RSS); both are exposed via NewMonteCarloSampler and
-// NewRSSSampler. Those serial samplers are single-goroutine only;
-// NewParallelSampler wraps either into a goroutine-safe estimator that
-// shards the sample budget across workers and supports batched evaluation
-// (EstimateMany, EstimateEdges) for serving many queries at once.
+// Errors form a typed taxonomy (ErrBadQuery, ErrUnknownMethod,
+// ErrUnknownSampler, ErrBudget, ErrNoPath): every solver error wraps
+// exactly one sentinel, so callers route with errors.Is. Request.Progress
+// receives per-round solver progress (candidates eliminated, paths
+// extracted, batches evaluated) for logs and dashboards.
+//
+// An Engine is safe for concurrent use and stateless per request:
+// identical requests return identical answers regardless of what else is
+// in flight — the property the HTTP server in cmd/relmaxd builds on (see
+// examples/server for a curl walkthrough).
+//
+// Multiple-source/target queries (Problem 4) are served by
+// Engine.SolveMulti under Average, Minimum and Maximum aggregates, and the
+// §9 total-probability-budget extension by Engine.SolveTotalBudget.
+//
+// # Legacy compatibility
+//
+// The original free functions — Solve, SolveMulti, SolveTotalBudget,
+// RunExperiment — remain as thin wrappers running under
+// context.Background with a fresh sampler per call. They cannot be
+// cancelled and rebuild per-call state, but return bit-identical results
+// to an Engine configured with the same Options; existing callers keep
+// working unchanged.
+//
+// # Sampling
+//
+// Reliability estimation uses Monte Carlo sampling, recursive stratified
+// sampling (RSS) or lazy-propagation MC; the serial estimators are exposed
+// via NewMonteCarloSampler, NewRSSSampler and NewLazySampler and are
+// single-goroutine only. NewParallelSampler wraps any of them into a
+// goroutine-safe estimator that shards the sample budget across workers
+// deterministically and supports batched evaluation (EstimateMany,
+// EstimateEdges). Every sampler accepts a context via SetContext for
+// block-granular cancellation.
 //
 // # Snapshots and the sampling hot path
 //
@@ -53,14 +95,13 @@
 // probabilities that the samplers traverse with zero heap allocations per
 // sample in steady state. The snapshot is cached on the graph and
 // invalidated by mutations (AddEdge, SetProb); snapshots already handed
-// out remain valid. Candidate-evaluation loops derive lightweight overlay
-// views (one candidate edge over a shared base snapshot) instead of
-// cloning the graph, which is what makes the batched EstimateEdges path
-// cheap. Estimates are bit-identical for a fixed seed whether a graph is
-// sampled directly, through its snapshot, or through an overlay, at any
-// worker count.
+// out remain valid — an Engine clones the graph at construction, so its
+// pinned snapshot is isolated from caller mutations. Candidate-evaluation
+// loops derive lightweight overlay views (one candidate edge over a shared
+// base snapshot) instead of cloning the graph, which is what makes the
+// batched EstimateEdges path cheap.
 //
 // Dataset stand-ins for the paper's evaluation graphs and the full
 // experiment harness (one runner per table/figure) are exposed via
-// LoadDataset and RunExperiment.
+// LoadDataset and RunExperiment / RunExperimentContext.
 package repro

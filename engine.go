@@ -1,0 +1,347 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+)
+
+// Engine is the context-first entry point for serving reliability
+// maximization and estimation queries over one uncertain graph. Where the
+// legacy free functions re-freeze state and rebuild sampler pools on every
+// call, an Engine is built once per dataset and pins:
+//
+//   - a private clone of the graph (callers may keep mutating theirs) and
+//     its frozen CSR snapshot, shared read-only by all queries, and
+//   - a warm pool of per-worker serial samplers (when Workers != 0),
+//     leased per request so repeated queries reuse scratch memory.
+//
+// Every query method takes a context.Context. Cancellation and deadlines
+// are cooperative and cheap: the samplers poll ctx between sample blocks
+// (never per edge) and the greedy solvers stop at round boundaries, so a
+// cancelled query returns within one sample block with an error wrapping
+// context.Canceled / context.DeadlineExceeded and — where meaningful — the
+// partial result built so far. Uncancelled queries consume exactly the
+// randomness the legacy path consumes: for the same Options, Engine.Solve
+// and the free Solve return bit-identical Solutions.
+//
+// An Engine is safe for concurrent use: queries never mutate the pinned
+// graph, and each request derives its own deterministic sampler state, so
+// a query's result depends only on its request (not on what else is in
+// flight). Identical requests always produce identical answers — the
+// stateless semantics a serving tier wants (cmd/relmaxd builds on this).
+type Engine struct {
+	g       *Graph
+	csr     *CSR
+	opt     Options // defaults template; Sampler/Z/Seed resolved at build
+	method  Method
+	scratch *sampling.SharedScratch
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithSamplerKind selects the reliability estimator: "mc", "rss" (default)
+// or "lazy".
+func WithSamplerKind(kind string) EngineOption {
+	return func(e *Engine) { e.opt.Sampler = kind }
+}
+
+// WithSampleSize sets the default sample budget Z per estimate.
+func WithSampleSize(z int) EngineOption {
+	return func(e *Engine) { e.opt.Z = z }
+}
+
+// WithSeed sets the engine's base seed. Every request derives its
+// randomness deterministically from the seed in effect (engine default or
+// per-request override), so a fixed seed makes the engine's answers
+// reproducible across restarts.
+func WithSeed(seed int64) EngineOption {
+	return func(e *Engine) { e.opt.Seed = seed }
+}
+
+// WithWorkers sizes the sampling worker pool: 0 keeps the serial samplers
+// (the legacy default), N >= 1 uses a deterministic parallel pool with N
+// workers, negative values use GOMAXPROCS.
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.opt.Workers = n }
+}
+
+// WithDefaultMethod sets the solver used when a Request leaves Method
+// empty (default MethodBE).
+func WithDefaultMethod(m Method) EngineOption {
+	return func(e *Engine) { e.method = m }
+}
+
+// WithSolverDefaults replaces the engine's whole Options template (budget
+// K, ζ, elimination width R, path count L, hop bound H, sampler config,
+// workers, ...). Later options still override individual fields.
+func WithSolverDefaults(opt Options) EngineOption {
+	return func(e *Engine) { e.opt = opt }
+}
+
+// NewEngine builds a query engine over g: the graph is cloned and frozen
+// once, the sampler configuration validated, and (for Workers != 0) the
+// shared sampler pool created. On error the returned engine is nil.
+func NewEngine(g *Graph, opts ...EngineOption) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("repro: NewEngine: nil graph: %w", ErrBadQuery)
+	}
+	e := &Engine{method: MethodBE}
+	for _, o := range opts {
+		o(e)
+	}
+	// Resolve the sampler-facing defaults now (mirroring the solver
+	// defaults) so Estimate and EstimateMany see the same configuration a
+	// Solve would.
+	if e.opt.Sampler == "" {
+		e.opt.Sampler = "rss"
+	}
+	if e.opt.Z <= 0 {
+		e.opt.Z = 500
+	}
+	if e.opt.Seed == 0 {
+		e.opt.Seed = 1
+	}
+	scratch, err := sampling.NewSharedScratch(e.opt.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("repro: NewEngine: sampler %q (want mc, rss or lazy): %w", e.opt.Sampler, ErrUnknownSampler)
+	}
+	e.scratch = scratch
+	e.g = g.Clone()
+	e.csr = e.g.Freeze()
+	return e, nil
+}
+
+// Snapshot returns the engine's pinned immutable CSR snapshot; it is safe
+// for unrestricted concurrent reads and never changes for the lifetime of
+// the engine.
+func (e *Engine) Snapshot() *CSR { return e.csr }
+
+// options resolves the effective Options for one request: nil uses the
+// engine defaults; a non-nil override is taken as-is except that zero
+// Sampler/Z/Seed/Workers inherit the engine configuration (so overriding
+// K or Zeta does not silently change the estimator). The engine's warm
+// sampler pool is attached whenever the parallel path will run with a
+// matching estimator kind.
+func (e *Engine) options(req *Options) Options {
+	opt := e.opt
+	if req != nil {
+		opt = *req
+		if opt.Sampler == "" {
+			opt.Sampler = e.opt.Sampler
+		}
+		if opt.Z <= 0 {
+			opt.Z = e.opt.Z
+		}
+		if opt.Seed == 0 {
+			opt.Seed = e.opt.Seed
+		}
+		if opt.Workers == 0 {
+			opt.Workers = e.opt.Workers
+		}
+	}
+	if opt.Workers != 0 && opt.Sampler == e.scratch.Kind() {
+		opt.Scratch = e.scratch
+	} else {
+		opt.Scratch = nil
+	}
+	return opt
+}
+
+// Request is one single-source-target Problem 1 query served by
+// Engine.Solve.
+type Request struct {
+	// S and T are the query endpoints.
+	S, T NodeID
+	// Method selects the solver; empty uses the engine default.
+	Method Method
+	// Options overrides the engine's solver defaults for this request;
+	// nil uses them unchanged. Zero Sampler/Z/Seed/Workers fields inherit
+	// the engine configuration.
+	Options *Options
+	// Progress, when non-nil, receives per-round solver progress
+	// (candidates eliminated, paths extracted, batches evaluated). It
+	// runs inline on the solving goroutine.
+	Progress ProgressFunc
+}
+
+// MultiRequest is one multiple-source-target Problem 4 query served by
+// Engine.SolveMulti.
+type MultiRequest struct {
+	Sources, Targets []NodeID
+	// Aggregate selects the objective; empty uses AggAvg.
+	Aggregate Aggregate
+	// Method selects the solver; empty uses the engine default.
+	// Supported: MethodBE, MethodHillClimbing, MethodEigen.
+	Method   Method
+	Options  *Options
+	Progress ProgressFunc
+}
+
+// BudgetRequest is one total-probability-budget query (the §9 extension)
+// served by Engine.SolveTotalBudget.
+type BudgetRequest struct {
+	S, T NodeID
+	// Budget is the total probability mass to allocate across new edges.
+	Budget   float64
+	Options  *Options
+	Progress ProgressFunc
+}
+
+// Solve answers a Problem 1 query under ctx. On cancellation or deadline
+// expiry it returns the partial Solution built so far (chosen edges,
+// elimination stats; no held-out evaluation) and an error wrapping
+// ctx.Err(); on success the Solution is bit-identical to the legacy free
+// Solve at the same effective Options.
+func (e *Engine) Solve(ctx context.Context, req Request) (Solution, error) {
+	method := req.Method
+	if method == "" {
+		method = e.method
+	}
+	opt := e.options(req.Options)
+	if req.Progress != nil {
+		opt.Progress = req.Progress
+	}
+	sol, err := core.Solve(ctx, e.g, req.S, req.T, method, opt)
+	if err == nil && sol.PathCount == 0 && (method == MethodIP || method == MethodBE) {
+		// The legacy free Solve returns an empty zero-gain Solution here;
+		// the Engine surface is stricter so serving layers can tell
+		// "nothing to improve" apart from a real answer.
+		return sol, fmt.Errorf("repro: method %q extracted no s-t path on the augmented graph: %w", method, ErrNoPath)
+	}
+	return sol, err
+}
+
+// SolveMulti answers a Problem 4 query under ctx; see Solve for the
+// cancellation contract.
+func (e *Engine) SolveMulti(ctx context.Context, req MultiRequest) (MultiSolution, error) {
+	agg := req.Aggregate
+	if agg == "" {
+		agg = AggAvg
+	}
+	method := req.Method
+	if method == "" {
+		method = e.method
+	}
+	opt := e.options(req.Options)
+	if req.Progress != nil {
+		opt.Progress = req.Progress
+	}
+	return core.SolveMulti(ctx, e.g, req.Sources, req.Targets, agg, method, opt)
+}
+
+// SolveTotalBudget answers a §9 total-budget query under ctx; see Solve
+// for the cancellation contract.
+func (e *Engine) SolveTotalBudget(ctx context.Context, req BudgetRequest) (TotalBudgetSolution, error) {
+	opt := e.options(req.Options)
+	if req.Progress != nil {
+		opt.Progress = req.Progress
+	}
+	return core.SolveTotalBudget(ctx, e.g, req.S, req.T, req.Budget, opt)
+}
+
+// estimator builds the request-scoped reliability estimator: a parallel
+// sampler leasing workers from the engine's warm pool, or a fresh serial
+// sampler when Workers == 0. Each call starts from the engine seed, so
+// identical estimation requests return identical values regardless of
+// what ran before — and exactly what an equally configured
+// NewParallelSampler (or serial sampler) would return on its first call.
+func (e *Engine) estimator(ctx context.Context) sampling.Sampler {
+	if e.opt.Workers != 0 {
+		ps := sampling.NewParallelShared(e.scratch, e.opt.Z, e.opt.Seed, e.opt.Workers)
+		ps.SetContext(ctx)
+		return ps
+	}
+	smp, err := sampling.NewSerial(e.opt.Sampler, e.opt.Z, e.opt.Seed)
+	if err != nil {
+		// The kind was validated by NewEngine.
+		panic(err)
+	}
+	smp.SetContext(ctx)
+	return smp
+}
+
+func (e *Engine) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= e.g.N() {
+		return fmt.Errorf("repro: node %d out of range [0,%d): %w", v, e.g.N(), ErrBadQuery)
+	}
+	return nil
+}
+
+// Estimate returns the s-t reliability on the pinned snapshot under ctx.
+// Cancellation aborts within one sample block and returns an error
+// wrapping ctx.Err().
+func (e *Engine) Estimate(ctx context.Context, s, t NodeID) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.checkNode(s); err != nil {
+		return 0, err
+	}
+	if err := e.checkNode(t); err != nil {
+		return 0, err
+	}
+	smp := e.estimator(ctx)
+	var rel float64
+	if cs, ok := smp.(sampling.CSRSampler); ok {
+		rel = cs.ReliabilityCSR(e.csr, s, t)
+	} else {
+		rel = smp.Reliability(e.g, s, t)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, fmt.Errorf("repro: estimate interrupted: %w", cerr)
+	}
+	return rel, nil
+}
+
+// EstimateMany returns the reliability of every (S, T) query in one
+// batched, deterministic call. With Workers != 0 the (query, shard)
+// product fans out over the worker pool; serially the queries run in
+// order. On cancellation it returns an error wrapping ctx.Err(), along
+// with the prefix of completed results when the serial path produced one
+// (the parallel merge is discarded — partially sharded estimates are not
+// meaningful).
+func (e *Engine) EstimateMany(ctx context.Context, queries []PairQuery) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, q := range queries {
+		if err := e.checkNode(q.S); err != nil {
+			return nil, err
+		}
+		if err := e.checkNode(q.T); err != nil {
+			return nil, err
+		}
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	smp := e.estimator(ctx)
+	if bs, ok := smp.(sampling.BatchSampler); ok {
+		out := bs.EstimateMany(e.g, queries)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("repro: estimate batch interrupted: %w", cerr)
+		}
+		return out, nil
+	}
+	cs := smp.(sampling.CSRSampler) // every built-in serial sampler is one
+	out := make([]float64, 0, len(queries))
+	for _, q := range queries {
+		if q.S == q.T {
+			out = append(out, 1)
+			continue
+		}
+		rel := cs.ReliabilityCSR(e.csr, q.S, q.T)
+		if cerr := ctx.Err(); cerr != nil {
+			// rel was cut short by the cancellation; keep only the fully
+			// estimated prefix.
+			return out, fmt.Errorf("repro: estimate batch interrupted after %d/%d queries: %w",
+				len(out), len(queries), cerr)
+		}
+		out = append(out, rel)
+	}
+	return out, nil
+}

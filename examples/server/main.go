@@ -1,0 +1,108 @@
+// Example server is a minimal Go client for cmd/relmaxd, driving the three
+// endpoints of the serving walkthrough in README.md: health, one Solve and
+// one batched EstimateMany, with a client-side timeout that exercises the
+// server's cooperative cancellation.
+//
+// Start a server first:
+//
+//	go run ./cmd/relmaxd -addr :8080 -dataset lastfm -scale 0.05
+//
+// then:
+//
+//	go run ./examples/server -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "relmaxd base URL")
+	s := flag.Int("s", 0, "source node")
+	t := flag.Int("t", 39, "target node")
+	k := flag.Int("k", 2, "edge budget")
+	timeout := flag.Duration("timeout", 15*time.Second, "client-side deadline per call")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var health struct {
+		Status   string                    `json:"status"`
+		Datasets map[string]map[string]any `json:"datasets"`
+	}
+	if err := call(ctx, http.MethodGet, *addr+"/healthz", nil, &health); err != nil {
+		fail(err)
+	}
+	fmt.Printf("server %s, serving %d dataset(s)\n", health.Status, len(health.Datasets))
+
+	solveReq := map[string]any{"s": *s, "t": *t, "method": "be", "k": *k, "r": 8, "l": 8}
+	var solve struct {
+		Edges []struct {
+			U, V int32
+			P    float64
+		} `json:"edges"`
+		Base  float64 `json:"base"`
+		After float64 `json:"after"`
+		Gain  float64 `json:"gain"`
+	}
+	if err := call(ctx, http.MethodPost, *addr+"/v1/solve", solveReq, &solve); err != nil {
+		fail(err)
+	}
+	fmt.Printf("solve %d->%d: reliability %.4f -> %.4f (gain %.4f)\n", *s, *t, solve.Base, solve.After, solve.Gain)
+	for _, e := range solve.Edges {
+		fmt.Printf("  add %d -> %d (p=%.2f)\n", e.U, e.V, e.P)
+	}
+
+	estReq := map[string]any{"pairs": [][2]int{{*s, *t}, {*s, *s}}}
+	var est struct {
+		Reliabilities []float64 `json:"reliabilities"`
+	}
+	if err := call(ctx, http.MethodPost, *addr+"/v1/estimate", estReq, &est); err != nil {
+		fail(err)
+	}
+	fmt.Printf("estimates: %v\n", est.Reliabilities)
+}
+
+func call(ctx context.Context, method, url string, body, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "example/server:", err)
+	os.Exit(1)
+}

@@ -3,7 +3,11 @@
 // and betweenness centrality via Brandes' algorithm.
 package centrality
 
-import "repro/internal/ugraph"
+import (
+	"context"
+
+	"repro/internal/ugraph"
+)
 
 // DegreeScores returns, for each node, the sum of edge probabilities over
 // all incoming and outgoing edges ("aggregated edge probabilities" in the
@@ -20,8 +24,11 @@ func DegreeScores(g *ugraph.Graph) []float64 {
 // BetweennessScores returns the (unweighted, hop-distance) betweenness
 // centrality of every node using Brandes' algorithm: the number of
 // shortest paths passing through each node, normalized per source by the
-// path counts. Runs in O(n·m).
-func BetweennessScores(g *ugraph.Graph) []float64 {
+// path counts. Runs in O(n·m). The per-source loop polls ctx (nil allowed)
+// so a cancelled query does not sit through the full computation; the
+// partial scores returned on cancellation cover only the sources processed
+// so far — callers observing ctx.Err() discard them.
+func BetweennessScores(ctx context.Context, g *ugraph.Graph) []float64 {
 	n := g.N()
 	cb := make([]float64, n)
 	dist := make([]int32, n)
@@ -31,6 +38,9 @@ func BetweennessScores(g *ugraph.Graph) []float64 {
 	stack := make([]ugraph.NodeID, 0, n)
 	queue := make([]ugraph.NodeID, 0, n)
 	for s := 0; s < n; s++ {
+		if s&63 == 0 && ctx != nil && ctx.Err() != nil {
+			break
+		}
 		stack = stack[:0]
 		queue = queue[:0]
 		for i := 0; i < n; i++ {

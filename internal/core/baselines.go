@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/centrality"
 	"repro/internal/eigen"
 	"repro/internal/paths"
@@ -16,7 +18,7 @@ import (
 // one-at-a-time loop that freezes the graph once and evaluates each
 // candidate on a CSR overlay, so no per-candidate clone or snapshot
 // rebuild happens.
-func edgeReliabilities(smp sampling.Sampler, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge) []float64 {
+func edgeReliabilities(ctx context.Context, smp sampling.Sampler, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge) []float64 {
 	if bs, ok := smp.(sampling.BatchSampler); ok {
 		return bs.EstimateEdges(g, s, t, cands)
 	}
@@ -25,12 +27,18 @@ func edgeReliabilities(smp sampling.Sampler, g *ugraph.Graph, s, t ugraph.NodeID
 	if cs, ok := smp.(sampling.CSRSampler); ok {
 		base := g.Freeze()
 		for i, e := range cands {
+			if ctx.Err() != nil {
+				break // remaining entries stay zero; the caller discards
+			}
 			scratch[0] = e
 			out[i] = cs.ReliabilityCSR(base.WithEdges(scratch), s, t)
 		}
 		return out
 	}
 	for i, e := range cands {
+		if ctx.Err() != nil {
+			break
+		}
 		scratch[0] = e
 		out[i] = smp.Reliability(g.WithEdges(scratch), s, t)
 	}
@@ -41,10 +49,17 @@ func edgeReliabilities(smp sampling.Sampler, g *ugraph.Graph, s, t ugraph.NodeID
 // gain of each candidate edge in isolation and keep the k best. It ignores
 // interactions between chosen edges, which is exactly its documented
 // weakness.
-func individualTopK(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) []ugraph.Edge {
+func individualTopK(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) []ugraph.Edge {
 	base := smp.Reliability(g, s, t)
+	scores := edgeReliabilities(ctx, smp, g, s, t, cands)
+	if ctx.Err() != nil {
+		// The scores are incomplete (unevaluated candidates read as zero);
+		// ranking them would promote arbitrary edges into the partial
+		// solution. This method has no committed rounds to keep.
+		return nil
+	}
 	sel := pq.NewTopK[ugraph.Edge](opt.K)
-	for i, after := range edgeReliabilities(smp, g, s, t, cands) {
+	for i, after := range scores {
 		sel.Offer(after-base, cands[i])
 	}
 	items := sel.Items()
@@ -60,18 +75,24 @@ func individualTopK(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, sm
 // augmented so far. Without submodularity it carries no guarantee, and its
 // Z-sampled evaluation of every candidate each round makes it the slowest
 // competitor (Tables 4-5).
-func hillClimbing(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) []ugraph.Edge {
+func hillClimbing(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) []ugraph.Edge {
 	var chosen []ugraph.Edge
 	remaining := append([]ugraph.Edge(nil), cands...)
 	work := g.Clone()
 	for len(chosen) < opt.K && len(remaining) > 0 {
+		if ctx.Err() != nil {
+			return chosen // partial greedy prefix
+		}
 		base := smp.Reliability(work, s, t)
 		bestIdx, bestGain := -1, -1.0
-		for i, after := range edgeReliabilities(smp, work, s, t, remaining) {
+		for i, after := range edgeReliabilities(ctx, smp, work, s, t, remaining) {
 			if gain := after - base; gain > bestGain {
 				bestGain = gain
 				bestIdx = i
 			}
+		}
+		if ctx.Err() != nil {
+			return chosen // this round's scores are incomplete; drop them
 		}
 		if bestIdx < 0 {
 			break
@@ -79,6 +100,7 @@ func hillClimbing(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp 
 		e := remaining[bestIdx]
 		chosen = append(chosen, e)
 		work.MustAddEdge(e.U, e.V, e.P)
+		opt.emit(ProgressEvent{Stage: StageSelect, Round: len(chosen), Total: opt.K, Edges: len(chosen)})
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
 	return chosen
@@ -86,13 +108,20 @@ func hillClimbing(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp 
 
 // centralityEdges implements the §3.3 baseline: rank candidate edges by
 // the summed centrality of their endpoints (degree or betweenness) and
-// keep the k best. Not query-specific — its documented weakness.
-func centralityEdges(g *ugraph.Graph, cands []ugraph.Edge, opt Options, useBetweenness bool) []ugraph.Edge {
+// keep the k best. Not query-specific — its documented weakness. A
+// cancelled ctx stops the betweenness sweep early; ranking candidates
+// against those incomplete scores would promote arbitrary edges, so —
+// like every score-ranking method and unlike the greedy solvers, which
+// keep their committed rounds — the partial solution holds no edges.
+func centralityEdges(ctx context.Context, g *ugraph.Graph, cands []ugraph.Edge, opt Options, useBetweenness bool) []ugraph.Edge {
 	var scores []float64
 	if useBetweenness {
-		scores = centrality.BetweennessScores(g)
+		scores = centrality.BetweennessScores(ctx, g)
 	} else {
 		scores = centrality.DegreeScores(g)
+	}
+	if ctx.Err() != nil {
+		return nil
 	}
 	sel := pq.NewTopK[ugraph.Edge](opt.K)
 	for _, e := range cands {
@@ -109,8 +138,11 @@ func centralityEdges(g *ugraph.Graph, cands []ugraph.Edge, opt Options, useBetwe
 // eigenEdges implements the §3.4 baseline (Algorithm 2): rank candidate
 // edges by the leading-eigenvalue gain approximation u(i)·v(j) and keep
 // the k best.
-func eigenEdges(g *ugraph.Graph, cands []ugraph.Edge, opt Options) []ugraph.Edge {
-	_, left, right := eigen.Leading(g, 0)
+func eigenEdges(ctx context.Context, g *ugraph.Graph, cands []ugraph.Edge, opt Options) []ugraph.Edge {
+	_, left, right := eigen.Leading(ctx, g, 0)
+	if ctx.Err() != nil {
+		return nil // unconverged vectors would rank candidates arbitrarily
+	}
 	sel := pq.NewTopK[ugraph.Edge](opt.K)
 	for _, e := range cands {
 		score := left[e.U] * right[e.V]
@@ -131,7 +163,7 @@ func eigenEdges(g *ugraph.Graph, cands []ugraph.Edge, opt Options) []ugraph.Edge
 
 // mrpEdges solves the restricted Problem 2 exactly (Algorithm 3) and
 // returns the red edges of the best most-reliable path.
-func mrpEdges(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, opt Options) []ugraph.Edge {
-	res := paths.ImproveMostReliablePath(g, cands, s, t, opt.K)
+func mrpEdges(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, opt Options) []ugraph.Edge {
+	res := paths.ImproveMostReliablePath(ctx, g, cands, s, t, opt.K)
 	return res.Chosen
 }

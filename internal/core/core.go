@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -98,6 +99,17 @@ type Options struct {
 	// worker count, fixes the randomness), but differ from Workers == 0
 	// because the serial samplers draw one undivided stream.
 	Workers int
+	// Scratch, when non-nil and built for the same Sampler kind, lets the
+	// parallel samplers lease their per-worker serial samplers from a
+	// shared warm pool instead of a cold per-solve one. A long-lived
+	// Engine sets this so repeated queries reuse sampler scratch memory;
+	// it never affects results. Ignored when Workers == 0 or the kinds
+	// mismatch.
+	Scratch *sampling.SharedScratch
+	// Progress, when non-nil, receives solver progress notifications
+	// (stage boundaries and per-round selection progress). Callbacks run
+	// inline on the solving goroutine and cannot perturb results.
+	Progress ProgressFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -133,28 +145,38 @@ func (o Options) withDefaults() Options {
 
 // NewSampler builds the reliability estimator configured by opt, with a
 // decorrelated stream index so different pipeline stages use independent
-// randomness. With Workers != 0 the estimator is a sampling.ParallelSampler
-// (which also implements sampling.BatchSampler, unlocking the batched hot
-// paths in candidate elimination and greedy selection).
-func (o Options) NewSampler(stream int64) (sampling.Sampler, error) {
+// randomness, bound to ctx for block-granular cooperative cancellation.
+// With Workers != 0 the estimator is a sampling.ParallelSampler (which also
+// implements sampling.BatchSampler, unlocking the batched hot paths in
+// candidate elimination and greedy selection), leasing its workers from
+// opt.Scratch when one of the matching kind is supplied.
+func (o Options) NewSampler(ctx context.Context, stream int64) (sampling.Sampler, error) {
 	seed := rng.Split(o.Seed, stream).Int63()
+	var smp sampling.Sampler
 	if o.Workers != 0 {
-		ps, err := sampling.NewParallel(o.Sampler, o.Z, seed, o.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		if o.Scratch != nil && o.Scratch.Kind() == o.Sampler {
+			smp = sampling.NewParallelShared(o.Scratch, o.Z, seed, o.Workers)
+		} else {
+			ps, err := sampling.NewParallel(o.Sampler, o.Z, seed, o.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("core: sampler %q (want mc, rss or lazy): %w", o.Sampler, ErrUnknownSampler)
+			}
+			smp = ps
 		}
-		return ps, nil
+	} else {
+		switch o.Sampler {
+		case "mc":
+			smp = sampling.NewMonteCarlo(o.Z, seed)
+		case "rss":
+			smp = sampling.NewRSS(o.Z, seed)
+		case "lazy":
+			smp = sampling.NewLazy(o.Z, seed)
+		default:
+			return nil, fmt.Errorf("core: sampler %q (want mc, rss or lazy): %w", o.Sampler, ErrUnknownSampler)
+		}
 	}
-	switch o.Sampler {
-	case "mc":
-		return sampling.NewMonteCarlo(o.Z, seed), nil
-	case "rss":
-		return sampling.NewRSS(o.Z, seed), nil
-	case "lazy":
-		return sampling.NewLazy(o.Z, seed), nil
-	default:
-		return nil, fmt.Errorf("core: unknown sampler %q (want mc, rss or lazy)", o.Sampler)
-	}
+	smp.SetContext(ctx)
+	return smp, nil
 }
 
 // Solution is the outcome of a Problem 1 query.
@@ -179,13 +201,20 @@ type Solution struct {
 }
 
 // Solve answers a single-source-target budgeted reliability maximization
-// query with the given method.
-func Solve(g *ugraph.Graph, s, t ugraph.NodeID, method Method, opt Options) (Solution, error) {
+// query with the given method. Cancellation is cooperative: when ctx fires
+// the samplers abort within one sample block, the greedy loops stop at the
+// next round boundary, and Solve returns the partial Solution built so far
+// (chosen edges, elimination stats; the held-out evaluation is skipped)
+// together with an error wrapping ctx.Err().
+func Solve(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, method Method, opt Options) (Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	if err := checkQuery(g, s, t); err != nil {
 		return Solution{}, err
 	}
-	smp, err := opt.NewSampler(1)
+	smp, err := opt.NewSampler(ctx, 1)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -196,34 +225,39 @@ func Solve(g *ugraph.Graph, s, t ugraph.NodeID, method Method, opt Options) (Sol
 		return Solution{}, err
 	}
 	elimTime := time.Since(elimStart)
+	opt.emit(ProgressEvent{Stage: StageEliminate, Candidates: len(cands)})
+	if cerr := ctx.Err(); cerr != nil {
+		return Solution{Method: method, CandidateCount: len(cands), ElimTime: elimTime},
+			interrupted("candidate elimination", cerr)
+	}
 
 	selStart := time.Now()
 	var edges []ugraph.Edge
 	var pathCount int
 	switch method {
 	case MethodIndividualTopK:
-		edges = individualTopK(g, s, t, cands, smp, opt)
+		edges = individualTopK(ctx, g, s, t, cands, smp, opt)
 	case MethodHillClimbing:
-		edges = hillClimbing(g, s, t, cands, smp, opt)
+		edges = hillClimbing(ctx, g, s, t, cands, smp, opt)
 	case MethodDegree:
-		edges = centralityEdges(g, cands, opt, false)
+		edges = centralityEdges(ctx, g, cands, opt, false)
 	case MethodBetweenness:
-		edges = centralityEdges(g, cands, opt, true)
+		edges = centralityEdges(ctx, g, cands, opt, true)
 	case MethodEigen:
-		edges = eigenEdges(g, cands, opt)
+		edges = eigenEdges(ctx, g, cands, opt)
 	case MethodMRP:
-		edges = mrpEdges(g, s, t, cands, opt)
+		edges = mrpEdges(ctx, g, s, t, cands, opt)
 	case MethodIP:
-		edges, pathCount = pathSelect(g, s, t, cands, smp, opt, false)
+		edges, pathCount = pathSelect(ctx, g, s, t, cands, smp, opt, false)
 	case MethodBE:
-		edges, pathCount = pathSelect(g, s, t, cands, smp, opt, true)
+		edges, pathCount = pathSelect(ctx, g, s, t, cands, smp, opt, true)
 	case MethodExact:
-		edges, err = exactSearch(g, s, t, cands, smp, opt)
+		edges, err = exactSearch(ctx, g, s, t, cands, smp, opt)
 		if err != nil {
 			return Solution{}, err
 		}
 	default:
-		return Solution{}, fmt.Errorf("core: unknown method %q", method)
+		return Solution{}, fmt.Errorf("core: method %q: %w", method, ErrUnknownMethod)
 	}
 	selTime := time.Since(selStart)
 
@@ -235,26 +269,36 @@ func Solve(g *ugraph.Graph, s, t ugraph.NodeID, method Method, opt Options) (Sol
 		ElimTime:       elimTime,
 		SelectTime:     selTime,
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Partial: the edges selected before the context fired, without
+		// the held-out evaluation.
+		return sol, interrupted("edge selection", cerr)
+	}
 	// Held-out evaluation with an independent stream.
-	eval, err := opt.NewSampler(2)
+	opt.emit(ProgressEvent{Stage: StageEvaluate, Edges: len(edges), Candidates: len(cands), Paths: pathCount})
+	eval, err := opt.NewSampler(ctx, 2)
 	if err != nil {
 		return Solution{}, err
 	}
 	sol.Base = eval.Reliability(g, s, t)
 	sol.After = eval.Reliability(g.WithEdges(edges), s, t)
+	if cerr := ctx.Err(); cerr != nil {
+		sol.Base, sol.After = 0, 0 // interrupted estimates are not meaningful
+		return sol, interrupted("evaluation", cerr)
+	}
 	sol.Gain = sol.After - sol.Base
 	return sol, nil
 }
 
 func checkQuery(g *ugraph.Graph, s, t ugraph.NodeID) error {
 	if s < 0 || int(s) >= g.N() {
-		return fmt.Errorf("core: source %d out of range", s)
+		return fmt.Errorf("core: source %d out of range: %w", s, ErrBadQuery)
 	}
 	if t < 0 || int(t) >= g.N() {
-		return fmt.Errorf("core: target %d out of range", t)
+		return fmt.Errorf("core: target %d out of range: %w", t, ErrBadQuery)
 	}
 	if s == t {
-		return fmt.Errorf("core: source equals target (%d)", s)
+		return fmt.Errorf("core: source equals target (%d): %w", s, ErrBadQuery)
 	}
 	return nil
 }

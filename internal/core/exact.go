@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sampling"
@@ -11,8 +12,9 @@ import (
 // choosing min(k, |E+|) candidate edges, estimate the resulting s-t
 // reliability, and keep the best combination. The combination count is
 // capped by MaxExactCombos; larger instances return an error rather than
-// running for days.
-func exactSearch(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+// running for days. Cancellation stops the enumeration at a combination
+// boundary, keeping the best combination found so far.
+func exactSearch(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
 	k := opt.K
 	if k > len(cands) {
 		k = len(cands)
@@ -22,8 +24,8 @@ func exactSearch(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp s
 	}
 	combos := binomial(len(cands), k)
 	if combos < 0 || combos > opt.MaxExactCombos {
-		return nil, fmt.Errorf("core: exact search needs %d combinations of %d candidates, cap is %d",
-			combos, len(cands), opt.MaxExactCombos)
+		return nil, fmt.Errorf("core: exact search needs %d combinations of %d candidates, cap is %d: %w",
+			combos, len(cands), opt.MaxExactCombos, ErrBudget)
 	}
 	best := -1.0
 	var bestSet []ugraph.Edge
@@ -32,9 +34,21 @@ func exactSearch(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp s
 	// of cloning and re-indexing the whole graph per combination.
 	base := g.Freeze()
 	cs, hasCSR := smp.(sampling.CSRSampler)
+	evaluated := 0
+	stopped := false
 	var recurse func(start int)
 	recurse = func(start int) {
+		if stopped {
+			return
+		}
 		if len(current) == k {
+			// One ctx poll per 64 combinations: each evaluation already
+			// runs a full sample budget, so this granularity is free.
+			if evaluated&63 == 0 && ctx.Err() != nil {
+				stopped = true
+				return
+			}
+			evaluated++
 			var rel float64
 			if hasCSR {
 				rel = cs.ReliabilityCSR(base.WithEdges(current), s, t)
@@ -55,6 +69,9 @@ func exactSearch(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp s
 			current = append(current, cands[i])
 			recurse(i + 1)
 			current = current[:len(current)-1]
+			if stopped {
+				return
+			}
 		}
 	}
 	recurse(0)

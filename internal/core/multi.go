@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -100,18 +101,21 @@ func AggregateOf(matrix [][]float64, agg Aggregate) float64 {
 // maximization query (Problem 4). Supported methods: MethodBE (the
 // proposed solver: batch path selection for Avg, iterative per-pair
 // refinement for Min/Max), MethodHillClimbing and MethodEigen as baselines.
-func SolveMulti(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, method Method, opt Options) (MultiSolution, error) {
+func SolveMulti(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, method Method, opt Options) (MultiSolution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	if len(sources) == 0 || len(targets) == 0 {
-		return MultiSolution{}, fmt.Errorf("core: empty source or target set")
+		return MultiSolution{}, fmt.Errorf("core: empty source or target set: %w", ErrBadQuery)
 	}
 	for _, v := range append(append([]ugraph.NodeID(nil), sources...), targets...) {
 		if v < 0 || int(v) >= g.N() {
-			return MultiSolution{}, fmt.Errorf("core: node %d out of range", v)
+			return MultiSolution{}, fmt.Errorf("core: node %d out of range: %w", v, ErrBadQuery)
 		}
 	}
 	start := time.Now()
-	smp, err := opt.NewSampler(3)
+	smp, err := opt.NewSampler(ctx, 3)
 	if err != nil {
 		return MultiSolution{}, err
 	}
@@ -120,30 +124,38 @@ func SolveMulti(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate
 	case MethodBE:
 		switch agg {
 		case AggAvg:
-			edges, err = multiAvgBE(g, sources, targets, smp, opt)
+			edges, err = multiAvgBE(ctx, g, sources, targets, smp, opt)
 		case AggMin, AggMax:
-			edges, err = multiMinMaxBE(g, sources, targets, agg, smp, opt)
+			edges, err = multiMinMaxBE(ctx, g, sources, targets, agg, smp, opt)
 		default:
-			err = fmt.Errorf("core: unknown aggregate %q", agg)
+			err = fmt.Errorf("core: unknown aggregate %q: %w", agg, ErrBadQuery)
 		}
 	case MethodHillClimbing:
-		edges, err = multiHillClimbing(g, sources, targets, agg, smp, opt)
+		edges, err = multiHillClimbing(ctx, g, sources, targets, agg, smp, opt)
 	case MethodEigen:
 		cands := multiCandidates(g, sources, targets, smp, opt)
-		edges = eigenEdges(g, cands, opt)
+		edges = eigenEdges(ctx, g, cands, opt)
 	default:
-		err = fmt.Errorf("core: method %q not supported for multi-source-target queries", method)
+		err = fmt.Errorf("core: method %q not supported for multi-source-target queries: %w", method, ErrUnknownMethod)
 	}
 	if err != nil {
 		return MultiSolution{}, err
 	}
 	sol := MultiSolution{Method: method, Aggregate: agg, Edges: edges, Elapsed: time.Since(start)}
-	eval, err := opt.NewSampler(4)
+	if cerr := ctx.Err(); cerr != nil {
+		return sol, interrupted("multi-pair edge selection", cerr)
+	}
+	opt.emit(ProgressEvent{Stage: StageEvaluate, Edges: len(edges)})
+	eval, err := opt.NewSampler(ctx, 4)
 	if err != nil {
 		return MultiSolution{}, err
 	}
 	sol.Base = AggregateOf(PairReliabilities(g, sources, targets, eval), agg)
 	sol.After = AggregateOf(PairReliabilities(g.WithEdges(edges), sources, targets, eval), agg)
+	if cerr := ctx.Err(); cerr != nil {
+		sol.Base, sol.After = 0, 0
+		return sol, interrupted("evaluation", cerr)
+	}
 	sol.Gain = sol.After - sol.Base
 	return sol, nil
 }
@@ -172,8 +184,9 @@ func multiCandidates(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp samp
 // multiAvgBE implements §6.1: candidate edges from the multi-source
 // elimination, top-l paths per pair, then batch selection maximizing the
 // average reliability over all pairs on the selected-path subgraph.
-func multiAvgBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+func multiAvgBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
 	cands := multiCandidates(g, sources, targets, smp, opt)
+	opt.emit(ProgressEvent{Stage: StageEliminate, Candidates: len(cands)})
 	a := augment(g, cands)
 	var pool []paths.Path
 	for _, s := range sources {
@@ -181,14 +194,20 @@ func multiAvgBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.
 			if s == t {
 				continue
 			}
-			pool = append(pool, paths.TopL(a.g, s, t, opt.L)...)
+			if ctx.Err() != nil {
+				// Select from the pairs extracted so far; SolveMulti
+				// reports the interruption after selection unwinds.
+				break
+			}
+			pool = append(pool, paths.TopL(ctx, a.g, s, t, opt.L)...)
 		}
 	}
+	opt.emit(ProgressEvent{Stage: StagePaths, Paths: len(pool), Candidates: len(cands)})
 	if len(pool) == 0 {
 		return nil, nil
 	}
 	ev := multiEvaluator{gPlus: a.g, sources: sources, targets: targets, smp: smp}
-	edges := batchSelect(a, pool, opt, ev.avgReliability)
+	edges := batchSelect(ctx, a, pool, opt, ev.avgReliability)
 	return edges, nil
 }
 
@@ -267,7 +286,7 @@ func inducedSubgraph(gPlus *ugraph.Graph, selected []paths.Path) (*ugraph.Graph,
 
 // batchSelect is the shared Algorithm 5+6 greedy loop over an arbitrary
 // objective on the selected-path subgraph.
-func batchSelect(a augmented, pool []paths.Path, opt Options, objective func([]paths.Path) float64) []ugraph.Edge {
+func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Options, objective func([]paths.Path) float64) []ugraph.Edge {
 	type group struct {
 		label []int32
 		paths []paths.Path
@@ -301,7 +320,11 @@ func batchSelect(a augmented, pool []paths.Path, opt Options, objective func([]p
 		return n
 	}
 	current := -1.0
+	round := 0
 	for len(chosen) < opt.K && len(groups) > 0 {
+		if ctx.Err() != nil {
+			break // keep the edges committed in completed rounds
+		}
 		if current < 0 {
 			current = objective(selected)
 		}
@@ -350,11 +373,19 @@ func batchSelect(a augmented, pool []paths.Path, opt Options, objective func([]p
 		if bestIdx < 0 {
 			break
 		}
+		if ctx.Err() != nil {
+			break // this round's scores are incomplete; discard them
+		}
 		for _, id := range groups[bestIdx].label {
 			chosen[id] = true
 		}
 		selected = bestSelection
 		current = -1
+		round++
+		opt.emit(ProgressEvent{
+			Stage: StageSelect, Round: round, Total: opt.K,
+			Batches: len(groups), Edges: len(chosen), Paths: len(pool),
+		})
 		drop := map[int]bool{bestIdx: true}
 		for _, gj := range bestCohort {
 			drop[gj] = true
@@ -391,7 +422,7 @@ func sortInt32(xs []int32) {
 // currently minimum (resp. maximum) reliability and improve it with the
 // single-pair BE solver under a per-round budget k1 = K1Ratio·k, until the
 // total budget k is spent or no further improvement is possible.
-func multiMinMaxBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+func multiMinMaxBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
 	work := g.Clone()
 	budget := opt.K
 	k1 := int(math.Round(opt.K1Ratio * float64(opt.K)))
@@ -404,6 +435,9 @@ func multiMinMaxBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggreg
 	// them, so the skip set resets on progress).
 	skip := make(map[[2]int]bool)
 	for budget > 0 {
+		if ctx.Err() != nil {
+			return all, nil // partial: rounds completed before cancellation
+		}
 		matrix := PairReliabilities(work, sources, targets, smp)
 		si, ti := pickPairSkipping(matrix, agg, skip)
 		if si < 0 {
@@ -418,7 +452,7 @@ func multiMinMaxBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggreg
 		round.K = minInt(k1, budget)
 		round.Candidates = nil
 		cands := candidateRound(work, s, t, smp, round)
-		edges, _ := pathSelect(work, s, t, cands, smp, round, true)
+		edges, _ := pathSelect(ctx, work, s, t, cands, smp, round, true)
 		if len(edges) == 0 {
 			// This pair cannot be improved on the current graph; try
 			// the next-worst (resp. next-best) pair instead.
@@ -436,6 +470,7 @@ func multiMinMaxBE(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggreg
 		}
 		if progressed {
 			skip = make(map[[2]int]bool)
+			opt.emit(ProgressEvent{Stage: StageSelect, Round: opt.K - budget, Total: opt.K, Edges: len(all)})
 		} else {
 			skip[[2]int{si, ti}] = true
 		}
@@ -480,16 +515,22 @@ func pickPairSkipping(matrix [][]float64, agg Aggregate, skip map[[2]int]bool) (
 }
 
 // multiHillClimbing generalizes Algorithm 1 to the aggregate objective.
-func multiHillClimbing(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+func multiHillClimbing(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
 	cands := multiCandidates(g, sources, targets, smp, opt)
 	work := g.Clone()
 	var chosen []ugraph.Edge
 	remaining := append([]ugraph.Edge(nil), cands...)
 	for len(chosen) < opt.K && len(remaining) > 0 {
+		if ctx.Err() != nil {
+			return chosen, nil // partial greedy prefix
+		}
 		base := AggregateOf(PairReliabilities(work, sources, targets, smp), agg)
 		bestIdx, bestGain := -1, -1.0
 		scratch := make([]ugraph.Edge, 1)
 		for i, e := range remaining {
+			if ctx.Err() != nil {
+				break
+			}
 			scratch[0] = e
 			gain := AggregateOf(PairReliabilities(work.WithEdges(scratch), sources, targets, smp), agg) - base
 			if gain > bestGain {
@@ -497,7 +538,7 @@ func multiHillClimbing(g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Ag
 				bestIdx = i
 			}
 		}
-		if bestIdx < 0 {
+		if bestIdx < 0 || ctx.Err() != nil {
 			break
 		}
 		e := remaining[bestIdx]

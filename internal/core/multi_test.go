@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -70,7 +72,7 @@ func TestSolveMultiAggregates(t *testing.T) {
 	g, S, T := multiTestGraph()
 	for _, agg := range []Aggregate{AggAvg, AggMin, AggMax} {
 		opt := Options{K: 3, Zeta: 0.6, R: 8, L: 8, Z: 1500, Seed: 33}
-		sol, err := SolveMulti(g, S, T, agg, MethodBE, opt)
+		sol, err := SolveMulti(context.Background(), g, S, T, agg, MethodBE, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", agg, err)
 		}
@@ -96,7 +98,7 @@ func TestSolveMultiBaselines(t *testing.T) {
 	g, S, T := multiTestGraph()
 	opt := Options{K: 2, Zeta: 0.6, R: 8, L: 6, Z: 600, Seed: 44}
 	for _, m := range []Method{MethodHillClimbing, MethodEigen} {
-		sol, err := SolveMulti(g, S, T, AggAvg, m, opt)
+		sol, err := SolveMulti(context.Background(), g, S, T, AggAvg, m, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -109,16 +111,16 @@ func TestSolveMultiBaselines(t *testing.T) {
 func TestSolveMultiValidation(t *testing.T) {
 	g, S, T := multiTestGraph()
 	opt := Options{K: 2, Z: 200, Seed: 1}
-	if _, err := SolveMulti(g, nil, T, AggAvg, MethodBE, opt); err == nil {
+	if _, err := SolveMulti(context.Background(), g, nil, T, AggAvg, MethodBE, opt); err == nil {
 		t.Error("empty source set accepted")
 	}
-	if _, err := SolveMulti(g, S, []ugraph.NodeID{99}, AggAvg, MethodBE, opt); err == nil {
+	if _, err := SolveMulti(context.Background(), g, S, []ugraph.NodeID{99}, AggAvg, MethodBE, opt); err == nil {
 		t.Error("out-of-range target accepted")
 	}
-	if _, err := SolveMulti(g, S, T, Aggregate("bogus"), MethodBE, opt); err == nil {
+	if _, err := SolveMulti(context.Background(), g, S, T, Aggregate("bogus"), MethodBE, opt); err == nil {
 		t.Error("bogus aggregate accepted")
 	}
-	if _, err := SolveMulti(g, S, T, AggAvg, MethodDegree, opt); err == nil {
+	if _, err := SolveMulti(context.Background(), g, S, T, AggAvg, MethodDegree, opt); err == nil {
 		t.Error("unsupported multi method accepted")
 	}
 }
@@ -128,7 +130,7 @@ func TestSolveMultiValidation(t *testing.T) {
 func TestSolveMultiMinImprovesWorstPair(t *testing.T) {
 	g, S, T := multiTestGraph()
 	opt := Options{K: 4, Zeta: 0.7, R: 8, L: 8, Z: 2000, Seed: 55, K1Ratio: 0.5}
-	sol, err := SolveMulti(g, S, T, AggMin, MethodBE, opt)
+	sol, err := SolveMulti(context.Background(), g, S, T, AggMin, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +145,11 @@ func TestSolveMultiMinImprovesWorstPair(t *testing.T) {
 func TestSolveMultiDeterministic(t *testing.T) {
 	g, S, T := multiTestGraph()
 	opt := Options{K: 3, Zeta: 0.6, R: 8, L: 6, Z: 800, Seed: 66}
-	a, err := SolveMulti(g, S, T, AggAvg, MethodBE, opt)
+	a, err := SolveMulti(context.Background(), g, S, T, AggAvg, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SolveMulti(g, S, T, AggAvg, MethodBE, opt)
+	b, err := SolveMulti(context.Background(), g, S, T, AggAvg, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +177,11 @@ func TestMultiAvgMatchesSinglePair(t *testing.T) {
 		g.MustAddEdge(u, v, 0.1+0.4*r.Float64())
 	}
 	opt := Options{K: 3, Zeta: 0.6, R: 10, L: 10, Z: 2000, Seed: 77, H: 3}
-	single, err := Solve(g, 0, 19, MethodBE, opt)
+	single, err := Solve(context.Background(), g, 0, 19, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := SolveMulti(g, []ugraph.NodeID{0}, []ugraph.NodeID{19}, AggAvg, MethodBE, opt)
+	multi, err := SolveMulti(context.Background(), g, []ugraph.NodeID{0}, []ugraph.NodeID{19}, AggAvg, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/paths"
@@ -113,10 +114,11 @@ func (ev pathEvaluator) reliability(selected []paths.Path) float64 {
 // keeping at most K candidate edges. Batch mode scores marginal gain
 // normalized by the number of newly added candidate edges and pulls in
 // every batch whose label is covered by the tentative selection (Example 3).
-func pathSelect(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options, batch bool) ([]ugraph.Edge, int) {
+func pathSelect(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options, batch bool) ([]ugraph.Edge, int) {
 	a := augment(g, cands)
-	pool := paths.TopL(a.g, s, t, opt.L)
+	pool := paths.TopL(ctx, a.g, s, t, opt.L)
 	pathCount := len(pool)
+	opt.emit(ProgressEvent{Stage: StagePaths, Paths: pathCount, Candidates: len(cands)})
 	if pathCount == 0 {
 		return nil, 0
 	}
@@ -179,7 +181,11 @@ func pathSelect(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sa
 		return n
 	}
 
+	round := 0
 	for len(chosen) < opt.K && len(groups) > 0 {
+		if ctx.Err() != nil {
+			break // keep the edges committed in completed rounds
+		}
 		if current < 0 {
 			current = ev.reliability(selected)
 		}
@@ -226,11 +232,19 @@ func pathSelect(g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sa
 		if bestIdx < 0 {
 			break // nothing fits the remaining budget
 		}
+		if ctx.Err() != nil {
+			break // this round's scores are incomplete; discard them
+		}
 		for _, id := range groups[bestIdx].label {
 			chosen[id] = true
 		}
 		selected = bestSelection
 		current = -1
+		round++
+		opt.emit(ProgressEvent{
+			Stage: StageSelect, Round: round, Total: opt.K,
+			Batches: len(groups), Edges: len(chosen), Paths: pathCount,
+		})
 		// Drop the selected group and its cohort from the pool.
 		drop := map[int]bool{bestIdx: true}
 		for _, gj := range bestCohort {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -33,16 +34,19 @@ type TotalBudgetSolution struct {
 // allocated greedily in steps of B/Steps to whichever candidate edge
 // currently yields the largest marginal reliability gain on the
 // selected-path subgraph. Steps defaults to 20.
-func SolveTotalBudget(g *ugraph.Graph, s, t ugraph.NodeID, budget float64, opt Options) (TotalBudgetSolution, error) {
+func SolveTotalBudget(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, budget float64, opt Options) (TotalBudgetSolution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	if err := checkQuery(g, s, t); err != nil {
 		return TotalBudgetSolution{}, err
 	}
 	if budget <= 0 {
-		return TotalBudgetSolution{}, fmt.Errorf("core: total budget %v must be positive", budget)
+		return TotalBudgetSolution{}, fmt.Errorf("core: total budget %v must be positive: %w", budget, ErrBudget)
 	}
 	start := time.Now()
-	smp, err := opt.NewSampler(5)
+	smp, err := opt.NewSampler(ctx, 5)
 	if err != nil {
 		return TotalBudgetSolution{}, err
 	}
@@ -62,25 +66,33 @@ func SolveTotalBudget(g *ugraph.Graph, s, t ugraph.NodeID, budget float64, opt O
 		return TotalBudgetSolution{}, err
 	}
 	a := augment(g, cands)
-	pool := paths.TopL(a.g, s, t, opt.L)
+	pool := paths.TopL(ctx, a.g, s, t, opt.L)
 	sol := TotalBudgetSolution{}
 	if len(pool) > 0 {
-		sol.Edges, sol.Spent = allocateBudget(a, pool, s, t, budget, opt, smp)
+		sol.Edges, sol.Spent = allocateBudget(ctx, a, pool, s, t, budget, opt, smp)
 	}
-	eval, err := opt.NewSampler(6)
+	if cerr := ctx.Err(); cerr != nil {
+		sol.Elapsed = time.Since(start)
+		return sol, interrupted("budget allocation", cerr)
+	}
+	eval, err := opt.NewSampler(ctx, 6)
 	if err != nil {
 		return TotalBudgetSolution{}, err
 	}
 	sol.Base = eval.Reliability(g, s, t)
 	sol.After = eval.Reliability(g.WithEdges(sol.Edges), s, t)
-	sol.Gain = sol.After - sol.Base
 	sol.Elapsed = time.Since(start)
+	if cerr := ctx.Err(); cerr != nil {
+		sol.Base, sol.After = 0, 0
+		return sol, interrupted("evaluation", cerr)
+	}
+	sol.Gain = sol.After - sol.Base
 	return sol, nil
 }
 
 // allocateBudget greedily distributes the probability budget over the
 // candidate edges appearing on the extracted paths.
-func allocateBudget(a augmented, pool []paths.Path, s, t ugraph.NodeID, budget float64, opt Options, smp interface {
+func allocateBudget(ctx context.Context, a augmented, pool []paths.Path, s, t ugraph.NodeID, budget float64, opt Options, smp interface {
 	Reliability(*ugraph.Graph, ugraph.NodeID, ugraph.NodeID) float64
 }) ([]ugraph.Edge, float64) {
 	// Build the induced subgraph of ALL extracted paths once; candidate
@@ -125,6 +137,9 @@ func allocateBudget(a augmented, pool []paths.Path, s, t ugraph.NodeID, budget f
 	remaining := budget
 	current := smp.Reliability(sub, ss, tt)
 	for remaining > 1e-9 {
+		if ctx.Err() != nil {
+			break // keep the allocation committed so far
+		}
 		step := delta
 		if step > remaining {
 			step = remaining

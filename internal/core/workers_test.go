@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/gen"
@@ -20,14 +22,14 @@ func workersTestGraph(t *testing.T) *ugraph.Graph {
 // TestNewSamplerWorkers pins the Options.Workers contract: 0 keeps the
 // serial estimator, anything else returns a batch-capable parallel one.
 func TestNewSamplerWorkers(t *testing.T) {
-	serial, err := Options{Workers: 0}.withDefaults().NewSampler(1)
+	serial, err := Options{Workers: 0}.withDefaults().NewSampler(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := serial.(sampling.BatchSampler); ok {
 		t.Fatal("Workers=0 must build a serial sampler")
 	}
-	par, err := Options{Workers: 4}.withDefaults().NewSampler(1)
+	par, err := Options{Workers: 4}.withDefaults().NewSampler(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestNewSamplerWorkers(t *testing.T) {
 	if ps.Workers() != 4 {
 		t.Fatalf("pool size %d, want 4", ps.Workers())
 	}
-	if _, err := (Options{Workers: 2, Sampler: "nope"}).NewSampler(1); err == nil {
+	if _, err := (Options{Workers: 2, Sampler: "nope"}).NewSampler(context.Background(), 1); err == nil {
 		t.Fatal("unknown sampler kind must error with Workers set too")
 	}
 }
@@ -52,13 +54,13 @@ func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 	for _, method := range []Method{MethodBE, MethodHillClimbing, MethodIndividualTopK} {
 		opt := base
 		opt.Workers = 1
-		ref, err := Solve(g, 0, 39, method, opt)
+		ref, err := Solve(context.Background(), g, 0, 39, method, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 8} {
 			opt.Workers = workers
-			got, err := Solve(g, 0, 39, method, opt)
+			got, err := Solve(context.Background(), g, 0, 39, method, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,12 +87,12 @@ func TestSolveMultiDeterministicAcrossWorkers(t *testing.T) {
 	sources := []ugraph.NodeID{0, 3}
 	targets := []ugraph.NodeID{30, 39}
 	opt := Options{K: 3, Zeta: 0.5, R: 8, L: 6, Z: 120, Seed: 5, Workers: 1}
-	ref, err := SolveMulti(g, sources, targets, AggAvg, MethodBE, opt)
+	ref, err := SolveMulti(context.Background(), g, sources, targets, AggAvg, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Workers = 8
-	got, err := SolveMulti(g, sources, targets, AggAvg, MethodBE, opt)
+	got, err := SolveMulti(context.Background(), g, sources, targets, AggAvg, MethodBE, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package eigen
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/pq"
@@ -18,13 +19,16 @@ import (
 // Vectors are L2-normalized and non-negative (Perron-Frobenius). For
 // undirected graphs the two vectors coincide. iters bounds the iteration
 // count (<=0 uses 200); convergence stops early at 1e-12 relative change.
-func Leading(g *ugraph.Graph, iters int) (lambda float64, left, right []float64) {
+// The power iterations poll ctx (nil allowed) once per sweep; cancellation
+// stops at the current iterate — a valid but unconverged vector that
+// callers observing ctx.Err() discard.
+func Leading(ctx context.Context, g *ugraph.Graph, iters int) (lambda float64, left, right []float64) {
 	if iters <= 0 {
 		iters = 200
 	}
-	right = powerIteration(g, iters, false)
+	right = powerIteration(ctx, g, iters, false)
 	if g.Directed() {
-		left = powerIteration(g, iters, true)
+		left = powerIteration(ctx, g, iters, true)
 	} else {
 		left = append([]float64(nil), right...)
 	}
@@ -41,7 +45,7 @@ func Leading(g *ugraph.Graph, iters int) (lambda float64, left, right []float64)
 
 // powerIteration returns the normalized dominant eigenvector of A
 // (transpose=false) or Aᵀ (transpose=true).
-func powerIteration(g *ugraph.Graph, iters int, transpose bool) []float64 {
+func powerIteration(ctx context.Context, g *ugraph.Graph, iters int, transpose bool) []float64 {
 	n := g.N()
 	x := make([]float64, n)
 	y := make([]float64, n)
@@ -49,6 +53,9 @@ func powerIteration(g *ugraph.Graph, iters int, transpose bool) []float64 {
 		x[i] = 1 / math.Sqrt(float64(n))
 	}
 	for it := 0; it < iters; it++ {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
 		for i := range y {
 			y[i] = 0
 		}
@@ -97,11 +104,11 @@ type ScoredEdge struct {
 // left endpoints from the top-(k+din) nodes by left eigen-score and right
 // endpoints from the top-(k+dout) nodes by right eigen-score, where din and
 // dout are the maximum in- and out-degrees.
-func TopEdges(g *ugraph.Graph, k int) []ScoredEdge {
+func TopEdges(ctx context.Context, g *ugraph.Graph, k int) []ScoredEdge {
 	if k <= 0 {
 		return nil
 	}
-	_, left, right := Leading(g, 0)
+	_, left, right := Leading(ctx, g, 0)
 	din, dout := maxDegrees(g)
 	srcPool := topNodes(left, k+din)
 	dstPool := topNodes(right, k+dout)

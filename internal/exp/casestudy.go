@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"sort"
@@ -16,15 +18,15 @@ import (
 func init() {
 	register("table2", table2)
 	register("table11", table11)
-	register("fig6", func(p Params) (Table, error) { return sensorCase(p, "fig6", pickLeftRight) })
-	register("fig7", func(p Params) (Table, error) { return sensorCase(p, "fig7", pickDiagonal) })
+	register("fig6", func(ctx context.Context, p Params) (Table, error) { return sensorCase(ctx, p, "fig6", pickLeftRight) })
+	register("fig7", func(ctx context.Context, p Params) (Table, error) { return sensorCase(ctx, p, "fig7", pickDiagonal) })
 	register("fig8", fig8)
 }
 
 // table2: Table 2 — exact reliabilities of the three candidate solutions of
 // the Figure 3 example under three (α, ζ) settings. Deterministic; matches
 // the published numbers to three decimals.
-func table2(Params) (Table, error) {
+func table2(ctx context.Context, _ Params) (Table, error) {
 	const s, a, b, tt = 0, 1, 2, 3
 	t := Table{
 		ID:     "table2",
@@ -79,7 +81,7 @@ func intelCandidates(g *ugraph.Graph, pos [][2]float64, maxDist float64) []ugrap
 
 // table11: Table 11 — exact solution vs IP vs BE on the Intel Lab network:
 // k=3, ζ=0.33, only links ≤ 15 m allowed.
-func table11(p Params) (Table, error) {
+func table11(ctx context.Context, p Params) (Table, error) {
 	g, pos := datasets.IntelLab(p.Seed)
 	queryCount := p.Queries
 	if queryCount > 5 {
@@ -107,7 +109,7 @@ func table11(p Params) (Table, error) {
 		opt := core.Options{K: 3, Zeta: 0.33, L: 20, Z: 400, Sampler: "rss", Seed: p.Seed + int64(qi)*41, R: 12, Workers: p.Workers}
 		// Restrict candidates to the query's elimination sets so the
 		// exhaustive search stays tractable (~C(40,3) combinations).
-		smp, err := opt.NewSampler(1)
+		smp, err := opt.NewSampler(ctx, 1)
 		if err != nil {
 			return Table{}, err
 		}
@@ -132,7 +134,7 @@ func table11(p Params) (Table, error) {
 		opt.Candidates = cands
 		var esEdges []ugraph.Edge
 		for _, m := range []core.Method{core.MethodExact, core.MethodIP, core.MethodBE} {
-			sol, err := core.Solve(g, q.S, q.T, m, opt)
+			sol, err := core.Solve(ctx, g, q.S, q.T, m, opt)
 			if err != nil {
 				return Table{}, fmt.Errorf("%s: %w", m, err)
 			}
@@ -214,12 +216,12 @@ func pickDiagonal(g *ugraph.Graph, pos [][2]float64) (ugraph.NodeID, ugraph.Node
 
 // sensorCase: Figures 6-7 — the Intel Lab case study: improve the
 // reliability between two far-apart sensors with 3 new short links.
-func sensorCase(p Params, id string, pick func(*ugraph.Graph, [][2]float64) (ugraph.NodeID, ugraph.NodeID)) (Table, error) {
+func sensorCase(ctx context.Context, p Params, id string, pick func(*ugraph.Graph, [][2]float64) (ugraph.NodeID, ugraph.NodeID)) (Table, error) {
 	g, pos := datasets.IntelLab(p.Seed)
 	s, tt := pick(g, pos)
 	opt := core.Options{K: 3, Zeta: 0.33, L: 25, Z: 1500, Sampler: "rss", Seed: p.Seed, R: 25, Workers: p.Workers}
 	opt.Candidates = intelCandidates(g, pos, 15)
-	sol, err := core.Solve(g, s, tt, core.MethodBE, opt)
+	sol, err := core.Solve(ctx, g, s, tt, core.MethodBE, opt)
 	if err != nil {
 		return Table{}, err
 	}
@@ -247,7 +249,7 @@ func sensorCase(p Params, id string, pick func(*ugraph.Graph, [][2]float64) (ugr
 // fig8: Figure 8 — influence maximization on the DBLP stand-in: improve
 // the IC spread from a senior group to a junior group by edge addition,
 // comparing EO against BE (average-reliability objective).
-func fig8(p Params) (Table, error) {
+func fig8(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("dblp", p)
 	if err != nil {
 		return Table{}, err
@@ -278,7 +280,7 @@ func fig8(p Params) (Table, error) {
 		juniors = append(juniors, all[i].v)
 	}
 	cfg := influence.Config{Z: 400, Seed: p.Seed}
-	before := influence.Spread(g, seniors, juniors, cfg)
+	before := influence.Spread(ctx, g, seniors, juniors, cfg)
 	ks := []int{5, 10, 20}
 	if p.Quick {
 		ks = []int{5}
@@ -292,16 +294,16 @@ func fig8(p Params) (Table, error) {
 	for _, k := range ks {
 		opt := baseOpt(p, 8)
 		opt.K = k
-		eo, err := core.SolveMulti(g, seniors, juniors, core.AggAvg, core.MethodEigen, opt)
+		eo, err := core.SolveMulti(ctx, g, seniors, juniors, core.AggAvg, core.MethodEigen, opt)
 		if err != nil {
 			return Table{}, err
 		}
-		be, err := core.SolveMulti(g, seniors, juniors, core.AggAvg, core.MethodBE, opt)
+		be, err := core.SolveMulti(ctx, g, seniors, juniors, core.AggAvg, core.MethodBE, opt)
 		if err != nil {
 			return Table{}, err
 		}
-		spreadEO := influence.Spread(g.WithEdges(eo.Edges), seniors, juniors, cfg)
-		spreadBE := influence.Spread(g.WithEdges(be.Edges), seniors, juniors, cfg)
+		spreadEO := influence.Spread(ctx, g.WithEdges(eo.Edges), seniors, juniors, cfg)
+		spreadBE := influence.Spread(ctx, g.WithEdges(be.Edges), seniors, juniors, cfg)
 		t.Rows = append(t.Rows, []string{fmt.Sprint(k), f2(spreadEO), f2(spreadBE), f2(before)})
 	}
 	return t, nil

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -113,7 +114,7 @@ func minI(a, b int) int {
 	return b
 }
 
-type runner func(Params) (Table, error)
+type runner func(context.Context, Params) (Table, error)
 
 var registry = map[string]runner{}
 var order []string
@@ -130,13 +131,18 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given id.
-func Run(id string, p Params) (Table, error) {
+// Run executes the experiment with the given id. Cancelling ctx aborts the
+// experiment at the next query boundary (the underlying solvers return a
+// partial solution with an error wrapping ctx.Err(), which Run propagates).
+func Run(ctx context.Context, id string, p Params) (Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fn, ok := registry[id]
 	if !ok {
 		return Table{}, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return fn(p.withDefaults())
+	return fn(ctx, p.withDefaults())
 }
 
 // loadDS loads a dataset stand-in at the parameterized scale.

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"strings"
@@ -12,7 +14,7 @@ func quickParams() Params {
 }
 
 func TestTable2MatchesPaperExactly(t *testing.T) {
-	tab, err := Run("table2", quickParams())
+	tab, err := Run(context.Background(), "table2", quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func TestTable2MatchesPaperExactly(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope", quickParams()); err == nil {
+	if _, err := Run(context.Background(), "nope", quickParams()); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -87,7 +89,7 @@ func TestRenderIncludesHeaderAndNotes(t *testing.T) {
 // benchmarks.
 func TestQuickSmoke(t *testing.T) {
 	for _, id := range []string{"table5", "table9", "table21", "fig6"} {
-		tab, err := Run(id, quickParams())
+		tab, err := Run(context.Background(), id, quickParams())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -106,7 +108,7 @@ func TestQuickSmoke(t *testing.T) {
 }
 
 func TestMultiQuickSmoke(t *testing.T) {
-	tab, err := Run("table23", quickParams())
+	tab, err := Run(context.Background(), "table23", quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -12,9 +14,9 @@ import (
 )
 
 func init() {
-	register("table23", func(p Params) (Table, error) { return multiSweep(p, "table23", core.AggMin) })
-	register("table24", func(p Params) (Table, error) { return multiSweep(p, "table24", core.AggMax) })
-	register("table25", func(p Params) (Table, error) { return multiSweep(p, "table25", core.AggAvg) })
+	register("table23", func(ctx context.Context, p Params) (Table, error) { return multiSweep(ctx, p, "table23", core.AggMin) })
+	register("table24", func(ctx context.Context, p Params) (Table, error) { return multiSweep(ctx, p, "table24", core.AggMax) })
+	register("table25", func(ctx context.Context, p Params) (Table, error) { return multiSweep(ctx, p, "table25", core.AggAvg) })
 	register("fig5", fig5)
 }
 
@@ -23,25 +25,25 @@ var multiMethodNames = []string{"HC", "EO", "ESSSP", "IMA", "BE"}
 
 // runMultiMethod dispatches one competitor on one multi query and returns
 // the chosen edges plus elapsed time.
-func runMultiMethod(g *ugraph.Graph, q datasets.MultiQuery, name string, agg core.Aggregate, opt core.Options) ([]ugraph.Edge, time.Duration, error) {
+func runMultiMethod(ctx context.Context, g *ugraph.Graph, q datasets.MultiQuery, name string, agg core.Aggregate, opt core.Options) ([]ugraph.Edge, time.Duration, error) {
 	start := time.Now()
 	var edges []ugraph.Edge
 	var err error
 	switch name {
 	case "HC":
 		var sol core.MultiSolution
-		sol, err = core.SolveMulti(g, q.Sources, q.Targets, agg, core.MethodHillClimbing, opt)
+		sol, err = core.SolveMulti(ctx, g, q.Sources, q.Targets, agg, core.MethodHillClimbing, opt)
 		edges = sol.Edges
 	case "EO":
 		var sol core.MultiSolution
-		sol, err = core.SolveMulti(g, q.Sources, q.Targets, agg, core.MethodEigen, opt)
+		sol, err = core.SolveMulti(ctx, g, q.Sources, q.Targets, agg, core.MethodEigen, opt)
 		edges = sol.Edges
 	case "BE":
 		var sol core.MultiSolution
-		sol, err = core.SolveMulti(g, q.Sources, q.Targets, agg, core.MethodBE, opt)
+		sol, err = core.SolveMulti(ctx, g, q.Sources, q.Targets, agg, core.MethodBE, opt)
 		edges = sol.Edges
 	case "ESSSP", "IMA":
-		smp, serr := opt.NewSampler(31)
+		smp, serr := opt.NewSampler(ctx, 31)
 		if serr != nil {
 			return nil, 0, serr
 		}
@@ -49,9 +51,9 @@ func runMultiMethod(g *ugraph.Graph, q datasets.MultiQuery, name string, agg cor
 			candidates.Options{R: opt.R, H: opt.H, Zeta: opt.Zeta})
 		cfg := influence.Config{Z: opt.Z, Seed: opt.Seed}
 		if name == "ESSSP" {
-			edges = influence.ESSSP(g, q.Sources, q.Targets, res.Edges, opt.K, cfg)
+			edges = influence.ESSSP(ctx, g, q.Sources, q.Targets, res.Edges, opt.K, cfg)
 		} else {
-			edges = influence.IMA(g, q.Sources, q.Targets, res.Edges, opt.K, cfg)
+			edges = influence.IMA(ctx, g, q.Sources, q.Targets, res.Edges, opt.K, cfg)
 		}
 	default:
 		err = fmt.Errorf("exp: unknown multi method %q", name)
@@ -61,7 +63,7 @@ func runMultiMethod(g *ugraph.Graph, q datasets.MultiQuery, name string, agg cor
 
 // multiSweep: Tables 23-25 — vary the source/target set size for one
 // aggregate, reporting gain and time per competitor.
-func multiSweep(p Params, id string, agg core.Aggregate) (Table, error) {
+func multiSweep(ctx context.Context, p Params, id string, agg core.Aggregate) (Table, error) {
 	g, err := loadDS("twitter", p)
 	if err != nil {
 		return Table{}, err
@@ -90,13 +92,13 @@ func multiSweep(p Params, id string, agg core.Aggregate) (Table, error) {
 			opt.K1Ratio = 0.1
 			opt.H = 0 // multi pairs span long distances; no hop bound (§8.3)
 			opt.Seed += int64(qi) * 313
-			eval, err := opt.NewSampler(40)
+			eval, err := opt.NewSampler(ctx, 40)
 			if err != nil {
 				return Table{}, err
 			}
 			base := core.AggregateOf(core.PairReliabilities(g, mq.Sources, mq.Targets, eval), agg)
 			for _, name := range multiMethodNames {
-				edges, elapsed, err := runMultiMethod(g, mq, name, agg, opt)
+				edges, elapsed, err := runMultiMethod(ctx, g, mq, name, agg, opt)
 				if err != nil {
 					return Table{}, fmt.Errorf("%s: %w", name, err)
 				}
@@ -119,7 +121,7 @@ func multiSweep(p Params, id string, agg core.Aggregate) (Table, error) {
 
 // fig5: Figure 5 — gain and running time of BE vs budget k for the three
 // aggregates.
-func fig5(p Params) (Table, error) {
+func fig5(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("twitter", p)
 	if err != nil {
 		return Table{}, err
@@ -151,7 +153,7 @@ func fig5(p Params) (Table, error) {
 			opt.H = 0
 			opt.Seed += int64(qi) * 389
 			for ai, agg := range aggs {
-				sol, err := core.SolveMulti(g, mq.Sources, mq.Targets, agg, core.MethodBE, opt)
+				sol, err := core.SolveMulti(ctx, g, mq.Sources, mq.Targets, agg, core.MethodBE, opt)
 				if err != nil {
 					return Table{}, err
 				}

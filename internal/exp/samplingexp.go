@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -59,7 +61,7 @@ func samplesToConverge(g *ugraph.Graph, queries []datasets.Query, mk func(z int,
 
 // table6: Table 6 — samples required for convergence and elimination-pass
 // time, MC vs RSS, per dataset.
-func table6(p Params) (Table, error) {
+func table6(ctx context.Context, p Params) (Table, error) {
 	reps := 12
 	if p.Quick {
 		reps = 6
@@ -97,7 +99,7 @@ func table6(p Params) (Table, error) {
 // table7: Table 7 — top-k selection time with MC vs RSS inside HC, MRP and
 // BE (the converged sample sizes: MC uses 2× the RSS budget, mirroring the
 // paper's finding that RSS needs roughly half the samples).
-func table7(p Params) (Table, error) {
+func table7(ctx context.Context, p Params) (Table, error) {
 	methods := []core.Method{core.MethodHillClimbing, core.MethodMRP, core.MethodBE}
 	t := Table{
 		ID:     "table7",
@@ -130,7 +132,7 @@ func table7(p Params) (Table, error) {
 			opt := baseOpt(p, 7)
 			opt.Sampler = cfg.sampler
 			opt.Z = cfg.z
-			res, err := runMethods(g, queries, methods, opt)
+			res, err := runMethods(ctx, g, queries, methods, opt)
 			if err != nil {
 				return Table{}, err
 			}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/candidates"
@@ -16,13 +18,13 @@ func init() {
 	register("table5", table5)
 	register("table9", table9)
 	register("table10", table10)
-	register("table12", func(p Params) (Table, error) { return varyK(p, "table12", "lastfm") })
-	register("table13", func(p Params) (Table, error) { return varyK(p, "table13", "dblp") })
-	register("table14", func(p Params) (Table, error) { return varyZeta(p, "table14", "astopo") })
-	register("table15", func(p Params) (Table, error) { return varyZeta(p, "table15", "twitter") })
+	register("table12", func(ctx context.Context, p Params) (Table, error) { return varyK(ctx, p, "table12", "lastfm") })
+	register("table13", func(ctx context.Context, p Params) (Table, error) { return varyK(ctx, p, "table13", "dblp") })
+	register("table14", func(ctx context.Context, p Params) (Table, error) { return varyZeta(ctx, p, "table14", "astopo") })
+	register("table15", func(ctx context.Context, p Params) (Table, error) { return varyZeta(ctx, p, "table15", "twitter") })
 	register("table16", table16)
-	register("table17", func(p Params) (Table, error) { return varyR(p, "table17", "lastfm") })
-	register("table18", func(p Params) (Table, error) { return varyR(p, "table18", "dblp") })
+	register("table17", func(ctx context.Context, p Params) (Table, error) { return varyR(ctx, p, "table17", "lastfm") })
+	register("table18", func(ctx context.Context, p Params) (Table, error) { return varyR(ctx, p, "table18", "dblp") })
 	register("table19", table19)
 	register("table20", table20)
 	register("table21", table21)
@@ -71,7 +73,7 @@ func safeDiv(x float64, n int) float64 {
 }
 
 // runMethods solves every query with every method and aggregates.
-func runMethods(g *ugraph.Graph, queries []datasets.Query, methods []core.Method, opt core.Options) (map[core.Method]*methodAgg, error) {
+func runMethods(ctx context.Context, g *ugraph.Graph, queries []datasets.Query, methods []core.Method, opt core.Options) (map[core.Method]*methodAgg, error) {
 	out := make(map[core.Method]*methodAgg, len(methods))
 	for _, m := range methods {
 		out[m] = &methodAgg{}
@@ -83,7 +85,7 @@ func runMethods(g *ugraph.Graph, queries []datasets.Query, methods []core.Method
 			var sol core.Solution
 			var err error
 			_, alloc := measured(func() {
-				sol, err = core.Solve(g, q.S, q.T, m, qopt)
+				sol, err = core.Solve(ctx, g, q.S, q.T, m, qopt)
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s on query %d: %w", m, qi, err)
@@ -109,7 +111,7 @@ var methodLabel = map[core.Method]string{
 // table4: Table 4 — all methods WITHOUT search space elimination (full
 // missing-edge candidate set within h hops). Kept deliberately tiny: this
 // is the configuration the paper reports as infeasible at scale.
-func table4(p Params) (Table, error) {
+func table4(ctx context.Context, p Params) (Table, error) {
 	small := p
 	small.Scale = minF(p.Scale, 0.03)
 	g, err := loadDS("lastfm", small)
@@ -127,7 +129,7 @@ func table4(p Params) (Table, error) {
 		core.MethodBetweenness, core.MethodEigen, core.MethodMRP,
 		core.MethodIP, core.MethodBE,
 	}
-	res, err := runMethods(g, queries, methods, opt)
+	res, err := runMethods(ctx, g, queries, methods, opt)
 	if err != nil {
 		return Table{}, err
 	}
@@ -144,7 +146,7 @@ func table4(p Params) (Table, error) {
 }
 
 // table5: Table 5 — the same competition WITH search space elimination.
-func table5(p Params) (Table, error) {
+func table5(ctx context.Context, p Params) (Table, error) {
 	small := p
 	small.Scale = minF(p.Scale, 0.03)
 	g, err := loadDS("lastfm", small)
@@ -161,7 +163,7 @@ func table5(p Params) (Table, error) {
 		core.MethodBetweenness, core.MethodEigen, core.MethodMRP,
 		core.MethodIP, core.MethodBE,
 	}
-	res, err := runMethods(g, queries, methods, opt)
+	res, err := runMethods(ctx, g, queries, methods, opt)
 	if err != nil {
 		return Table{}, err
 	}
@@ -185,18 +187,18 @@ var syntheticDatasets = []string{
 
 // table9: Table 9 — HC/MRP/IP/BE on the four real-like datasets with
 // default parameters: gain, time, memory.
-func table9(p Params) (Table, error) {
-	return datasetSweep(p, "table9", realDatasets,
+func table9(ctx context.Context, p Params) (Table, error) {
+	return datasetSweep(ctx, p, "table9", realDatasets,
 		"Single-source-target reliability maximization on real-like datasets")
 }
 
 // table10: Table 10 — the same on the eight synthetic datasets.
-func table10(p Params) (Table, error) {
-	return datasetSweep(p, "table10", syntheticDatasets,
+func table10(ctx context.Context, p Params) (Table, error) {
+	return datasetSweep(ctx, p, "table10", syntheticDatasets,
 		"Single-source-target reliability maximization on synthetic datasets")
 }
 
-func datasetSweep(p Params, id string, names []string, title string) (Table, error) {
+func datasetSweep(ctx context.Context, p Params, id string, names []string, title string) (Table, error) {
 	methods := []core.Method{core.MethodHillClimbing, core.MethodMRP, core.MethodIP, core.MethodBE}
 	t := Table{
 		ID:     id,
@@ -214,7 +216,7 @@ func datasetSweep(p Params, id string, names []string, title string) (Table, err
 			return Table{}, fmt.Errorf("%s: no valid queries", name)
 		}
 		opt := baseOpt(p, 9)
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -234,7 +236,7 @@ func datasetSweep(p Params, id string, names []string, title string) (Table, err
 }
 
 // varyK: Tables 12-13 — sweep the budget k.
-func varyK(p Params, id, dataset string) (Table, error) {
+func varyK(ctx context.Context, p Params, id, dataset string) (Table, error) {
 	g, err := loadDS(dataset, p)
 	if err != nil {
 		return Table{}, err
@@ -254,7 +256,7 @@ func varyK(p Params, id, dataset string) (Table, error) {
 	for _, k := range ks {
 		opt := baseOpt(p, 12)
 		opt.K = k
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -271,7 +273,7 @@ func varyK(p Params, id, dataset string) (Table, error) {
 }
 
 // varyZeta: Tables 14-15 — sweep the new-edge probability ζ.
-func varyZeta(p Params, id, dataset string) (Table, error) {
+func varyZeta(ctx context.Context, p Params, id, dataset string) (Table, error) {
 	g, err := loadDS(dataset, p)
 	if err != nil {
 		return Table{}, err
@@ -291,7 +293,7 @@ func varyZeta(p Params, id, dataset string) (Table, error) {
 	for _, z := range zetas {
 		opt := baseOpt(p, 14)
 		opt.Zeta = z
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -309,7 +311,7 @@ func varyZeta(p Params, id, dataset string) (Table, error) {
 
 // table16: Table 16 — per-edge probabilities on new edges instead of a
 // fixed ζ: uniform ranges and a normal model.
-func table16(p Params) (Table, error) {
+func table16(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("twitter", p)
 	if err != nil {
 		return Table{}, err
@@ -351,7 +353,7 @@ func table16(p Params) (Table, error) {
 			// candidates.
 			qopt := opt
 			qopt.Seed = opt.Seed + int64(qi)*197
-			cands, err := candidateEdgesFor(g, q, qopt)
+			cands, err := candidateEdgesFor(ctx, g, q, qopt)
 			if err != nil {
 				return Table{}, err
 			}
@@ -363,7 +365,7 @@ func table16(p Params) (Table, error) {
 			for _, m := range methods {
 				var sol core.Solution
 				var err error
-				_, alloc := measured(func() { sol, err = core.Solve(g, q.S, q.T, m, qopt) })
+				_, alloc := measured(func() { sol, err = core.Solve(ctx, g, q.S, q.T, m, qopt) })
 				if err != nil {
 					return Table{}, err
 				}
@@ -382,7 +384,7 @@ func table16(p Params) (Table, error) {
 
 // varyR: Tables 17-18 — sweep the elimination width r, splitting Time1
 // (elimination) from Time2 (selection).
-func varyR(p Params, id, dataset string) (Table, error) {
+func varyR(ctx context.Context, p Params, id, dataset string) (Table, error) {
 	g, err := loadDS(dataset, p)
 	if err != nil {
 		return Table{}, err
@@ -402,7 +404,7 @@ func varyR(p Params, id, dataset string) (Table, error) {
 	for _, r := range rs {
 		opt := baseOpt(p, 17)
 		opt.R = r
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -420,7 +422,7 @@ func varyR(p Params, id, dataset string) (Table, error) {
 }
 
 // table19: Table 19 — sweep the query distance d.
-func table19(p Params) (Table, error) {
+func table19(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("astopo", p)
 	if err != nil {
 		return Table{}, err
@@ -443,7 +445,7 @@ func table19(p Params) (Table, error) {
 			continue
 		}
 		opt := baseOpt(p, 19)
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -457,7 +459,7 @@ func table19(p Params) (Table, error) {
 }
 
 // table20: Table 20 — sweep the distance constraint h for new edges.
-func table20(p Params) (Table, error) {
+func table20(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("twitter", p)
 	if err != nil {
 		return Table{}, err
@@ -477,7 +479,7 @@ func table20(p Params) (Table, error) {
 	for _, h := range hs {
 		opt := baseOpt(p, 20)
 		opt.H = h
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -491,7 +493,7 @@ func table20(p Params) (Table, error) {
 }
 
 // table21: Table 21 — sweep the number of most reliable paths l.
-func table21(p Params) (Table, error) {
+func table21(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("twitter", p)
 	if err != nil {
 		return Table{}, err
@@ -511,7 +513,7 @@ func table21(p Params) (Table, error) {
 	for _, l := range ls {
 		opt := baseOpt(p, 21)
 		opt.L = l
-		res, err := runMethods(g, queries, methods, opt)
+		res, err := runMethods(ctx, g, queries, methods, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -525,7 +527,7 @@ func table21(p Params) (Table, error) {
 }
 
 // table22: Table 22 — scalability of BE over node-sampled subgraphs.
-func table22(p Params) (Table, error) {
+func table22(ctx context.Context, p Params) (Table, error) {
 	big := p
 	big.Scale = p.Scale * 2
 	g, err := loadDS("twitter", big)
@@ -551,7 +553,7 @@ func table22(p Params) (Table, error) {
 			continue
 		}
 		opt := baseOpt(p, 22)
-		res, err := runMethods(sub, queries, []core.Method{core.MethodBE}, opt)
+		res, err := runMethods(ctx, sub, queries, []core.Method{core.MethodBE}, opt)
 		if err != nil {
 			return Table{}, err
 		}
@@ -566,8 +568,8 @@ func ms2(msVal float64) string { return fmt.Sprintf("%.1f", msVal) }
 // candidateEdgesFor regenerates the eliminated candidate set for a query,
 // so experiments that post-process candidate probabilities (Table 16) can
 // hand every method the same E+.
-func candidateEdgesFor(g *ugraph.Graph, q datasets.Query, opt core.Options) ([]ugraph.Edge, error) {
-	smp, err := opt.NewSampler(1)
+func candidateEdgesFor(ctx context.Context, g *ugraph.Graph, q datasets.Query, opt core.Options) ([]ugraph.Edge, error) {
+	smp, err := opt.NewSampler(ctx, 1)
 	if err != nil {
 		return nil, err
 	}

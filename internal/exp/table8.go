@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -19,7 +21,7 @@ func init() {
 // edge-probability mean ± SD and quartiles, average and longest shortest
 // path, clustering coefficient. Lets a reader verify each stand-in matches
 // the published regime of its real counterpart.
-func table8(p Params) (Table, error) {
+func table8(ctx context.Context, p Params) (Table, error) {
 	t := Table{
 		ID:     "table8",
 		Title:  "Properties of dataset stand-ins",
@@ -61,7 +63,7 @@ func table8(p Params) (Table, error) {
 // extBudget: the §9 future-work extension — one total probability budget B
 // shared across new edges, compared against the fixed-ζ Problem 1 solver
 // spending the same total mass (k edges × ζ each).
-func extBudget(p Params) (Table, error) {
+func extBudget(ctx context.Context, p Params) (Table, error) {
 	g, err := loadDS("lastfm", p)
 	if err != nil {
 		return Table{}, err
@@ -85,7 +87,7 @@ func extBudget(p Params) (Table, error) {
 		for qi, q := range queries {
 			opt := baseOpt(p, 90)
 			opt.Seed += int64(qi) * 577
-			tb, err := core.SolveTotalBudget(g, q.S, q.T, b, opt)
+			tb, err := core.SolveTotalBudget(ctx, g, q.S, q.T, b, opt)
 			if err != nil {
 				return Table{}, err
 			}
@@ -94,7 +96,7 @@ func extBudget(p Params) (Table, error) {
 			timeMS += float64(tb.Elapsed.Microseconds()) / 1000
 			beOpt := opt
 			beOpt.K = int(b/0.5 + 0.999)
-			sol, err := core.Solve(g, q.S, q.T, core.MethodBE, beOpt)
+			sol, err := core.Solve(ctx, g, q.S, q.T, core.MethodBE, beOpt)
 			if err != nil {
 				return Table{}, err
 			}

@@ -1,6 +1,7 @@
 package paths
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/pq"
@@ -31,7 +32,12 @@ type MRPResult struct {
 // graph whose states are (node, #red edges used): blue (existing) edges
 // stay within a layer, red (candidate) edges move one layer up. This is the
 // same construction with the same O(k·(m+|candidates|)·log(k·n)) behaviour.
-func ImproveMostReliablePath(g *ugraph.Graph, candidates []ugraph.Edge, s, t ugraph.NodeID, k int) MRPResult {
+//
+// The layered Dijkstra polls ctx every few thousand settled states; a
+// cancelled context returns the zero MRPResult (the search holds no usable
+// partial answer — a prefix of the layered relaxation proves nothing about
+// the optimum).
+func ImproveMostReliablePath(ctx context.Context, g *ugraph.Graph, candidates []ugraph.Edge, s, t ugraph.NodeID, k int) MRPResult {
 	if k < 0 {
 		k = 0
 	}
@@ -68,12 +74,17 @@ func ImproveMostReliablePath(g *ugraph.Graph, candidates []ugraph.Edge, s, t ugr
 	dist[start] = 0
 	var h pq.Heap[int32]
 	h.Push(0, start)
+	settled := 0
 	for h.Len() > 0 {
 		d, st := h.Pop()
 		if done[st] || d > dist[st] {
 			continue
 		}
 		done[st] = true
+		settled++
+		if settled&4095 == 0 && ctx != nil && ctx.Err() != nil {
+			return MRPResult{}
+		}
 		layer := int(st) / n
 		u := ugraph.NodeID(int(st) % n)
 		for _, a := range c.Out(u) {

@@ -7,6 +7,7 @@
 package paths
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/pq"
@@ -121,8 +122,10 @@ func reconstruct(g *ugraph.Graph, s, t ugraph.NodeID, parent, parentEdge []int32
 // TopL returns up to l most reliable simple paths from s to t in decreasing
 // probability order (ties broken arbitrarily), the path set P of §5.1.2.
 // It uses Yen's deviation algorithm with most-reliable-path Dijkstra as the
-// subroutine; the output is exact.
-func TopL(g *ugraph.Graph, s, t ugraph.NodeID, l int) []Path {
+// subroutine; the output is exact. Extraction polls ctx between paths: a
+// cancelled context stops the enumeration and returns the (still exact,
+// still sorted) prefix found so far.
+func TopL(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, l int) []Path {
 	if l <= 0 {
 		return nil
 	}
@@ -135,6 +138,9 @@ func TopL(g *ugraph.Graph, s, t ugraph.NodeID, l int) []Path {
 	var candidates pq.Heap[Path]
 	bannedNode := make([]bool, g.N())
 	for len(result) < l {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
 		prev := result[len(result)-1]
 		for i := 0; i+1 < len(prev.Nodes); i++ {
 			spur := prev.Nodes[i]

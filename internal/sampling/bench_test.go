@@ -7,6 +7,8 @@ package sampling
 // benchstat old-vs-new table.
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -125,4 +127,44 @@ func BenchmarkCandidateEval(b *testing.B) {
 			sinkFloat = smp.ReliabilityCSR(base.WithEdges(cand), s, t)
 		}
 	})
+}
+
+// BenchmarkSolveCancellation measures the cost of the cooperative
+// cancellation machinery on the mc/rss hot loops: "unbound" is the
+// PR 2-shaped baseline (no context), "bound" runs the identical estimate
+// with a live cancellable context attached, paying one poll per sample
+// block. Acceptance: bound within 1% of unbound.
+func BenchmarkSolveCancellation(b *testing.B) {
+	const z = 4000
+	g := benchGraph(2048, false)
+	s, t := ugraph.NodeID(0), ugraph.NodeID(2047)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, kind := range []string{"mc", "rss"} {
+		b.Run(kind+"/unbound", func(b *testing.B) {
+			smp, err := NewSerial(kind, z, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			smp.Reliability(g, s, t)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = smp.Reliability(g, s, t)
+			}
+		})
+		b.Run(kind+"/bound", func(b *testing.B) {
+			smp, err := NewSerial(kind, z, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			smp.SetContext(ctx)
+			smp.Reliability(g, s, t)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = smp.Reliability(g, s, t)
+			}
+		})
+	}
 }

@@ -26,6 +26,7 @@ type Lazy struct {
 	// will be present; 0 means not yet initialized for this query.
 	nextOn []int64
 	sample int64
+	canceller
 }
 
 // NewLazy returns a lazy-propagation sampler drawing z worlds per query.
@@ -108,6 +109,12 @@ func (lz *Lazy) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 {
 	lz.prepare(c)
 	hits := 0
 	for i := 0; i < lz.z; i++ {
+		if i&(ctxCheckBlock-1) == 0 && lz.cancelled() {
+			if i == 0 {
+				return 0
+			}
+			return float64(hits) / float64(i)
+		}
 		lz.sample++
 		if lz.walk(c, s, t, true, nil) {
 			hits++
@@ -139,11 +146,19 @@ func (lz *Lazy) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64 {
 func (lz *Lazy) vector(c *ugraph.CSR, src ugraph.NodeID, forward bool) []float64 {
 	lz.prepare(c)
 	counts := make([]float64, c.N())
+	drawn := lz.z
 	for i := 0; i < lz.z; i++ {
+		if i&(ctxCheckBlock-1) == 0 && lz.cancelled() {
+			drawn = i
+			break
+		}
 		lz.sample++
 		lz.walk(c, src, -1, forward, counts)
 	}
-	inv := 1 / float64(lz.z)
+	if drawn == 0 {
+		return counts
+	}
+	inv := 1 / float64(drawn)
 	for i := range counts {
 		counts[i] *= inv
 	}

@@ -16,6 +16,7 @@ type MonteCarlo struct {
 	z  int
 	r  *rand.Rand
 	sc scratch
+	canceller
 }
 
 // NewMonteCarlo returns an MC sampler drawing z possible worlds per query,
@@ -49,6 +50,14 @@ func (mc *MonteCarlo) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 
 	mc.sc.reset(c.N(), c.M())
 	hits := 0
 	for i := 0; i < mc.z; i++ {
+		if i&(ctxCheckBlock-1) == 0 && mc.cancelled() {
+			// Interrupted: report the fraction over the worlds actually
+			// drawn, so a partial estimate is still unbiased.
+			if i == 0 {
+				return 0
+			}
+			return float64(hits) / float64(i)
+		}
 		if sampledWalkPlain(&mc.sc, mc.r, c, s, t, true) {
 			hits++
 		}
@@ -80,10 +89,18 @@ func (mc *MonteCarlo) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64
 func (mc *MonteCarlo) vector(c *ugraph.CSR, src ugraph.NodeID, forward bool) []float64 {
 	mc.sc.reset(c.N(), c.M())
 	counts := make([]float64, c.N())
+	drawn := mc.z
 	for i := 0; i < mc.z; i++ {
+		if i&(ctxCheckBlock-1) == 0 && mc.cancelled() {
+			drawn = i
+			break
+		}
 		sampledWalk(&mc.sc, mc.r, c, src, -1, forward, counts, nil)
 	}
-	inv := 1 / float64(mc.z)
+	if drawn == 0 {
+		return counts
+	}
+	inv := 1 / float64(drawn)
 	for i := range counts {
 		counts[i] *= inv
 	}

@@ -16,10 +16,18 @@ func (mc *MonteCarlo) MultiSourceReach(g *ugraph.Graph, sources []ugraph.NodeID)
 func (mc *MonteCarlo) MultiSourceReachCSR(c *ugraph.CSR, sources []ugraph.NodeID) []float64 {
 	mc.sc.reset(c.N(), c.M())
 	counts := make([]float64, c.N())
+	drawn := mc.z
 	for i := 0; i < mc.z; i++ {
+		if i&(ctxCheckBlock-1) == 0 && mc.cancelled() {
+			drawn = i
+			break
+		}
 		mc.multiWalk(c, sources, counts)
 	}
-	inv := 1 / float64(mc.z)
+	if drawn == 0 {
+		return counts
+	}
+	inv := 1 / float64(drawn)
 	for i := range counts {
 		counts[i] *= inv
 	}
@@ -86,7 +94,12 @@ func (mc *MonteCarlo) ExpectedPairHopsCSR(c *ugraph.CSR, sources, targets []ugra
 	mc.sc.reset(c.N(), c.M())
 	dist := make([]int32, c.N())
 	total := 0.0
+	drawn := mc.z
 	for i := 0; i < mc.z; i++ {
+		if i&(ctxCheckBlock-1) == 0 && mc.cancelled() {
+			drawn = i
+			break
+		}
 		// One world per (sample, source) pair keeps the estimator simple
 		// and unbiased: each source sees an independent world.
 		for _, s := range sources {
@@ -100,7 +113,10 @@ func (mc *MonteCarlo) ExpectedPairHopsCSR(c *ugraph.CSR, sources, targets []ugra
 			}
 		}
 	}
-	return total / float64(mc.z)
+	if drawn == 0 {
+		return 0
+	}
+	return total / float64(drawn)
 }
 
 // walkDistances samples a world lazily and records BFS hop distances from

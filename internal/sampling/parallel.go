@@ -41,23 +41,50 @@ type ParallelSampler struct {
 	seed    atomic.Int64
 	z       atomic.Int64
 	call    atomic.Int64
-	pool    sync.Pool
+	// pool leases the per-worker serial samplers. It is a pointer so that
+	// request-scoped ParallelSamplers derived by an Engine can share one
+	// warm pool (NewParallelShared) — the leased samplers' scratch arrays
+	// stay sized to the graph across requests instead of being rebuilt.
+	pool *sync.Pool
+	canceller
+}
+
+// factoryFor maps an estimator kind ("mc", "rss" or "lazy") to its serial
+// factory.
+func factoryFor(kind string) (Factory, error) {
+	switch kind {
+	case "mc":
+		return func(z int, seed int64) Sampler { return NewMonteCarlo(z, seed) }, nil
+	case "rss":
+		return func(z int, seed int64) Sampler { return NewRSS(z, seed) }, nil
+	case "lazy":
+		return func(z int, seed int64) Sampler { return NewLazy(z, seed) }, nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown sampler %q (want mc, rss or lazy)", kind)
+	}
+}
+
+// NewSerial constructs a serial sampler of the named kind ("mc", "rss" or
+// "lazy") — the single-goroutine counterpart of NewParallel. On error the
+// returned interface is nil (never a typed-nil concrete pointer), so
+// `smp == nil` is a valid failure check.
+func NewSerial(kind string, z int, seed int64) (Sampler, error) {
+	factory, err := factoryFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	return factory(z, seed), nil
 }
 
 // NewParallel wraps the named estimator kind ("mc", "rss" or "lazy") in a
 // ParallelSampler with total budget z. workers <= 0 selects
 // runtime.GOMAXPROCS(0).
 func NewParallel(kind string, z int, seed int64, workers int) (*ParallelSampler, error) {
-	switch kind {
-	case "mc":
-		return NewParallelWith(kind, func(z int, seed int64) Sampler { return NewMonteCarlo(z, seed) }, z, seed, workers), nil
-	case "rss":
-		return NewParallelWith(kind, func(z int, seed int64) Sampler { return NewRSS(z, seed) }, z, seed, workers), nil
-	case "lazy":
-		return NewParallelWith(kind, func(z int, seed int64) Sampler { return NewLazy(z, seed) }, z, seed, workers), nil
-	default:
-		return nil, fmt.Errorf("sampling: unknown sampler %q (want mc, rss or lazy)", kind)
+	factory, err := factoryFor(kind)
+	if err != nil {
+		return nil, err
 	}
+	return NewParallelWith(kind, factory, z, seed, workers), nil
 }
 
 // NewParallelWith wraps an arbitrary serial-sampler factory. The name is
@@ -69,7 +96,49 @@ func NewParallelWith(name string, factory Factory, z int, seed int64, workers in
 	ps := &ParallelSampler{name: name, factory: factory, workers: workers, shards: DefaultShards}
 	ps.seed.Store(seed)
 	ps.z.Store(int64(z))
-	ps.pool.New = func() any { return factory(1, 0) }
+	ps.pool = &sync.Pool{New: func() any { return factory(1, 0) }}
+	return ps
+}
+
+// SharedScratch is a warm, goroutine-safe pool of serial samplers for one
+// estimator kind. ParallelSamplers built over it (NewParallelShared) lease
+// their per-worker samplers from the shared pool instead of a private one,
+// so a long-lived Engine serving many requests reuses the samplers' scratch
+// arrays (epoch-stamped visited/edge-state buffers, RSS arenas) across
+// requests. Sharing never affects results: every leased sampler is fully
+// reconfigured (Reseed + SetSampleSize + SetContext) before estimating.
+type SharedScratch struct {
+	kind string
+	pool sync.Pool
+}
+
+// NewSharedScratch validates the estimator kind and returns an empty warm
+// pool for it.
+func NewSharedScratch(kind string) (*SharedScratch, error) {
+	factory, err := factoryFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	ss := &SharedScratch{kind: kind}
+	ss.pool.New = func() any { return factory(1, 0) }
+	return ss, nil
+}
+
+// Kind returns the estimator kind the pool was built for.
+func (ss *SharedScratch) Kind() string { return ss.kind }
+
+// NewParallelShared is NewParallel leasing its serial samplers from the
+// shared pool; the pool's kind determines the estimator. Results are
+// bit-identical to an equally configured NewParallel sampler.
+func NewParallelShared(ss *SharedScratch, z int, seed int64, workers int) *ParallelSampler {
+	factory, err := factoryFor(ss.kind)
+	if err != nil {
+		// NewSharedScratch validated the kind; an invalid one here means
+		// the SharedScratch was not obtained from it.
+		panic(err)
+	}
+	ps := NewParallelWith(ss.kind, factory, z, seed, workers)
+	ps.pool = &ss.pool
 	return ps
 }
 
@@ -105,20 +174,27 @@ func (ps *ParallelSampler) nextCallSeed() int64 {
 }
 
 // fanOut runs fn(smp, i) for i in [0, n) on up to ps.workers goroutines.
-// Each goroutine leases one serial sampler from the pool for its lifetime;
-// fn must fully configure it (Reseed + SetSampleSize) before estimating,
-// so leftover pool state never leaks into results.
+// Each goroutine leases one serial sampler from the pool for its lifetime
+// and binds it to the ParallelSampler's context (cleared again before the
+// sampler returns to the — possibly shared — pool); fn must fully configure
+// it (Reseed + SetSampleSize) before estimating, so leftover pool state
+// never leaks into results. When the bound context fires, remaining work
+// items are skipped: the merged result is garbage, and the caller is
+// expected to discard it after observing ctx.Err().
 func (ps *ParallelSampler) fanOut(n int, fn func(smp Sampler, i int)) {
 	w := ps.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		smp := ps.pool.Get().(Sampler)
+		smp := ps.lease()
 		for i := 0; i < n; i++ {
+			if ps.cancelled() {
+				break
+			}
 			fn(smp, i)
 		}
-		ps.pool.Put(smp)
+		ps.release(smp)
 		return
 	}
 	var next atomic.Int64
@@ -127,11 +203,11 @@ func (ps *ParallelSampler) fanOut(n int, fn func(smp Sampler, i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			smp := ps.pool.Get().(Sampler)
-			defer ps.pool.Put(smp)
+			smp := ps.lease()
+			defer ps.release(smp)
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || ps.cancelled() {
 					return
 				}
 				fn(smp, i)
@@ -139,6 +215,20 @@ func (ps *ParallelSampler) fanOut(n int, fn func(smp Sampler, i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// lease takes a serial sampler from the pool and binds the current context
+// so its sample loops abort promptly on cancellation.
+func (ps *ParallelSampler) lease() Sampler {
+	smp := ps.pool.Get().(Sampler)
+	smp.SetContext(ps.ctx)
+	return smp
+}
+
+// release unbinds the context and returns the sampler to the pool.
+func (ps *ParallelSampler) release(smp Sampler) {
+	smp.SetContext(nil)
+	ps.pool.Put(smp)
 }
 
 // minShardBudget is the smallest per-shard sample budget worth the fan-out

@@ -38,6 +38,7 @@ type RSS struct {
 	sc        scratch
 	status    []int8
 	arena     []int32 // stack of boundary edge IDs across recursion levels
+	canceller
 }
 
 // NewRSS returns an RSS sampler with total budget z and default width and
@@ -172,6 +173,12 @@ func (rs *RSS) pushBoundary(c *ugraph.CSR, reach []ugraph.NodeID, forward bool) 
 // arena (never via a captured slice header) because nested recursions may
 // grow and reallocate the backing array.
 func (rs *RSS) recurse(c *ugraph.CSR, s, t ugraph.NodeID, budget int) float64 {
+	// Cancellation granularity: one check per recursion node. Every node
+	// either runs at most Threshold conditioned walks or recurses, so the
+	// work between checks is bounded by one sample block.
+	if rs.cancelled() {
+		return 0
+	}
 	// Certain success: t reachable through forced-present edges alone.
 	reach := deterministicReach(&rs.sc, c, s, t, true, rs.status, false)
 	if rs.sc.nodeEp[t] == rs.sc.epoch {
@@ -199,6 +206,10 @@ func (rs *RSS) recurse(c *ugraph.CSR, s, t ugraph.NodeID, budget int) float64 {
 		}
 		hits := 0
 		for i := 0; i < z; i++ {
+			if i&(ctxCheckBlock-1) == 0 && i > 0 && rs.cancelled() {
+				rs.arena = rs.arena[:lo]
+				return float64(hits) / float64(i)
+			}
 			if sampledWalkCond(&rs.sc, rs.r, c, s, t, true, rs.status) {
 				hits++
 			}
@@ -234,6 +245,9 @@ func (rs *RSS) recurse(c *ugraph.CSR, s, t ugraph.NodeID, budget int) float64 {
 
 // recurseVec accumulates weight·R(src, v | status) into acc for every node v.
 func (rs *RSS) recurseVec(c *ugraph.CSR, src ugraph.NodeID, forward bool, budget int, weight float64, acc []float64) {
+	if rs.cancelled() {
+		return
+	}
 	reach := deterministicReach(&rs.sc, c, src, -1, forward, rs.status, false)
 	lo := len(rs.arena)
 	rs.pushBoundary(c, reach, forward)
@@ -252,6 +266,9 @@ func (rs *RSS) recurseVec(c *ugraph.CSR, src ugraph.NodeID, forward bool, budget
 		}
 		w := weight / float64(z)
 		for i := 0; i < z; i++ {
+			if i&(ctxCheckBlock-1) == 0 && i > 0 && rs.cancelled() {
+				break
+			}
 			sampledWalkCond(&rs.sc, rs.r, c, src, -1, forward, rs.status)
 			for _, v := range rs.sc.queue {
 				acc[v] += w

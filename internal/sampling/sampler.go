@@ -32,6 +32,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/ugraph"
@@ -63,6 +64,19 @@ type Sampler interface {
 	// it had just been constructed with it. ParallelSampler uses this to
 	// hand each work shard its own deterministic stream.
 	Reseed(seed int64)
+	// SetContext binds a context that the estimation loops poll between
+	// sample blocks (never per edge): when ctx is cancelled or its
+	// deadline passes, the estimate in progress returns early — within
+	// one block of walks — with whatever samples were already drawn.
+	// Binding a context does not change the randomness an uncancelled
+	// estimate consumes, so results stay bit-identical to an unbound
+	// sampler. nil (or a context that can never be cancelled, like
+	// context.Background) removes the binding. On serial samplers, bind
+	// before estimating from the owning goroutine; on a ParallelSampler
+	// the binding applies to subsequent calls and must not race with
+	// in-flight estimates — concurrent callers derive one sampler per
+	// request instead of sharing a binding.
+	SetContext(ctx context.Context)
 }
 
 // CSRSampler is the snapshot-level interface implemented by every built-in

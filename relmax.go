@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -41,6 +42,46 @@ type (
 	Aggregate = core.Aggregate
 	// MultiSolution is the result of SolveMulti.
 	MultiSolution = core.MultiSolution
+)
+
+// Typed error taxonomy (see internal/core). Every error returned by the
+// solvers — through the legacy free functions or an Engine — wraps exactly
+// one of these sentinels, or a context error (context.Canceled,
+// context.DeadlineExceeded) when a query was cancelled or timed out, so
+// callers dispatch with errors.Is instead of string matching.
+var (
+	// ErrBadQuery marks structurally invalid queries (endpoints out of
+	// range, source equals target, empty source/target sets, unknown
+	// aggregates).
+	ErrBadQuery = core.ErrBadQuery
+	// ErrUnknownMethod marks a Method the entry point does not support.
+	ErrUnknownMethod = core.ErrUnknownMethod
+	// ErrUnknownSampler marks an unrecognized Options.Sampler kind.
+	ErrUnknownSampler = core.ErrUnknownSampler
+	// ErrBudget marks infeasible budgets (non-positive total budget, exact
+	// search beyond Options.MaxExactCombos).
+	ErrBudget = core.ErrBudget
+	// ErrNoPath reports that a path-based solver extracted zero s-t paths
+	// even on the candidate-augmented graph.
+	ErrNoPath = core.ErrNoPath
+)
+
+// Progress reporting (see Engine and Options.Progress).
+type (
+	// ProgressEvent is one solver progress notification.
+	ProgressEvent = core.ProgressEvent
+	// ProgressFunc receives solver progress notifications.
+	ProgressFunc = core.ProgressFunc
+	// ProgressStage identifies the solver pipeline phase of an event.
+	ProgressStage = core.Stage
+)
+
+// Solver pipeline stages reported through ProgressEvent.
+const (
+	StageEliminate = core.StageEliminate
+	StagePaths     = core.StagePaths
+	StageSelect    = core.StageSelect
+	StageEvaluate  = core.StageEvaluate
 )
 
 // Problem 1 solver methods.
@@ -87,15 +128,21 @@ func ReadGraph(r io.Reader) (*Graph, error) { return ugraph.ReadEdgeList(r) }
 
 // Solve answers a single-source-target budgeted reliability maximization
 // query (Problem 1): the best k edges to add so that R(s, t) is maximized.
+//
+// Solve is the legacy non-cancellable entry point, kept for compatibility:
+// it runs under context.Background. New callers — and anything serving
+// queries — should construct an Engine and use Engine.Solve, which accepts
+// a context (cancellation, deadlines), reuses the sampler pool across
+// queries and returns the same results bit-for-bit at the same Options.
 func Solve(g *Graph, s, t NodeID, method Method, opt Options) (Solution, error) {
-	return core.Solve(g, s, t, method, opt)
+	return core.Solve(context.Background(), g, s, t, method, opt)
 }
 
 // SolveMulti answers a multiple-source-target query (Problem 4) under the
 // chosen aggregate. Supported methods: MethodBE, MethodHillClimbing,
-// MethodEigen.
+// MethodEigen. Legacy non-cancellable wrapper; see Engine.SolveMulti.
 func SolveMulti(g *Graph, sources, targets []NodeID, agg Aggregate, method Method, opt Options) (MultiSolution, error) {
-	return core.SolveMulti(g, sources, targets, agg, method, opt)
+	return core.SolveMulti(context.Background(), g, sources, targets, agg, method, opt)
 }
 
 // Methods lists every Problem 1 solver.
@@ -107,9 +154,10 @@ type TotalBudgetSolution = core.TotalBudgetSolution
 // SolveTotalBudget solves the §9 future-work variant of Problem 1: instead
 // of k edges at a fixed probability ζ, a TOTAL probability budget is
 // allocated jointly across new edges (both the edge set and the per-edge
-// probabilities are chosen by the solver).
+// probabilities are chosen by the solver). Legacy non-cancellable wrapper;
+// see Engine.SolveTotalBudget.
 func SolveTotalBudget(g *Graph, s, t NodeID, budget float64, opt Options) (TotalBudgetSolution, error) {
-	return core.SolveTotalBudget(g, s, t, budget, opt)
+	return core.SolveTotalBudget(context.Background(), g, s, t, budget, opt)
 }
 
 // Sampler estimates s-t reliability; see NewMonteCarloSampler and
@@ -166,7 +214,9 @@ func MostReliablePath(g *Graph, s, t NodeID) (Path, bool) { return paths.MostRel
 
 // TopLPaths returns up to l most reliable simple s-t paths in decreasing
 // probability.
-func TopLPaths(g *Graph, s, t NodeID, l int) []Path { return paths.TopL(g, s, t, l) }
+func TopLPaths(g *Graph, s, t NodeID, l int) []Path {
+	return paths.TopL(context.Background(), g, s, t, l)
+}
 
 // MRPResult is the outcome of ImproveMostReliablePath.
 type MRPResult = paths.MRPResult
@@ -175,7 +225,7 @@ type MRPResult = paths.MRPResult
 // polynomial time: pick ≤ k candidate edges maximizing the probability of
 // the most reliable s-t path.
 func ImproveMostReliablePath(g *Graph, candidates []Edge, s, t NodeID, k int) MRPResult {
-	return paths.ImproveMostReliablePath(g, candidates, s, t, k)
+	return paths.ImproveMostReliablePath(context.Background(), g, candidates, s, t, k)
 }
 
 // DatasetNames lists the built-in evaluation dataset stand-ins (Table 8).
@@ -215,7 +265,7 @@ type InfluenceConfig = influence.Config
 // InfluenceSpread estimates the expected independent-cascade spread from
 // sources restricted to targets (Equation 13).
 func InfluenceSpread(g *Graph, sources, targets []NodeID, cfg InfluenceConfig) float64 {
-	return influence.Spread(g, sources, targets, cfg)
+	return influence.Spread(context.Background(), g, sources, targets, cfg)
 }
 
 // ExperimentTable is one rendered table/figure reproduction.
@@ -230,5 +280,12 @@ func ExperimentIDs() []string { return exp.IDs() }
 
 // RunExperiment regenerates one table or figure of the paper's evaluation.
 func RunExperiment(id string, p ExperimentParams) (ExperimentTable, error) {
-	return exp.Run(id, p)
+	return exp.Run(context.Background(), id, p)
+}
+
+// RunExperimentContext is RunExperiment under a context: cancellation or
+// deadline expiry aborts the experiment at the next query boundary with an
+// error wrapping ctx.Err().
+func RunExperimentContext(ctx context.Context, id string, p ExperimentParams) (ExperimentTable, error) {
+	return exp.Run(ctx, id, p)
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# relmaxd end-to-end smoke: build the server, serve a tiny dataset, issue
+# one Solve and one EstimateMany over real HTTP, assert 200s and that
+# identical requests return identical (deterministic) payloads, then check
+# SIGINT triggers a clean graceful shutdown (exit code 0).
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/relmaxd"
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+go build -o "$BIN" ./cmd/relmaxd
+
+"$BIN" -addr "$ADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -workers 2 &
+PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "FAIL: relmaxd died during startup"; exit 1; }
+  sleep 0.1
+done
+
+echo "== healthz"
+HEALTH=$(curl -fsS "$BASE/healthz")
+echo "$HEALTH"
+echo "$HEALTH" | jq -e '.status == "ok" and .datasets.lastfm.n > 0' >/dev/null
+
+echo "== solve (twice, asserting determinism modulo timing)"
+SOLVE_BODY='{"s":0,"t":39,"method":"be","k":2,"r":8,"l":8}'
+S1=$(curl -fsS -X POST -d "$SOLVE_BODY" "$BASE/v1/solve" | jq -S 'del(.timing)')
+S2=$(curl -fsS -X POST -d "$SOLVE_BODY" "$BASE/v1/solve" | jq -S 'del(.timing)')
+echo "$S1"
+[ "$S1" = "$S2" ] || { echo "FAIL: solve payloads diverged"; echo "$S2"; exit 1; }
+echo "$S1" | jq -e '.method == "be" and (.edges | length) <= 2 and .candidates > 0' >/dev/null
+
+echo "== estimate (twice, asserting determinism)"
+EST_BODY='{"pairs":[[0,9],[1,22],[4,4]]}'
+E1=$(curl -fsS -X POST -d "$EST_BODY" "$BASE/v1/estimate")
+E2=$(curl -fsS -X POST -d "$EST_BODY" "$BASE/v1/estimate")
+echo "$E1"
+[ "$E1" = "$E2" ] || { echo "FAIL: estimate payloads diverged"; echo "$E2"; exit 1; }
+echo "$E1" | jq -e '(.reliabilities | length) == 3 and .reliabilities[2] == 1' >/dev/null
+
+echo "== error taxonomy over HTTP"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"s":0,"t":0}' "$BASE/v1/solve")
+[ "$CODE" = "400" ] || { echo "FAIL: s==t returned $CODE, want 400"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"dataset":"nope","s":0,"t":5}' "$BASE/v1/solve")
+[ "$CODE" = "404" ] || { echo "FAIL: unknown dataset returned $CODE, want 404"; exit 1; }
+
+echo "== graceful shutdown on SIGINT"
+kill -INT "$PID"
+if ! wait "$PID"; then
+  echo "FAIL: relmaxd exited non-zero on SIGINT"
+  exit 1
+fi
+trap - EXIT
+echo "relmaxd smoke: OK"
