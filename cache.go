@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is the engine's fingerprint-keyed LRU over successful query
+// Results. Entries are cloned on both put and get, so cached slices can
+// never be aliased by callers mutating a returned Result. A hit returns
+// the stored Result bit-identically — the engine's queries are
+// deterministic, so serving the first computation's answer again IS
+// recomputing it, minus the work.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	res Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *resultCache) get(key string) (Result, bool) {
+	return c.lookup(key, true)
+}
+
+// lookup is get with control over miss accounting: Engine.Submit's
+// fast-path probe passes countMiss=false because a missing job re-probes
+// the cache when it actually runs (it may have been filled while queued) —
+// counting both probes would report ~2x the real lookups on the job path
+// and skew any hit ratio derived from Stats.
+func (c *resultCache) lookup(key string, countMiss bool) (Result, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		if countMiss {
+			c.misses.Add(1)
+		}
+		return Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	res := cloneResult(el.Value.(*cacheEntry).res)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return res, true
+}
+
+func (c *resultCache) put(key string, res Result) {
+	res = cloneResult(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent identical query raced us here; both computed the
+		// same deterministic result, so either copy is fine.
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cloneResult deep-copies the slices a Result carries so cache entries and
+// caller-visible results never share backing arrays.
+func cloneResult(res Result) Result {
+	res.Solution.Edges = append([]Edge(nil), res.Solution.Edges...)
+	res.Multi.Edges = append([]Edge(nil), res.Multi.Edges...)
+	res.TotalBudget.Edges = append([]Edge(nil), res.TotalBudget.Edges...)
+	res.Reliabilities = append([]float64(nil), res.Reliabilities...)
+	return res
+}

@@ -1,0 +1,187 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestResultCacheBitIdentity: a cache hit must return exactly what a cold
+// engine computes for the same query — the generalization of the
+// repeated-(s,t) elimination case — and be observable in job status and
+// engine stats.
+func TestResultCacheBitIdentity(t *testing.T) {
+	g := engineTestGraph(t)
+	opt := Options{K: 2, Z: 200, Seed: 9, R: 8, L: 8}
+	warm, err := NewEngine(g, WithSolverDefaults(opt), WithResultCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewEngine(g, WithSolverDefaults(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := Request{S: 0, T: 39, Method: MethodBE}
+
+	first, err := warm.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := warm.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := cold.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSolution(first, cached) || !sameSolution(reference, cached) {
+		t.Fatalf("cache hit is not bit-identical:\nfirst  %+v\ncached %+v\ncold   %+v", first, cached, reference)
+	}
+	// The cached solve even preserves the original timing block (it IS the
+	// original result), so the full struct matches.
+	if cached.ElimTime != first.ElimTime || cached.SelectTime != first.SelectTime {
+		t.Fatalf("cached result rebuilt timing: %+v vs %+v", cached, first)
+	}
+	st := warm.Stats()
+	if st.CacheHits != 1 || st.CacheLen == 0 {
+		t.Fatalf("hit not recorded: %+v", st)
+	}
+
+	// Jobs observe hits: an identical submitted query completes instantly
+	// with CacheHit set and no progress events.
+	job, err := warm.Submit(ctx, Query{Kind: QuerySolve, S: 0, T: 39, Method: MethodBE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cache-hit job did not complete instantly")
+	}
+	jst := job.Status()
+	if jst.State != JobDone || !jst.CacheHit {
+		t.Fatalf("cache-hit job status: %+v", jst)
+	}
+	res, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSolution(reference, res.Solution) {
+		t.Fatalf("cache-hit job result diverged: %+v vs %+v", res.Solution, reference)
+	}
+	if jst.Progress.Events != 0 {
+		t.Fatalf("cache hit emitted progress events: %+v", jst.Progress)
+	}
+}
+
+// TestCacheMissCountedOncePerJob: a cold submitted job probes the cache
+// twice (submit fast path + run) but must record exactly one miss, so
+// hit ratios derived from Stats stay meaningful.
+func TestCacheMissCountedOncePerJob(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g, WithSampleSize(100), WithResultCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := eng.Submit(context.Background(), Query{Kind: QueryEstimate, S: 0, T: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if st := eng.Stats(); st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Fatalf("cold job: misses=%d hits=%d, want 1/0", st.CacheMisses, st.CacheHits)
+	}
+	k, err := eng.Submit(context.Background(), Query{Kind: QueryEstimate, S: 0, T: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-k.Done()
+	if st := eng.Stats(); st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("warm job: misses=%d hits=%d, want 1/1", st.CacheMisses, st.CacheHits)
+	}
+}
+
+// TestResultCacheIsolation: mutating a returned result must not corrupt
+// the cached copy.
+func TestResultCacheIsolation(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g, WithSolverDefaults(Options{K: 2, Z: 200, Seed: 9, R: 8, L: 8}), WithResultCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := Request{S: 0, T: 39, Method: MethodBE}
+	first, err := eng.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Edges) == 0 {
+		t.Skip("no edges chosen on this fixture")
+	}
+	want := first.Edges[0]
+	first.Edges[0] = Edge{U: 1234, V: 4321, P: 0.5} // caller scribbles on its copy
+	second, err := eng.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Edges[0] != want {
+		t.Fatalf("caller mutation leaked into the cache: %+v", second.Edges[0])
+	}
+}
+
+// TestResultCacheLRUEviction: the cache holds at most n results and evicts
+// the least recently used.
+func TestResultCacheLRUEviction(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g, WithSampleSize(100), WithResultCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pairs := [][2]NodeID{{0, 9}, {1, 22}, {0, 17}}
+	for _, p := range pairs {
+		if _, err := eng.Estimate(ctx, p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheLen != 2 || st.CacheCap != 2 {
+		t.Fatalf("cache len/cap = %d/%d, want 2/2", st.CacheLen, st.CacheCap)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("distinct queries produced hits: %+v", st)
+	}
+	// (0,9) was evicted; (0,17) is resident.
+	if _, err := eng.Estimate(ctx, 0, 17); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().CacheHits; got != 1 {
+		t.Fatalf("resident query hits = %d, want 1", got)
+	}
+	if _, err := eng.Estimate(ctx, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().CacheHits; got != 1 {
+		t.Fatalf("evicted query hit the cache: hits = %d", got)
+	}
+}
+
+// TestCacheDoesNotServePartialResults: cancelled queries are never cached.
+func TestCacheDoesNotServePartialResults(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g, WithResultCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Kind: QueryEstimate, S: 0, T: 17, Options: &Options{Z: 50_000_000}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := eng.Run(ctx, q); err == nil {
+		t.Skip("huge estimate finished before the deadline")
+	}
+	if st := eng.Stats(); st.CacheLen != 0 {
+		t.Fatalf("partial result was cached: %+v", st)
+	}
+}

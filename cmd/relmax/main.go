@@ -5,11 +5,13 @@
 //
 // It prints the chosen shortcut edges and the reliability before/after.
 //
-// Queries run under a context: -timeout bounds the solve, and a first
-// SIGINT (Ctrl-C) cancels it cooperatively — the solver stops at the next
-// sample block and the partial result (edges chosen so far) is printed
-// instead of the process being killed mid-computation. A second SIGINT
-// kills the process.
+// Every query runs as an engine job (Engine.Submit), the same execution
+// path cmd/relmaxd serves over HTTP; -progress streams the job's per-round
+// solver progress to stderr while it runs. -timeout bounds the solve, and
+// a first SIGINT (Ctrl-C) cancels the job cooperatively — the solver stops
+// at the next sample block and the partial result (edges chosen so far) is
+// printed instead of the process being killed mid-computation. A second
+// SIGINT kills the process.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "sampling worker pool size (0 = serial, -1 = all CPUs)")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
+		progress  = flag.Bool("progress", false, "stream per-round solver progress to stderr")
 		sources   = flag.String("sources", "", "comma-separated source set (multi-source mode)")
 		targets   = flag.String("targets", "", "comma-separated target set (multi-source mode)")
 		agg       = flag.String("agg", "avg", "aggregate for multi mode: avg, min or max")
@@ -90,10 +93,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sol, err := eng.SolveMulti(ctx, repro.MultiRequest{
-			Sources: S, Targets: T,
+		res, err := runJob(ctx, eng, repro.Query{
+			Kind: repro.QueryMulti, Sources: S, Targets: T,
 			Aggregate: repro.Aggregate(*agg), Method: repro.Method(*method),
-		})
+		}, *progress)
+		sol := res.Multi
 		if interrupted(err) {
 			fmt.Printf("multi query interrupted (%v): partial result below\n", reason(err))
 			printEdges(sol.Edges)
@@ -109,9 +113,11 @@ func main() {
 	}
 
 	if *budget > 0 {
-		sol, err := eng.SolveTotalBudget(ctx, repro.BudgetRequest{
-			S: repro.NodeID(*s), T: repro.NodeID(*t), Budget: *budget,
-		})
+		res, err := runJob(ctx, eng, repro.Query{
+			Kind: repro.QueryTotalBudget,
+			S:    repro.NodeID(*s), T: repro.NodeID(*t), Budget: *budget,
+		}, *progress)
+		sol := res.TotalBudget
 		if interrupted(err) {
 			fmt.Printf("total-budget query interrupted (%v): partial allocation below (spent %.2f)\n", reason(err), sol.Spent)
 			printEdges(sol.Edges)
@@ -126,9 +132,11 @@ func main() {
 		return
 	}
 
-	sol, err := eng.Solve(ctx, repro.Request{
-		S: repro.NodeID(*s), T: repro.NodeID(*t), Method: repro.Method(*method),
-	})
+	res, err := runJob(ctx, eng, repro.Query{
+		Kind: repro.QuerySolve,
+		S:    repro.NodeID(*s), T: repro.NodeID(*t), Method: repro.Method(*method),
+	}, *progress)
+	sol := res.Solution
 	if interrupted(err) {
 		fmt.Printf("query interrupted (%v): partial result below (%d candidates, %d edges chosen)\n",
 			reason(err), sol.CandidateCount, len(sol.Edges))
@@ -148,6 +156,44 @@ func main() {
 	fmt.Printf("reliability: %.4f -> %.4f (gain %.4f)\n", sol.Base, sol.After, sol.Gain)
 	fmt.Printf("time: elimination %v, selection %v\n", sol.ElimTime, sol.SelectTime)
 	printEdges(sol.Edges)
+}
+
+// runJob drives one query through Engine.Submit — the exact execution path
+// relmaxd serves — optionally streaming live per-round progress to stderr,
+// and waits for the job to finish. Cancelling ctx (SIGINT, -timeout)
+// cancels the job cooperatively; the partial result comes back with the
+// wrapped context error.
+func runJob(ctx context.Context, eng *repro.Engine, q repro.Query, progress bool) (repro.Result, error) {
+	if progress {
+		q.Progress = printProgress
+	}
+	job, err := eng.Submit(ctx, q)
+	if err != nil {
+		return repro.Result{}, err
+	}
+	res, err := job.Wait(ctx)
+	if progress {
+		if st := job.Status(); st.CacheHit {
+			fmt.Fprintln(os.Stderr, "progress: served from result cache")
+		}
+	}
+	return res, err
+}
+
+// printProgress renders one solver progress event; it runs inline on the
+// solving goroutine, so it stays a single write.
+func printProgress(ev repro.ProgressEvent) {
+	switch ev.Stage {
+	case repro.StageEliminate:
+		fmt.Fprintf(os.Stderr, "progress: eliminated search space to %d candidate edges\n", ev.Candidates)
+	case repro.StagePaths:
+		fmt.Fprintf(os.Stderr, "progress: extracted %d most reliable paths\n", ev.Paths)
+	case repro.StageSelect:
+		fmt.Fprintf(os.Stderr, "progress: round %d/%d: %d edges chosen (%d batches in pool)\n",
+			ev.Round, ev.Total, ev.Edges, ev.Batches)
+	case repro.StageEvaluate:
+		fmt.Fprintf(os.Stderr, "progress: evaluating %d chosen edges\n", ev.Edges)
+	}
 }
 
 // interrupted reports whether err stems from cancellation or a deadline.

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestJobStoreNeverEvictsJustAddedJob: at capacity with only live retained
+// jobs, a terminal-on-arrival (cache-hit) job is the sole terminal entry —
+// eviction must skip it, or the 202 response would name a job that 404s.
+func TestJobStoreNeverEvictsJustAddedJob(t *testing.T) {
+	g, err := repro.LoadDataset("lastfm", 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several worker slots, so the deliberately slow live job cannot starve
+	// the later submissions on a single-CPU machine.
+	eng, err := repro.NewEngine(g, repro.WithSampleSize(100), repro.WithResultCache(8), repro.WithMaxConcurrent(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newJobStore(1)
+	// A live job fills the store to capacity.
+	live, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 0, T: 17,
+		Options: &repro.Options{Z: 50_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		live.Cancel()
+		<-live.Done()
+	}()
+	st.add("lastfm", live)
+	// Warm the cache, then submit its twin: terminal on arrival.
+	warmup, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 1, T: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-warmup.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("warmup job stuck")
+	}
+	hit, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 1, T: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Status().CacheHit {
+		t.Fatalf("twin was not a cache hit: %+v", hit.Status())
+	}
+	st.add("lastfm", hit)
+	if _, ok := st.get(hit.ID()); !ok {
+		t.Fatal("store evicted the job it just added")
+	}
+	if _, ok := st.get(live.ID()); !ok {
+		t.Fatal("store evicted a live job")
+	}
+	// Once an older terminal job exists, it is the one evicted.
+	done, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 2, T: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("third job stuck")
+	}
+	st.add("lastfm", done)
+	if _, ok := st.get(hit.ID()); ok {
+		t.Fatal("oldest terminal job was not evicted")
+	}
+	if _, ok := st.get(done.ID()); !ok {
+		t.Fatal("just-added job missing after eviction pass")
+	}
+}

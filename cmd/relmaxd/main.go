@@ -1,19 +1,27 @@
 // Command relmaxd serves reliability-maximization and reliability-
-// estimation queries over HTTP/JSON — the first real serving scenario for
-// the library: one long-lived Engine per dataset (pinned CSR snapshot +
-// warm sampler pool), per-request timeouts, cooperative cancellation when
-// clients disconnect, and graceful shutdown.
+// estimation queries over HTTP/JSON: one long-lived Engine per dataset
+// (pinned CSR snapshot + warm sampler pool + result cache), every query a
+// job on a bounded worker queue (load shedding with 503 when full),
+// per-request timeouts, cooperative cancellation, and graceful shutdown.
 //
 //	relmaxd -addr :8080 -dataset lastfm -scale 0.05 -workers -1
-//	relmaxd -addr :8080 -datasets lastfm,astopo -z 1000
-//	relmaxd -addr :8080 -graph g.txt
+//	relmaxd -addr :8080 -datasets lastfm,astopo -z 1000 -cache 512
+//	relmaxd -addr :8080 -graph g.txt -max-concurrent 8 -queue-depth 128
 //
 // Endpoints:
 //
-//	GET  /healthz      — liveness + served datasets and graph sizes
-//	POST /v1/solve     — one Problem 1 query        {"s":0,"t":5,"method":"be","k":2}
-//	POST /v1/estimate  — batched reliability        {"pairs":[[0,5],[1,7]]}
+//	GET    /healthz              — liveness + served datasets and graph sizes
+//	POST   /v1/solve             — one Problem 1 query, synchronous   {"s":0,"t":5,"method":"be","k":2}
+//	POST   /v1/estimate          — batched reliability, synchronous   {"pairs":[[0,5],[1,7]]}
+//	POST   /v2/jobs              — submit any query kind as an async job
+//	                               {"kind":"solve|multi|total-budget|estimate|estimate-many", ...}
+//	GET    /v2/jobs/{id}         — job status, progress and (when done) result
+//	DELETE /v2/jobs/{id}         — cancel a queued or running job
+//	GET    /v2/jobs/{id}/events  — NDJSON stream of solver progress events
+//	GET    /metrics              — qps, latency quantiles, queue depth, cancellations, cache hits
 //
+// The /v1 endpoints are synchronous shims over the same job runner, so
+// both surfaces share one concurrency bound and one result cache.
 // Responses are deterministic for a fixed dataset and seed (identical
 // requests return identical payloads, modulo the "timing" block), which is
 // what makes the CI smoke test possible — see scripts/relmaxd_smoke.sh and
@@ -47,19 +55,38 @@ func main() {
 		sampler  = flag.String("sampler", "rss", "default estimator: mc, rss or lazy")
 		seed     = flag.Int64("seed", 1, "base seed (fixes every response payload)")
 		workers  = flag.Int("workers", -1, "sampling worker pool size per engine (0 = serial, -1 = all CPUs)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request / per-job timeout (0 = none)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+
+		cache         = flag.Int("cache", 256, "result-cache entries per engine (0 disables caching)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently running jobs per engine (0 = all CPUs)")
+		queueDepth    = flag.Int("queue-depth", 64, "max jobs waiting per engine beyond the running ones; excess gets 503 (0 = no queueing)")
+
+		maxZ     = flag.Int("max-z", defaultLimits().MaxZ, "per-request ceiling on samples z")
+		maxK     = flag.Int("max-k", defaultLimits().MaxK, "per-request ceiling on the edge budget k")
+		maxRL    = flag.Int("max-rl", defaultLimits().MaxRL, "per-request ceiling on elimination width r and path count l")
+		maxPairs = flag.Int("max-pairs", defaultLimits().MaxPairs, "per-request ceiling on estimate batch size")
+		maxBody  = flag.Int64("max-body", defaultLimits().MaxBodyBytes, "request body cap in bytes")
 	)
 	flag.Parse()
 
-	engines, err := buildEngines(*graph, *datasets, *dataset, *scale, *z, *sampler, *seed, *workers)
+	cfg := engineConfig{
+		scale: *scale, z: *z, sampler: *sampler, seed: *seed, workers: *workers,
+		cache: *cache, maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
+	}
+	engines, err := buildEngines(*graph, *datasets, *dataset, cfg)
 	if err != nil {
 		log.Fatalf("relmaxd: %v", err)
 	}
 	srv := newServer(engines, *timeout)
+	srv.limits = limits{
+		MaxZ: *maxZ, MaxK: *maxK, MaxRL: *maxRL,
+		MaxPairs: *maxPairs, MaxBodyBytes: *maxBody,
+	}
 	// Read timeouts bound the request *transport* (slow-loris headers and
 	// bodies), complementing the per-request solve timeout which only
-	// starts once the body is decoded.
+	// starts once the body is decoded. The write timeout stays unset: the
+	// /v2 events endpoint streams for a job's whole lifetime.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
@@ -71,8 +98,8 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("relmaxd: serving %v on %s (workers=%d, z=%d, sampler=%s, timeout=%v)",
-			srv.names(), *addr, *workers, *z, *sampler, *timeout)
+		log.Printf("relmaxd: serving %v on %s (workers=%d, z=%d, sampler=%s, timeout=%v, cache=%d, max-concurrent=%d, queue-depth=%d)",
+			srv.names(), *addr, *workers, *z, *sampler, *timeout, *cache, *maxConcurrent, *queueDepth)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -98,13 +125,28 @@ func main() {
 	}
 }
 
+// engineConfig carries the per-engine construction parameters.
+type engineConfig struct {
+	scale         float64
+	z             int
+	sampler       string
+	seed          int64
+	workers       int
+	cache         int
+	maxConcurrent int
+	queueDepth    int
+}
+
 // buildEngines constructs one Engine per served dataset.
-func buildEngines(graphPath, datasetsCSV, dataset string, scale float64, z int, sampler string, seed int64, workers int) (map[string]*repro.Engine, error) {
+func buildEngines(graphPath, datasetsCSV, dataset string, cfg engineConfig) (map[string]*repro.Engine, error) {
 	opts := []repro.EngineOption{
-		repro.WithSamplerKind(sampler),
-		repro.WithSampleSize(z),
-		repro.WithSeed(seed),
-		repro.WithWorkers(workers),
+		repro.WithSamplerKind(cfg.sampler),
+		repro.WithSampleSize(cfg.z),
+		repro.WithSeed(cfg.seed),
+		repro.WithWorkers(cfg.workers),
+		repro.WithResultCache(cfg.cache),
+		repro.WithMaxConcurrent(cfg.maxConcurrent),
+		repro.WithQueueDepth(cfg.queueDepth),
 	}
 	engines := make(map[string]*repro.Engine)
 	add := func(name string, g *repro.Graph) error {
@@ -139,7 +181,7 @@ func buildEngines(graphPath, datasetsCSV, dataset string, scale float64, z int, 
 			if name == "" {
 				continue
 			}
-			g, err := repro.LoadDataset(name, scale, seed)
+			g, err := repro.LoadDataset(name, cfg.scale, cfg.seed)
 			if err != nil {
 				return nil, err
 			}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestBuildEnginesFromDatasets(t *testing.T) {
-	engines, err := buildEngines("", "lastfm, astopo", "", 0.03, 100, "rss", 1, 2)
+	engines, err := buildEngines("", "lastfm, astopo", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -15,7 +15,7 @@ func TestBuildEnginesFromDatasets(t *testing.T) {
 		t.Fatalf("engines = %v", engines)
 	}
 	// Single -dataset alias.
-	engines, err = buildEngines("", "", "lastfm", 0.03, 100, "mc", 1, 0)
+	engines, err = buildEngines("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "mc", seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestBuildEnginesFromGraphFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	engines, err := buildEngines(path, "", "", 0.03, 100, "rss", 1, 0)
+	engines, err := buildEngines(path, "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,16 +43,16 @@ func TestBuildEnginesFromGraphFile(t *testing.T) {
 }
 
 func TestBuildEnginesErrors(t *testing.T) {
-	if _, err := buildEngines("", "", "", 0.03, 100, "rss", 1, 0); err == nil {
+	if _, err := buildEngines("", "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
 		t.Fatal("no source accepted")
 	}
-	if _, err := buildEngines("", "", "nope", 0.03, 100, "rss", 1, 0); err == nil {
+	if _, err := buildEngines("", "", "nope", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if _, err := buildEngines("", "", "lastfm", 0.03, 100, "bogus", 1, 0); err == nil {
+	if _, err := buildEngines("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "bogus", seed: 1}); err == nil {
 		t.Fatal("unknown sampler kind accepted")
 	}
-	if _, err := buildEngines(filepath.Join(t.TempDir(), "missing.txt"), "", "", 0.03, 100, "rss", 1, 0); err == nil {
+	if _, err := buildEngines(filepath.Join(t.TempDir(), "missing.txt"), "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
 		t.Fatal("missing graph file accepted")
 	}
 }

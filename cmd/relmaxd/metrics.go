@@ -1,0 +1,222 @@
+package main
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// latWindow is how many recent request latencies the quantile window
+// keeps; old entries are overwritten ring-style, so /metrics reports
+// quantiles over the last latWindow requests.
+const latWindow = 1024
+
+// metrics collects serving counters: request counts per endpoint and
+// status class, a one-minute QPS window, and a bounded latency reservoir
+// for quantiles. Engine-level numbers (queue depth, cancellations, cache
+// hits) are read live from the engines at snapshot time, not accumulated
+// here.
+type metrics struct {
+	start time.Time
+
+	mu         sync.Mutex
+	total      uint64
+	byEndpoint map[string]uint64
+	byStatus   map[string]uint64
+	lat        []time.Duration // ring buffer
+	latNext    int
+	latFull    bool
+	// secs is a 60-bucket one-second histogram of request completions,
+	// giving an exact requests-in-the-last-minute count in O(1) memory.
+	secs    [60]uint64
+	lastSec int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:      time.Now(),
+		byEndpoint: make(map[string]uint64),
+		byStatus:   make(map[string]uint64),
+		lat:        make([]time.Duration, latWindow),
+	}
+}
+
+// record notes one completed request. Only query-serving endpoints feed
+// the latency window (recordLatency): a long-lived events stream would
+// spike the quantiles with its connection lifetime, and a dashboard
+// polling job status at high frequency would flush every real solve
+// latency out of the ring — both would make p50/p90/p99 meaningless as
+// query latency.
+func (m *metrics) record(endpoint string, status int, d time.Duration, recordLatency bool) {
+	now := time.Now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total++
+	m.byEndpoint[endpoint]++
+	switch {
+	case status >= 500:
+		m.byStatus["5xx"]++
+	case status >= 400:
+		m.byStatus["4xx"]++
+	default:
+		m.byStatus["2xx"]++
+	}
+	if recordLatency {
+		m.lat[m.latNext] = d
+		m.latNext++
+		if m.latNext == len(m.lat) {
+			m.latNext, m.latFull = 0, true
+		}
+	}
+	m.advanceLocked(now)
+	m.secs[now%60]++
+}
+
+// advanceLocked zeroes the second-buckets skipped since the last sample.
+func (m *metrics) advanceLocked(now int64) {
+	if m.lastSec == 0 {
+		m.lastSec = now
+		return
+	}
+	for s := m.lastSec + 1; s <= now && s <= m.lastSec+60; s++ {
+		m.secs[s%60] = 0
+	}
+	if now > m.lastSec {
+		m.lastSec = now
+	}
+}
+
+type metricsResponse struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Requests struct {
+		Total       uint64            `json:"total"`
+		PerEndpoint map[string]uint64 `json:"per_endpoint"`
+		PerStatus   map[string]uint64 `json:"per_status"`
+	} `json:"requests"`
+	QPS struct {
+		Lifetime float64 `json:"lifetime"`
+		Last60S  float64 `json:"last_60s"`
+	} `json:"qps"`
+	LatencyMS struct {
+		Window int     `json:"window"`
+		P50    float64 `json:"p50"`
+		P90    float64 `json:"p90"`
+		P99    float64 `json:"p99"`
+		Max    float64 `json:"max"`
+	} `json:"latency_ms"`
+	Jobs struct {
+		Queued    int    `json:"queued"`
+		Running   int    `json:"running"`
+		Submitted uint64 `json:"submitted"`
+		Completed uint64 `json:"completed"`
+		Cancelled uint64 `json:"cancelled"`
+		Failed    uint64 `json:"failed"`
+		Rejected  uint64 `json:"rejected"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Len    int    `json:"len"`
+		Cap    int    `json:"cap"`
+	} `json:"cache"`
+}
+
+// snapshot assembles the /metrics payload, folding in live engine stats.
+func (m *metrics) snapshot(engines map[string]*repro.Engine) metricsResponse {
+	var resp metricsResponse
+	now := time.Now()
+	resp.UptimeS = now.Sub(m.start).Seconds()
+
+	m.mu.Lock()
+	resp.Requests.Total = m.total
+	resp.Requests.PerEndpoint = make(map[string]uint64, len(m.byEndpoint))
+	for k, v := range m.byEndpoint {
+		resp.Requests.PerEndpoint[k] = v
+	}
+	resp.Requests.PerStatus = make(map[string]uint64, len(m.byStatus))
+	for k, v := range m.byStatus {
+		resp.Requests.PerStatus[k] = v
+	}
+	m.advanceLocked(now.Unix())
+	var recent uint64
+	for _, c := range m.secs {
+		recent += c
+	}
+	window := m.latNext
+	if m.latFull {
+		window = len(m.lat)
+	}
+	lats := append([]time.Duration(nil), m.lat[:window]...)
+	m.mu.Unlock()
+
+	if resp.UptimeS > 0 {
+		resp.QPS.Lifetime = float64(resp.Requests.Total) / resp.UptimeS
+	}
+	resp.QPS.Last60S = float64(recent) / 60
+
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		quantile := func(q float64) float64 {
+			idx := int(q * float64(len(lats)-1))
+			return float64(lats[idx].Microseconds()) / 1000
+		}
+		resp.LatencyMS.Window = len(lats)
+		resp.LatencyMS.P50 = quantile(0.50)
+		resp.LatencyMS.P90 = quantile(0.90)
+		resp.LatencyMS.P99 = quantile(0.99)
+		resp.LatencyMS.Max = float64(lats[len(lats)-1].Microseconds()) / 1000
+	}
+
+	for _, eng := range engines {
+		st := eng.Stats()
+		resp.Jobs.Queued += st.QueuedJobs
+		resp.Jobs.Running += st.RunningJobs
+		resp.Jobs.Submitted += st.SubmittedJobs
+		resp.Jobs.Completed += st.CompletedJobs
+		resp.Jobs.Cancelled += st.CancelledJobs
+		resp.Jobs.Failed += st.FailedJobs
+		resp.Jobs.Rejected += st.RejectedJobs
+		resp.Cache.Hits += st.CacheHits
+		resp.Cache.Misses += st.CacheMisses
+		resp.Cache.Len += st.CacheLen
+		resp.Cache.Cap += st.CacheCap
+	}
+	return resp
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.engines))
+}
+
+// statusWriter captures the response status for the metrics middleware,
+// passing Flush through so streaming endpoints keep working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.status = status
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request counting; recordLatency decides
+// whether its durations feed the quantile window (query endpoints yes,
+// streaming/polling endpoints no — see metrics.record).
+func (s *server) instrument(name string, recordLatency bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.record(name, sw.status, time.Since(start), recordLatency)
+	}
+}

@@ -13,23 +13,69 @@ import (
 	"repro"
 )
 
-// server routes HTTP/JSON queries to one Engine per dataset. All state is
-// immutable after construction, so the handler is safe for any number of
-// concurrent requests; per-request work (sampler state, solver scratch)
-// lives inside the Engine calls.
+// server routes HTTP/JSON queries to one Engine per dataset. Construction
+// state (engines, limits) is immutable afterwards; the mutable serving
+// state — the job store and the metrics collector — is internally locked,
+// so the handler is safe for any number of concurrent requests.
+//
+// Every query, including the synchronous /v1 endpoints, runs as a job on
+// the engine's bounded worker queue: /v1 submits and waits inline, /v2
+// returns the job ID immediately. That gives one global concurrency bound
+// and one load-shedding point (HTTP 503 when the queue is full).
 type server struct {
 	engines map[string]*repro.Engine
 	// defaultName addresses the single engine when a request omits
 	// "dataset"; empty when several datasets are served.
 	defaultName string
 	// timeout bounds every request; per-request "timeout_ms" may shorten
-	// but never extend it.
+	// but never extend it. For /v2 jobs it bounds the job's runtime.
 	timeout time.Duration
+	// limits are the serving ceilings (flags in main.go).
+	limits  limits
+	jobs    *jobStore
+	metrics *metrics
 	logf    func(format string, args ...any)
 }
 
+// limits are the per-request parameter ceilings. The body cap bounds
+// payload size; the others bound computational cost, so one client cannot
+// monopolize the worker pool for the full request timeout with a single
+// oversized query. All of them are server flags (-max-z, -max-k, -max-rl,
+// -max-pairs, -max-body) with these defaults.
+type limits struct {
+	// MaxZ caps samples per estimate.
+	MaxZ int
+	// MaxK caps the edge budget.
+	MaxK int
+	// MaxRL caps the elimination width r and the path count l.
+	MaxRL int
+	// MaxPairs caps the estimate batch size.
+	MaxPairs int
+	// MaxBodyBytes caps request bodies: a solve request is a handful of
+	// scalars and an estimate batch of even 100k pairs fits comfortably,
+	// so anything larger is abuse, not traffic.
+	MaxBodyBytes int64
+}
+
+func defaultLimits() limits {
+	return limits{
+		MaxZ:         1_000_000,
+		MaxK:         1_000,
+		MaxRL:        100_000,
+		MaxPairs:     10_000,
+		MaxBodyBytes: 4 << 20,
+	}
+}
+
 func newServer(engines map[string]*repro.Engine, timeout time.Duration) *server {
-	s := &server{engines: engines, timeout: timeout, logf: log.Printf}
+	s := &server{
+		engines: engines,
+		timeout: timeout,
+		limits:  defaultLimits(),
+		jobs:    newJobStore(retainedJobs),
+		metrics: newMetrics(),
+		logf:    log.Printf,
+	}
 	if len(engines) == 1 {
 		for name := range engines {
 			s.defaultName = name
@@ -41,29 +87,16 @@ func newServer(engines map[string]*repro.Engine, timeout time.Duration) *server 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/solve", s.instrument("v1.solve", true, s.handleSolve))
+	mux.HandleFunc("POST /v1/estimate", s.instrument("v1.estimate", true, s.handleEstimate))
+	// v2.submit returns in microseconds (the work happens in the job), so
+	// its durations would only dilute the query-latency quantiles.
+	mux.HandleFunc("POST /v2/jobs", s.instrument("v2.submit", false, s.handleJobSubmit))
+	mux.HandleFunc("GET /v2/jobs/{id}", s.instrument("v2.status", false, s.handleJobGet))
+	mux.HandleFunc("DELETE /v2/jobs/{id}", s.instrument("v2.cancel", false, s.handleJobCancel))
+	mux.HandleFunc("GET /v2/jobs/{id}/events", s.instrument("v2.events", false, s.handleJobEvents))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
-}
-
-// solveRequest is the JSON body of POST /v1/solve. Zero-valued solver
-// parameters inherit the engine defaults, so `{"s":0,"t":5}` is a valid
-// minimal query.
-type solveRequest struct {
-	Dataset string  `json:"dataset,omitempty"`
-	S       int32   `json:"s"`
-	T       int32   `json:"t"`
-	Method  string  `json:"method,omitempty"`
-	K       int     `json:"k,omitempty"`
-	Zeta    float64 `json:"zeta,omitempty"`
-	R       int     `json:"r,omitempty"`
-	L       int     `json:"l,omitempty"`
-	H       int     `json:"h,omitempty"`
-	Z       int     `json:"z,omitempty"`
-	Sampler string  `json:"sampler,omitempty"`
-	Seed    int64   `json:"seed,omitempty"`
-	// TimeoutMS shortens (never extends) the server's per-request timeout.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type edgeJSON struct {
@@ -89,12 +122,19 @@ type solveResponse struct {
 	} `json:"timing"`
 }
 
-// estimateRequest is the JSON body of POST /v1/estimate: a batch of (s, t)
-// pairs evaluated by Engine.EstimateMany.
-type estimateRequest struct {
-	Dataset   string     `json:"dataset,omitempty"`
-	Pairs     [][2]int32 `json:"pairs"`
-	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+func solveResponseOf(sol repro.Solution) solveResponse {
+	resp := solveResponse{
+		Method:     string(sol.Method),
+		Edges:      toEdgeJSON(sol.Edges),
+		Base:       sol.Base,
+		After:      sol.After,
+		Gain:       sol.Gain,
+		Candidates: sol.CandidateCount,
+		Paths:      sol.PathCount,
+	}
+	resp.Timing.ElimMS = float64(sol.ElimTime.Microseconds()) / 1000
+	resp.Timing.SelectMS = float64(sol.SelectTime.Microseconds()) / 1000
+	return resp
 }
 
 type estimateResponse struct {
@@ -105,18 +145,18 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *server) engineFor(name string) (*repro.Engine, error) {
+func (s *server) engineFor(name string) (*repro.Engine, string, error) {
 	if name == "" {
 		name = s.defaultName
 	}
 	if name == "" {
-		return nil, fmt.Errorf("request must name a dataset (serving: %v)", s.names())
+		return nil, "", fmt.Errorf("request must name a dataset (serving: %v)", s.names())
 	}
 	eng, ok := s.engines[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown dataset %q (serving: %v)", name, s.names())
+		return nil, "", fmt.Errorf("unknown dataset %q (serving: %v)", name, s.names())
 	}
-	return eng, nil
+	return eng, name, nil
 }
 
 func (s *server) names() []string {
@@ -131,14 +171,21 @@ func (s *server) names() []string {
 // requestContext derives the per-request context: the client disconnect
 // context, bounded by the server timeout and any shorter per-request one.
 func (s *server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
-	timeout := s.timeout
-	if reqTO := time.Duration(timeoutMS) * time.Millisecond; reqTO > 0 && (timeout <= 0 || reqTO < timeout) {
-		timeout = reqTO
-	}
+	timeout := s.effectiveTimeout(timeoutMS)
 	if timeout <= 0 {
 		return context.WithCancel(r.Context())
 	}
 	return context.WithTimeout(r.Context(), timeout)
+}
+
+// effectiveTimeout combines the server default with a per-request
+// override, which may shorten but never extend it.
+func (s *server) effectiveTimeout(timeoutMS int64) time.Duration {
+	timeout := s.timeout
+	if reqTO := time.Duration(timeoutMS) * time.Millisecond; reqTO > 0 && (timeout <= 0 || reqTO < timeout) {
+		timeout = reqTO
+	}
+	return timeout
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -155,89 +202,59 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "datasets": info})
 }
 
-// maxBodyBytes caps request bodies: a solve request is a handful of
-// scalars and an estimate batch of even 100k pairs fits comfortably, so
-// anything larger is abuse, not traffic.
-const maxBodyBytes = 4 << 20
-
-// Per-request parameter ceilings. The body cap bounds payload size; these
-// bound computational cost, so one client cannot monopolize the worker
-// pool for the full request timeout with a single oversized query.
-const (
-	maxZ     = 1_000_000 // samples per estimate
-	maxK     = 1_000     // edge budget
-	maxRL    = 100_000   // elimination width r / path count l
-	maxPairs = 10_000    // estimate batch size
-)
-
-// checkLimits rejects parameter values beyond the serving ceilings.
-func (req *solveRequest) checkLimits() error {
-	switch {
-	case req.Z < 0 || req.Z > maxZ:
-		return fmt.Errorf("z %d outside [0,%d]", req.Z, maxZ)
-	case req.K < 0 || req.K > maxK:
-		return fmt.Errorf("k %d outside [0,%d]", req.K, maxK)
-	case req.R < 0 || req.R > maxRL:
-		return fmt.Errorf("r %d outside [0,%d]", req.R, maxRL)
-	case req.L < 0 || req.L > maxRL:
-		return fmt.Errorf("l %d outside [0,%d]", req.L, maxRL)
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)).Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte cap", s.limits.MaxBodyBytes)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return false
 	}
-	return nil
+	return true
 }
 
+// handleSolve is POST /v1/solve: a kind="solve" query served
+// synchronously. The body shares jobRequest's field set (zero-valued
+// solver parameters inherit the engine defaults, so `{"s":0,"t":5}` is a
+// valid minimal query), so /v1 and /v2 can never drift in validation or
+// defaulting.
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req solveRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+	var req jobRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
-	eng, err := s.engineFor(req.Dataset)
+	req.Kind = string(repro.QuerySolve)
+	eng, _, err := s.engineFor(req.Dataset)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
 	}
-	if err := req.checkLimits(); err != nil {
+	if err := req.checkLimits(s.limits); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	var opt *repro.Options
-	if req.K != 0 || req.Zeta != 0 || req.R != 0 || req.L != 0 || req.H != 0 ||
-		req.Z != 0 || req.Sampler != "" || req.Seed != 0 {
-		opt = &repro.Options{
-			K: req.K, Zeta: req.Zeta, R: req.R, L: req.L, H: req.H,
-			Z: req.Z, Sampler: req.Sampler, Seed: req.Seed,
-		}
-	}
-	sol, err := eng.Solve(ctx, repro.Request{
-		S: req.S, T: req.T, Method: repro.Method(req.Method), Options: opt,
-	})
+	res, err := s.runJob(ctx, eng, req.query())
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	resp := solveResponse{
-		Method:     string(sol.Method),
-		Edges:      toEdgeJSON(sol.Edges),
-		Base:       sol.Base,
-		After:      sol.After,
-		Gain:       sol.Gain,
-		Candidates: sol.CandidateCount,
-		Paths:      sol.PathCount,
-	}
-	resp.Timing.ElimMS = float64(sol.ElimTime.Microseconds()) / 1000
-	resp.Timing.SelectMS = float64(sol.SelectTime.Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, solveResponseOf(res.Solution))
 }
 
+// handleEstimate is POST /v1/estimate: a kind="estimate-many" query served
+// synchronously; see handleSolve for the shared body semantics.
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req estimateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+	var req jobRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
-	eng, err := s.engineFor(req.Dataset)
+	req.Kind = string(repro.QueryEstimateMany)
+	eng, _, err := s.engineFor(req.Dataset)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
@@ -246,30 +263,38 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "pairs must be non-empty"})
 		return
 	}
-	if len(req.Pairs) > maxPairs {
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: fmt.Sprintf("batch of %d pairs exceeds the %d-pair ceiling", len(req.Pairs), maxPairs)})
+	if err := req.checkLimits(s.limits); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	queries := make([]repro.PairQuery, len(req.Pairs))
-	for i, p := range req.Pairs {
-		queries[i] = repro.PairQuery{S: p[0], T: p[1]}
-	}
-	rels, err := eng.EstimateMany(ctx, queries)
+	res, err := s.runJob(ctx, eng, req.query())
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateResponse{Reliabilities: rels})
+	writeJSON(w, http.StatusOK, estimateResponse{Reliabilities: res.Reliabilities})
+}
+
+// runJob is the synchronous /v1 shim over the job runner: submit, then
+// Job.Wait under the request context (which cancels the job on client
+// disconnect and keeps a request-deadline expiry mapped to 504).
+func (s *server) runJob(ctx context.Context, eng *repro.Engine, q repro.Query) (repro.Result, error) {
+	job, err := eng.Submit(ctx, q)
+	if err != nil {
+		return repro.Result{}, err
+	}
+	return job.Wait(ctx)
 }
 
 // writeError maps the library's typed error taxonomy to HTTP statuses:
-// invalid input 400, timeouts 504, client-abandoned requests are logged
-// only, everything else 500.
+// invalid input 400, queue overload 503, timeouts 504, client-abandoned
+// requests are logged only, everything else 500.
 func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
+	case errors.Is(err, repro.ErrOverloaded):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
 	case errors.Is(err, context.Canceled):

@@ -54,10 +54,10 @@
 // Options, at any worker count.
 //
 // Errors form a typed taxonomy (ErrBadQuery, ErrUnknownMethod,
-// ErrUnknownSampler, ErrBudget, ErrNoPath): every solver error wraps
-// exactly one sentinel, so callers route with errors.Is. Request.Progress
-// receives per-round solver progress (candidates eliminated, paths
-// extracted, batches evaluated) for logs and dashboards.
+// ErrUnknownSampler, ErrBudget, ErrNoPath, ErrOverloaded): every solver
+// error wraps exactly one sentinel, so callers route with errors.Is.
+// Request.Progress receives per-round solver progress (candidates
+// eliminated, paths extracted, batches evaluated) for logs and dashboards.
 //
 // An Engine is safe for concurrent use and stateless per request:
 // identical requests return identical answers regardless of what else is
@@ -67,6 +67,33 @@
 // Multiple-source/target queries (Problem 4) are served by
 // Engine.SolveMulti under Average, Minimum and Maximum aggregates, and the
 // §9 total-probability-budget extension by Engine.SolveTotalBudget.
+//
+// # Queries, jobs and the result cache
+//
+// Underneath the five typed methods sits one unified query surface: a
+// Query names a kind (solve, multi, total-budget, estimate,
+// estimate-many) plus its parameters, and Engine.Run dispatches it. Every
+// Query canonicalizes (Engine.Canonicalize) to a deterministic fingerprint
+// (Query.Key) under which results are cacheable: with WithResultCache(n),
+// a repeated identical query returns the cached, bit-identical Result
+// without recomputing — repeated (s, t) eliminations, dashboard refreshes,
+// retried requests.
+//
+// Long-running queries are served asynchronously as jobs:
+//
+//	job, err := eng.Submit(ctx, repro.Query{Kind: repro.QuerySolve, S: 0, T: 3})
+//	// err wraps ErrOverloaded when the bounded queue is full (load shedding)
+//	st := job.Status()   // queued/running/done/cancelled/failed + per-round progress
+//	<-job.Done()
+//	res, err := job.Result()
+//	job.Cancel()         // cooperative: lands within one sample block
+//
+// Jobs run on a bounded worker queue (WithMaxConcurrent, WithQueueDepth),
+// are detached from the submitting context (an HTTP handler can return
+// while the job runs), record their solver progress events for streaming
+// (Job.Events), and report cache hits in their status. Engine.Stats
+// exposes the serving counters (queue gauges, job outcomes, cache
+// hit/miss) that back cmd/relmaxd's /metrics endpoint.
 //
 // # Legacy compatibility
 //

@@ -3,8 +3,9 @@ package repro
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/sampling"
 )
 
@@ -38,6 +39,26 @@ type Engine struct {
 	opt     Options // defaults template; Sampler/Z/Seed resolved at build
 	method  Method
 	scratch *sampling.SharedScratch
+
+	// id numbers the engine process-wide; job IDs embed it so they stay
+	// unique when one server hosts several engines.
+	id int64
+
+	// cache is the fingerprint-keyed LRU over successful Results; nil
+	// unless WithResultCache configured one.
+	cache *resultCache
+
+	// Bounded job queue (Submit): at most maxConcurrent jobs execute at
+	// once, at most queueDepth wait for a slot, the rest are rejected with
+	// ErrOverloaded.
+	maxConcurrent int
+	queueDepth    int
+	queueDepthSet bool
+	jobSem        chan struct{}
+	jobSeq        atomic.Int64
+
+	queuedJobs, runningJobs, inFlightJobs                                 atomic.Int64
+	submittedJobs, completedJobs, cancelledJobs, failedJobs, rejectedJobs atomic.Uint64
 }
 
 // EngineOption configures NewEngine.
@@ -82,6 +103,40 @@ func WithSolverDefaults(opt Options) EngineOption {
 	return func(e *Engine) { e.opt = opt }
 }
 
+// WithResultCache enables the fingerprint-keyed LRU result cache with room
+// for n successful query results. Repeated identical queries (same
+// canonical fingerprint — see Query.Key) then return the cached,
+// bit-identical Result without recomputing; hits are visible in job
+// statuses and Stats. n <= 0 (the default) disables caching.
+func WithResultCache(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.cache = newResultCache(n)
+		} else {
+			e.cache = nil
+		}
+	}
+}
+
+// WithMaxConcurrent bounds how many submitted jobs execute simultaneously
+// (the worker-slot count of the job queue). n <= 0 selects GOMAXPROCS.
+// Synchronous Engine calls (Solve, Run, ...) are not throttled — only
+// jobs; a serving tier routes everything through Submit to get one global
+// bound.
+func WithMaxConcurrent(n int) EngineOption {
+	return func(e *Engine) { e.maxConcurrent = n }
+}
+
+// WithQueueDepth bounds how many submitted jobs may wait beyond the
+// running ones: total admission capacity is maxConcurrent + queueDepth
+// jobs in flight, and submissions beyond it fail fast with ErrOverloaded —
+// the load-shedding primitive. n == 0 disables queueing entirely (only
+// the running slots admit — strict shedding); n < 0 selects the default
+// of 64.
+func WithQueueDepth(n int) EngineOption {
+	return func(e *Engine) { e.queueDepth, e.queueDepthSet = n, true }
+}
+
 // NewEngine builds a query engine over g: the graph is cloned and frozen
 // once, the sampler configuration validated, and (for Workers != 0) the
 // shared sampler pool created. On error the returned engine is nil.
@@ -110,6 +165,14 @@ func NewEngine(g *Graph, opts ...EngineOption) (*Engine, error) {
 		return nil, fmt.Errorf("repro: NewEngine: sampler %q (want mc, rss or lazy): %w", e.opt.Sampler, ErrUnknownSampler)
 	}
 	e.scratch = scratch
+	if e.maxConcurrent <= 0 {
+		e.maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if !e.queueDepthSet || e.queueDepth < 0 {
+		e.queueDepth = 64
+	}
+	e.jobSem = make(chan struct{}, e.maxConcurrent)
+	e.id = engineSeq.Add(1)
 	e.g = g.Clone()
 	e.csr = e.g.Freeze()
 	return e, nil
@@ -191,77 +254,39 @@ type BudgetRequest struct {
 	Progress ProgressFunc
 }
 
-// Solve answers a Problem 1 query under ctx. On cancellation or deadline
-// expiry it returns the partial Solution built so far (chosen edges,
-// elimination stats; no held-out evaluation) and an error wrapping
+// Solve answers a Problem 1 query under ctx — a thin wrapper building a
+// QuerySolve Query and dispatching through Run. On cancellation or
+// deadline expiry it returns the partial Solution built so far (chosen
+// edges, elimination stats; no held-out evaluation) and an error wrapping
 // ctx.Err(); on success the Solution is bit-identical to the legacy free
 // Solve at the same effective Options.
 func (e *Engine) Solve(ctx context.Context, req Request) (Solution, error) {
-	method := req.Method
-	if method == "" {
-		method = e.method
-	}
-	opt := e.options(req.Options)
-	if req.Progress != nil {
-		opt.Progress = req.Progress
-	}
-	sol, err := core.Solve(ctx, e.g, req.S, req.T, method, opt)
-	if err == nil && sol.PathCount == 0 && (method == MethodIP || method == MethodBE) {
-		// The legacy free Solve returns an empty zero-gain Solution here;
-		// the Engine surface is stricter so serving layers can tell
-		// "nothing to improve" apart from a real answer.
-		return sol, fmt.Errorf("repro: method %q extracted no s-t path on the augmented graph: %w", method, ErrNoPath)
-	}
-	return sol, err
+	res, err := e.Run(ctx, Query{
+		Kind: QuerySolve, S: req.S, T: req.T,
+		Method: req.Method, Options: req.Options, Progress: req.Progress,
+	})
+	return res.Solution, err
 }
 
-// SolveMulti answers a Problem 4 query under ctx; see Solve for the
-// cancellation contract.
+// SolveMulti answers a Problem 4 query under ctx via the QueryMulti
+// dispatch; see Solve for the cancellation contract.
 func (e *Engine) SolveMulti(ctx context.Context, req MultiRequest) (MultiSolution, error) {
-	agg := req.Aggregate
-	if agg == "" {
-		agg = AggAvg
-	}
-	method := req.Method
-	if method == "" {
-		method = e.method
-	}
-	opt := e.options(req.Options)
-	if req.Progress != nil {
-		opt.Progress = req.Progress
-	}
-	return core.SolveMulti(ctx, e.g, req.Sources, req.Targets, agg, method, opt)
+	res, err := e.Run(ctx, Query{
+		Kind: QueryMulti, Sources: req.Sources, Targets: req.Targets,
+		Aggregate: req.Aggregate, Method: req.Method,
+		Options: req.Options, Progress: req.Progress,
+	})
+	return res.Multi, err
 }
 
-// SolveTotalBudget answers a §9 total-budget query under ctx; see Solve
-// for the cancellation contract.
+// SolveTotalBudget answers a §9 total-budget query under ctx via the
+// QueryTotalBudget dispatch; see Solve for the cancellation contract.
 func (e *Engine) SolveTotalBudget(ctx context.Context, req BudgetRequest) (TotalBudgetSolution, error) {
-	opt := e.options(req.Options)
-	if req.Progress != nil {
-		opt.Progress = req.Progress
-	}
-	return core.SolveTotalBudget(ctx, e.g, req.S, req.T, req.Budget, opt)
-}
-
-// estimator builds the request-scoped reliability estimator: a parallel
-// sampler leasing workers from the engine's warm pool, or a fresh serial
-// sampler when Workers == 0. Each call starts from the engine seed, so
-// identical estimation requests return identical values regardless of
-// what ran before — and exactly what an equally configured
-// NewParallelSampler (or serial sampler) would return on its first call.
-func (e *Engine) estimator(ctx context.Context) sampling.Sampler {
-	if e.opt.Workers != 0 {
-		ps := sampling.NewParallelShared(e.scratch, e.opt.Z, e.opt.Seed, e.opt.Workers)
-		ps.SetContext(ctx)
-		return ps
-	}
-	smp, err := sampling.NewSerial(e.opt.Sampler, e.opt.Z, e.opt.Seed)
-	if err != nil {
-		// The kind was validated by NewEngine.
-		panic(err)
-	}
-	smp.SetContext(ctx)
-	return smp
+	res, err := e.Run(ctx, Query{
+		Kind: QueryTotalBudget, S: req.S, T: req.T, Budget: req.Budget,
+		Options: req.Options, Progress: req.Progress,
+	})
+	return res.TotalBudget, err
 }
 
 func (e *Engine) checkNode(v NodeID) error {
@@ -271,77 +296,23 @@ func (e *Engine) checkNode(v NodeID) error {
 	return nil
 }
 
-// Estimate returns the s-t reliability on the pinned snapshot under ctx.
-// Cancellation aborts within one sample block and returns an error
-// wrapping ctx.Err().
+// Estimate returns the s-t reliability on the pinned snapshot under ctx
+// via the QueryEstimate dispatch. Cancellation aborts within one sample
+// block and returns an error wrapping ctx.Err().
 func (e *Engine) Estimate(ctx context.Context, s, t NodeID) (float64, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := e.checkNode(s); err != nil {
-		return 0, err
-	}
-	if err := e.checkNode(t); err != nil {
-		return 0, err
-	}
-	smp := e.estimator(ctx)
-	var rel float64
-	if cs, ok := smp.(sampling.CSRSampler); ok {
-		rel = cs.ReliabilityCSR(e.csr, s, t)
-	} else {
-		rel = smp.Reliability(e.g, s, t)
-	}
-	if cerr := ctx.Err(); cerr != nil {
-		return 0, fmt.Errorf("repro: estimate interrupted: %w", cerr)
-	}
-	return rel, nil
+	res, err := e.Run(ctx, Query{Kind: QueryEstimate, S: s, T: t})
+	return res.Reliability, err
 }
 
 // EstimateMany returns the reliability of every (S, T) query in one
-// batched, deterministic call. With Workers != 0 the (query, shard)
-// product fans out over the worker pool; serially the queries run in
-// order. On cancellation it returns an error wrapping ctx.Err(), along
-// with the prefix of completed results when the serial path produced one
-// (the parallel merge is discarded — partially sharded estimates are not
-// meaningful).
+// batched, deterministic call via the QueryEstimateMany dispatch. With
+// Workers != 0 the (query, shard) product fans out over the worker pool;
+// with Workers == 0 each query keeps one undivided full-budget serial
+// stream (keyed on its index) and the queries fan out across the warm
+// pool — bit-identical at any scheduling. On cancellation it returns an
+// error wrapping ctx.Err() and no results (out-of-order execution leaves
+// no meaningful completed prefix).
 func (e *Engine) EstimateMany(ctx context.Context, queries []PairQuery) ([]float64, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	for _, q := range queries {
-		if err := e.checkNode(q.S); err != nil {
-			return nil, err
-		}
-		if err := e.checkNode(q.T); err != nil {
-			return nil, err
-		}
-	}
-	if len(queries) == 0 {
-		return nil, nil
-	}
-	smp := e.estimator(ctx)
-	if bs, ok := smp.(sampling.BatchSampler); ok {
-		out := bs.EstimateMany(e.g, queries)
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, fmt.Errorf("repro: estimate batch interrupted: %w", cerr)
-		}
-		return out, nil
-	}
-	cs := smp.(sampling.CSRSampler) // every built-in serial sampler is one
-	out := make([]float64, 0, len(queries))
-	for _, q := range queries {
-		if q.S == q.T {
-			out = append(out, 1)
-			continue
-		}
-		rel := cs.ReliabilityCSR(e.csr, q.S, q.T)
-		if cerr := ctx.Err(); cerr != nil {
-			// rel was cut short by the cancellation; keep only the fully
-			// estimated prefix.
-			return out, fmt.Errorf("repro: estimate batch interrupted after %d/%d queries: %w",
-				len(out), len(queries), cerr)
-		}
-		out = append(out, rel)
-	}
-	return out, nil
+	res, err := e.Run(ctx, Query{Kind: QueryEstimateMany, Pairs: queries})
+	return res.Reliabilities, err
 }

@@ -1,18 +1,28 @@
-// Example server is a minimal Go client for cmd/relmaxd, driving the three
-// endpoints of the serving walkthrough in README.md: health, one Solve and
-// one batched EstimateMany, with a client-side timeout that exercises the
-// server's cooperative cancellation.
+// Example server is a minimal Go client for cmd/relmaxd, walking both
+// serving surfaces: the synchronous /v1 endpoints and the /v2 job API —
+// submit a job, poll its status, stream its NDJSON progress events,
+// demonstrate a cache hit on resubmission, cancel a long-running job, and
+// read /metrics.
 //
 // Start a server first:
 //
-//	go run ./cmd/relmaxd -addr :8080 -dataset lastfm -scale 0.05
+//	go run ./cmd/relmaxd -addr :8080 -dataset lastfm -scale 0.05 -cache 256
 //
 // then:
 //
 //	go run ./examples/server -addr http://localhost:8080
+//
+// The same walkthrough with curl:
+//
+//	curl -X POST -d '{"kind":"solve","s":0,"t":39,"k":2}' localhost:8080/v2/jobs
+//	curl localhost:8080/v2/jobs/<id>            # poll status → result
+//	curl localhost:8080/v2/jobs/<id>/events     # NDJSON progress stream
+//	curl -X DELETE localhost:8080/v2/jobs/<id>  # cancel
+//	curl localhost:8080/metrics
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -28,7 +38,7 @@ func main() {
 	s := flag.Int("s", 0, "source node")
 	t := flag.Int("t", 39, "target node")
 	k := flag.Int("k", 2, "edge budget")
-	timeout := flag.Duration("timeout", 15*time.Second, "client-side deadline per call")
+	timeout := flag.Duration("timeout", 30*time.Second, "client-side deadline per call")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -43,7 +53,17 @@ func main() {
 	}
 	fmt.Printf("server %s, serving %d dataset(s)\n", health.Status, len(health.Datasets))
 
-	solveReq := map[string]any{"s": *s, "t": *t, "method": "be", "k": *k, "r": 8, "l": 8}
+	// --- /v2: submit a solve job and poll it to completion. ---
+	submit := map[string]any{"kind": "solve", "s": *s, "t": *t, "method": "be", "k": *k, "r": 8, "l": 8}
+	job, err := submitJob(ctx, *addr, submit)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("submitted job %s (%s)\n", job.ID, job.Status)
+	final, err := pollJob(ctx, *addr, job.ID)
+	if err != nil {
+		fail(err)
+	}
 	var solve struct {
 		Edges []struct {
 			U, V int32
@@ -53,14 +73,47 @@ func main() {
 		After float64 `json:"after"`
 		Gain  float64 `json:"gain"`
 	}
-	if err := call(ctx, http.MethodPost, *addr+"/v1/solve", solveReq, &solve); err != nil {
+	if err := json.Unmarshal(final.Result, &solve); err != nil {
 		fail(err)
 	}
-	fmt.Printf("solve %d->%d: reliability %.4f -> %.4f (gain %.4f)\n", *s, *t, solve.Base, solve.After, solve.Gain)
+	fmt.Printf("job %s %s: reliability %.4f -> %.4f (gain %.4f)\n",
+		final.ID, final.Status, solve.Base, solve.After, solve.Gain)
 	for _, e := range solve.Edges {
 		fmt.Printf("  add %d -> %d (p=%.2f)\n", e.U, e.V, e.P)
 	}
 
+	// Replay the job's progress events from the NDJSON stream.
+	if err := streamEvents(ctx, *addr, job.ID); err != nil {
+		fail(err)
+	}
+
+	// Resubmitting the identical query is a cache hit: same fingerprint,
+	// bit-identical result, no recomputation.
+	again, err := submitJob(ctx, *addr, submit)
+	if err != nil {
+		fail(err)
+	}
+	againFinal, err := pollJob(ctx, *addr, again.ID)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("resubmitted as %s: status %s, cache_hit=%v\n", again.ID, againFinal.Status, againFinal.CacheHit)
+
+	// Submit a deliberately long job and cancel it via DELETE.
+	slow, err := submitJob(ctx, *addr, map[string]any{"kind": "estimate", "s": *s, "t": *t, "z": 1_000_000})
+	if err != nil {
+		fail(err)
+	}
+	if err := call(ctx, http.MethodDelete, *addr+"/v2/jobs/"+slow.ID, nil, &struct{}{}); err != nil {
+		fail(err)
+	}
+	cancelled, err := pollJob(ctx, *addr, slow.ID)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("job %s after DELETE: %s\n", slow.ID, cancelled.Status)
+
+	// --- /v1 still serves synchronously (as a shim over the same jobs). ---
 	estReq := map[string]any{"pairs": [][2]int{{*s, *t}, {*s, *s}}}
 	var est struct {
 		Reliabilities []float64 `json:"reliabilities"`
@@ -69,6 +122,75 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("estimates: %v\n", est.Reliabilities)
+
+	var metrics struct {
+		Requests struct {
+			Total uint64 `json:"total"`
+		} `json:"requests"`
+		Cache struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+		Jobs struct {
+			Completed uint64 `json:"completed"`
+			Cancelled uint64 `json:"cancelled"`
+		} `json:"jobs"`
+	}
+	if err := call(ctx, http.MethodGet, *addr+"/metrics", nil, &metrics); err != nil {
+		fail(err)
+	}
+	fmt.Printf("metrics: %d requests, %d cache hits, %d jobs completed, %d cancelled\n",
+		metrics.Requests.Total, metrics.Cache.Hits, metrics.Jobs.Completed, metrics.Jobs.Cancelled)
+}
+
+// jobJSON mirrors the /v2/jobs payload.
+type jobJSON struct {
+	ID       string          `json:"id"`
+	Status   string          `json:"status"`
+	CacheHit bool            `json:"cache_hit"`
+	Result   json.RawMessage `json:"result"`
+	Error    string          `json:"error"`
+}
+
+func submitJob(ctx context.Context, addr string, body map[string]any) (jobJSON, error) {
+	var job jobJSON
+	err := call(ctx, http.MethodPost, addr+"/v2/jobs", body, &job)
+	return job, err
+}
+
+func pollJob(ctx context.Context, addr, id string) (jobJSON, error) {
+	for {
+		var job jobJSON
+		if err := call(ctx, http.MethodGet, addr+"/v2/jobs/"+id, nil, &job); err != nil {
+			return job, err
+		}
+		switch job.Status {
+		case "done", "cancelled", "failed":
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// streamEvents prints the job's NDJSON progress stream line by line.
+func streamEvents(ctx context.Context, addr, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v2/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Printf("  event: %s\n", sc.Text())
+	}
+	return sc.Err()
 }
 
 func call(ctx context.Context, method, url string, body, out any) error {
@@ -92,7 +214,7 @@ func call(ctx context.Context, method, url string, body, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode/100 != 2 {
 		var e struct {
 			Error string `json:"error"`
 		}

@@ -143,6 +143,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized returns o with the paper defaults filled in — the resolved
+// form a solver actually runs under. It is idempotent; the Engine's query
+// canonicalization uses it so that a zero field and its explicit default
+// fingerprint identically.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // NewSampler builds the reliability estimator configured by opt, with a
 // decorrelated stream index so different pipeline stages use independent
 // randomness, bound to ctx for block-granular cooperative cancellation.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/candidates"
@@ -207,7 +208,7 @@ func multiAvgBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.
 		return nil, nil
 	}
 	ev := multiEvaluator{gPlus: a.g, sources: sources, targets: targets, smp: smp}
-	edges := batchSelect(ctx, a, pool, opt, ev.avgReliability)
+	edges := batchSelect(ctx, a, pool, opt, ev.avgReliability, true)
 	return edges, nil
 }
 
@@ -284,9 +285,18 @@ func inducedSubgraph(gPlus *ugraph.Graph, selected []paths.Path) (*ugraph.Graph,
 	return sub, remap
 }
 
-// batchSelect is the shared Algorithm 5+6 greedy loop over an arbitrary
-// objective on the selected-path subgraph.
-func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Options, objective func([]paths.Path) float64) []ugraph.Edge {
+// batchSelect is the single Algorithm 5+6 greedy loop over an arbitrary
+// objective on the selected-path subgraph, shared by the Problem 1
+// path-based solvers (via pathSelect) and the Problem 4 average-aggregate
+// solver. batch=true is Algorithm 6 (Path Batches-based Edge Selection):
+// paths sharing a candidate-edge label form one group, marginal gain is
+// normalized by the number of newly added candidate edges, and every group
+// whose label is covered by the tentative selection is pulled in alongside
+// the winner (Example 3). batch=false is Algorithm 5 (Individual Path-based
+// Edge Selection): every path is its own group, scored by raw gain, with no
+// cohort pulling. Paths touching no candidate edge are pre-selected in pool
+// order in both modes (line 5 of Algorithm 5).
+func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Options, objective func([]paths.Path) float64, batch bool) []ugraph.Edge {
 	type group struct {
 		label []int32
 		paths []paths.Path
@@ -298,6 +308,10 @@ func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Option
 		lbl := a.label(p)
 		if len(lbl) == 0 {
 			selected = append(selected, p)
+			continue
+		}
+		if !batch {
+			groups = append(groups, &group{label: lbl, paths: []paths.Path{p}})
 			continue
 		}
 		key := labelKey(lbl)
@@ -334,33 +348,35 @@ func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Option
 		for gi, gr := range groups {
 			newEdges := need(gr.label)
 			if len(chosen)+newEdges > opt.K {
-				continue
+				continue // lines 11-16 of Algorithm 5: over budget
 			}
 			trial := append(append([]paths.Path(nil), selected...), gr.paths...)
-			extra := make(map[int32]bool, len(gr.label))
-			for _, id := range gr.label {
-				extra[id] = true
-			}
 			var cohort []int
-			for gj, other := range groups {
-				if gj == gi {
-					continue
+			if batch {
+				extra := make(map[int32]bool, len(gr.label))
+				for _, id := range gr.label {
+					extra[id] = true
 				}
-				coveredAll := true
-				for _, id := range other.label {
-					if !chosen[id] && !extra[id] {
-						coveredAll = false
-						break
+				for gj, other := range groups {
+					if gj == gi {
+						continue
 					}
-				}
-				if coveredAll {
-					trial = append(trial, other.paths...)
-					cohort = append(cohort, gj)
+					coveredAll := true
+					for _, id := range other.label {
+						if !chosen[id] && !extra[id] {
+							coveredAll = false
+							break
+						}
+					}
+					if coveredAll {
+						trial = append(trial, other.paths...)
+						cohort = append(cohort, gj)
+					}
 				}
 			}
 			gain := objective(trial) - current
 			score := gain
-			if newEdges > 0 {
+			if batch && newEdges > 0 {
 				score = gain / float64(newEdges)
 			}
 			if score > bestScore {
@@ -371,7 +387,7 @@ func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Option
 			}
 		}
 		if bestIdx < 0 {
-			break
+			break // nothing fits the remaining budget
 		}
 		if ctx.Err() != nil {
 			break // this round's scores are incomplete; discard them
@@ -403,19 +419,11 @@ func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Option
 	for id := range chosen {
 		ids = append(ids, id)
 	}
-	sortInt32(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		out = append(out, a.cand[id])
 	}
 	return out
-}
-
-func sortInt32(xs []int32) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // multiMinMaxBE implements §6.2/§6.3: repeatedly pick the pair with the

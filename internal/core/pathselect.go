@@ -60,49 +60,16 @@ type pathEvaluator struct {
 
 // reliability builds the induced subgraph of the given paths and estimates
 // the s-t reliability on it. An empty selection (or one not touching both
-// endpoints) has reliability 0.
+// endpoints) has reliability 0; neither case consumes randomness.
 func (ev pathEvaluator) reliability(selected []paths.Path) float64 {
 	if len(selected) == 0 {
 		return 0
 	}
-	remap := make(map[ugraph.NodeID]ugraph.NodeID)
-	nodeOf := func(v ugraph.NodeID) ugraph.NodeID {
-		if id, ok := remap[v]; ok {
-			return id
-		}
-		id := ugraph.NodeID(len(remap))
-		remap[v] = id
-		return id
-	}
-	type edgeRec struct {
-		u, v ugraph.NodeID
-		p    float64
-	}
-	var edges []edgeRec
-	seen := make(map[int32]bool)
-	for _, p := range selected {
-		for i, eid := range p.Edges {
-			if seen[eid] {
-				continue
-			}
-			seen[eid] = true
-			edges = append(edges, edgeRec{
-				u: nodeOf(p.Nodes[i]),
-				v: nodeOf(p.Nodes[i+1]),
-				p: ev.gPlus.Prob(eid),
-			})
-		}
-	}
+	sub, remap := inducedSubgraph(ev.gPlus, selected)
 	ss, okS := remap[ev.s]
 	tt, okT := remap[ev.t]
 	if !okS || !okT {
 		return 0
-	}
-	sub := ugraph.New(len(remap), ev.gPlus.Directed())
-	for _, e := range edges {
-		if !sub.HasEdge(e.u, e.v) {
-			sub.MustAddEdge(e.u, e.v, e.p)
-		}
 	}
 	return ev.smp.Reliability(sub, ss, tt)
 }
@@ -111,9 +78,10 @@ func (ev pathEvaluator) reliability(selected []paths.Path) float64 {
 // paths in G+ and greedily select paths (batch=false, Individual Path-based
 // Edge Selection) or path batches (batch=true, Path Batches-based Edge
 // Selection) maximizing the reliability of the selected-path subgraph while
-// keeping at most K candidate edges. Batch mode scores marginal gain
-// normalized by the number of newly added candidate edges and pulls in
-// every batch whose label is covered by the tentative selection (Example 3).
+// keeping at most K candidate edges. The greedy loop itself is batchSelect —
+// one implementation shared with the Problem 4 solvers — driven by the
+// single-pair objective; its RNG call order is pinned against the historical
+// standalone loop by TestPathSelectMatchesReference.
 func pathSelect(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands []ugraph.Edge, smp sampling.Sampler, opt Options, batch bool) ([]ugraph.Edge, int) {
 	a := augment(g, cands)
 	pool := paths.TopL(ctx, a.g, s, t, opt.L)
@@ -123,150 +91,5 @@ func pathSelect(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, cands 
 		return nil, 0
 	}
 	ev := pathEvaluator{gPlus: a.g, s: s, t: t, smp: smp}
-
-	type group struct {
-		label []int32
-		paths []paths.Path
-	}
-	var groups []*group
-	if batch {
-		// Algorithm 6: group paths sharing the same candidate-edge set.
-		byKey := make(map[string]*group)
-		for _, p := range pool {
-			lbl := a.label(p)
-			key := labelKey(lbl)
-			gr, ok := byKey[key]
-			if !ok {
-				gr = &group{label: lbl}
-				byKey[key] = gr
-				groups = append(groups, gr)
-			}
-			gr.paths = append(gr.paths, p)
-		}
-	} else {
-		for _, p := range pool {
-			groups = append(groups, &group{label: a.label(p), paths: []paths.Path{p}})
-		}
-	}
-
-	chosen := make(map[int32]bool)
-	var selected []paths.Path
-	// Line 5 of Algorithm 5: pre-select everything with no candidate edges.
-	rest := groups[:0]
-	for _, gr := range groups {
-		if len(gr.label) == 0 {
-			selected = append(selected, gr.paths...)
-		} else {
-			rest = append(rest, gr)
-		}
-	}
-	groups = rest
-	current := -1.0 // lazily computed baseline objective
-
-	covered := func(lbl []int32, extra map[int32]bool) bool {
-		for _, id := range lbl {
-			if !chosen[id] && (extra == nil || !extra[id]) {
-				return false
-			}
-		}
-		return true
-	}
-	need := func(lbl []int32) int {
-		n := 0
-		for _, id := range lbl {
-			if !chosen[id] {
-				n++
-			}
-		}
-		return n
-	}
-
-	round := 0
-	for len(chosen) < opt.K && len(groups) > 0 {
-		if ctx.Err() != nil {
-			break // keep the edges committed in completed rounds
-		}
-		if current < 0 {
-			current = ev.reliability(selected)
-		}
-		bestIdx := -1
-		bestScore := -1.0
-		var bestSelection []paths.Path
-		var bestCohort []int // groups pulled in alongside the best one
-		for gi, gr := range groups {
-			newEdges := need(gr.label)
-			if len(chosen)+newEdges > opt.K {
-				continue // lines 11-16 of Algorithm 5: over budget
-			}
-			trial := append(append([]paths.Path(nil), selected...), gr.paths...)
-			var cohort []int
-			if batch {
-				// Include batches whose candidate set is covered by
-				// the tentative selection (Example 3).
-				extra := make(map[int32]bool, len(gr.label))
-				for _, id := range gr.label {
-					extra[id] = true
-				}
-				for gj, other := range groups {
-					if gj == gi {
-						continue
-					}
-					if covered(other.label, extra) {
-						trial = append(trial, other.paths...)
-						cohort = append(cohort, gj)
-					}
-				}
-			}
-			gain := ev.reliability(trial) - current
-			score := gain
-			if batch && newEdges > 0 {
-				score = gain / float64(newEdges)
-			}
-			if score > bestScore {
-				bestScore = score
-				bestIdx = gi
-				bestSelection = trial
-				bestCohort = cohort
-			}
-		}
-		if bestIdx < 0 {
-			break // nothing fits the remaining budget
-		}
-		if ctx.Err() != nil {
-			break // this round's scores are incomplete; discard them
-		}
-		for _, id := range groups[bestIdx].label {
-			chosen[id] = true
-		}
-		selected = bestSelection
-		current = -1
-		round++
-		opt.emit(ProgressEvent{
-			Stage: StageSelect, Round: round, Total: opt.K,
-			Batches: len(groups), Edges: len(chosen), Paths: pathCount,
-		})
-		// Drop the selected group and its cohort from the pool.
-		drop := map[int]bool{bestIdx: true}
-		for _, gj := range bestCohort {
-			drop[gj] = true
-		}
-		kept := groups[:0]
-		for gi, gr := range groups {
-			if !drop[gi] {
-				kept = append(kept, gr)
-			}
-		}
-		groups = kept
-	}
-
-	out := make([]ugraph.Edge, 0, len(chosen))
-	ids := make([]int32, 0, len(chosen))
-	for id := range chosen {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		out = append(out, a.cand[id])
-	}
-	return out, pathCount
+	return batchSelect(ctx, a, pool, opt, ev.reliability, batch), pathCount
 }

@@ -64,6 +64,14 @@ func factoryFor(kind string) (Factory, error) {
 	}
 }
 
+// KnownKind reports whether kind names a built-in estimator ("mc", "rss"
+// or "lazy") — the validation the Engine's query canonicalization uses to
+// reject unknown sampler overrides before any work is queued.
+func KnownKind(kind string) bool {
+	_, err := factoryFor(kind)
+	return err == nil
+}
+
 // NewSerial constructs a serial sampler of the named kind ("mc", "rss" or
 // "lazy") — the single-goroutine counterpart of NewParallel. On error the
 // returned interface is nil (never a typed-nil concrete pointer), so

@@ -1,0 +1,390 @@
+package repro
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+)
+
+// QueryKind names one of the engine's five query families. Every serving
+// surface — Engine.Run, Engine.Submit, the five typed wrapper methods and
+// cmd/relmaxd's /v2/jobs endpoint — dispatches on the same kinds.
+type QueryKind string
+
+// The query kinds served by an Engine.
+const (
+	// QuerySolve is a single-source-target Problem 1 query (Engine.Solve).
+	QuerySolve QueryKind = "solve"
+	// QueryMulti is a multiple-source-target Problem 4 query
+	// (Engine.SolveMulti).
+	QueryMulti QueryKind = "multi"
+	// QueryTotalBudget is a §9 total-probability-budget query
+	// (Engine.SolveTotalBudget).
+	QueryTotalBudget QueryKind = "total-budget"
+	// QueryEstimate is one s-t reliability estimate (Engine.Estimate).
+	QueryEstimate QueryKind = "estimate"
+	// QueryEstimateMany is a batched reliability estimate
+	// (Engine.EstimateMany).
+	QueryEstimateMany QueryKind = "estimate-many"
+)
+
+// Query is the unified typed representation of one engine query: a kind
+// plus the union of per-kind parameters. The five typed Engine methods are
+// thin wrappers that build a Query and call Engine.Run; Engine.Submit
+// accepts the same representation for asynchronous jobs.
+//
+// Fields irrelevant to a Kind are ignored (and stripped by
+// Engine.Canonicalize, so they never split the result cache). Options
+// follows the same override semantics as Request.Options: nil uses the
+// engine defaults, zero Sampler/Z/Seed/Workers fields inherit the engine
+// configuration.
+type Query struct {
+	// Kind selects the query family.
+	Kind QueryKind
+	// S and T are the endpoints for solve, total-budget and estimate.
+	S, T NodeID
+	// Sources and Targets are the multi-query node sets.
+	Sources, Targets []NodeID
+	// Aggregate is the multi-query objective; empty means AggAvg.
+	Aggregate Aggregate
+	// Budget is the total probability mass for total-budget queries.
+	Budget float64
+	// Pairs are the estimate-many queries.
+	Pairs []PairQuery
+	// Method selects the solver for solve and multi; empty uses the engine
+	// default.
+	Method Method
+	// Options overrides the engine's solver defaults; nil uses them
+	// unchanged.
+	Options *Options
+	// Progress, when non-nil, receives per-round solver progress. It is
+	// never part of the fingerprint; note that a cache hit skips the
+	// computation entirely, so no progress events fire.
+	Progress ProgressFunc
+}
+
+// Result is the union of the five query results; Kind tells which field is
+// populated.
+type Result struct {
+	Kind QueryKind
+	// Solution is the solve result.
+	Solution Solution
+	// Multi is the multi result.
+	Multi MultiSolution
+	// TotalBudget is the total-budget result.
+	TotalBudget TotalBudgetSolution
+	// Reliability is the estimate result.
+	Reliability float64
+	// Reliabilities is the estimate-many result, index-aligned with Pairs.
+	Reliabilities []float64
+}
+
+// Canonicalize resolves q against the engine configuration into its
+// canonical form: Method and Aggregate defaults applied, Options fully
+// resolved (engine inheritance plus the paper defaults) and stripped to
+// the fields that can affect the answer of this Kind, node sets copied.
+// Two queries that would run the identical computation canonicalize to
+// Queries with equal Key() fingerprints — the property the result cache
+// and job deduplication rely on. Engine.Run and Engine.Submit canonicalize
+// internally; callers only need this to compute fingerprints themselves.
+func (e *Engine) Canonicalize(q Query) (Query, error) {
+	out := Query{Kind: q.Kind, Progress: q.Progress}
+	opt := e.options(q.Options)
+	opt.Scratch = nil
+	opt.Progress = nil
+	if opt.Candidates != nil {
+		// Copy like Sources/Targets/Pairs below: a queued job must not see
+		// later caller mutations of the slice its fingerprint was hashed
+		// over. Nil-ness is semantic (nil = run elimination, empty = an
+		// explicit empty candidate set), so an empty slice stays non-nil.
+		opt.Candidates = append(make([]Edge, 0, len(opt.Candidates)), opt.Candidates...)
+	}
+	switch q.Kind {
+	case QuerySolve:
+		out.S, out.T = q.S, q.T
+		out.Method = q.Method
+		if out.Method == "" {
+			out.Method = e.method
+		}
+		opt = opt.Normalized()
+	case QueryMulti:
+		out.Sources = append([]NodeID(nil), q.Sources...)
+		out.Targets = append([]NodeID(nil), q.Targets...)
+		out.Aggregate = q.Aggregate
+		if out.Aggregate == "" {
+			out.Aggregate = AggAvg
+		}
+		out.Method = q.Method
+		if out.Method == "" {
+			out.Method = e.method
+		}
+		opt = opt.Normalized()
+	case QueryTotalBudget:
+		out.S, out.T, out.Budget = q.S, q.T, q.Budget
+		opt = opt.Normalized()
+	case QueryEstimate, QueryEstimateMany:
+		if !sampling.KnownKind(opt.Sampler) {
+			return Query{}, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+		}
+		if q.Kind == QueryEstimate {
+			out.S, out.T = q.S, q.T
+		} else {
+			out.Pairs = append([]PairQuery(nil), q.Pairs...)
+		}
+		// Estimation depends only on the sampler configuration; stripping
+		// the solver fields keeps the fingerprint canonical.
+		opt = Options{Sampler: opt.Sampler, Z: opt.Z, Seed: opt.Seed, Workers: opt.Workers}
+	default:
+		return Query{}, fmt.Errorf("repro: unknown query kind %q: %w", q.Kind, ErrBadQuery)
+	}
+	out.Options = &opt
+	return out, nil
+}
+
+// Key returns the query's deterministic fingerprint: a hex-encoded
+// SHA-256 over a canonical binary encoding of every result-affecting
+// field. Progress callbacks and the scratch pool are excluded, and the
+// worker count collapses to serial-vs-parallel (results are bit-identical
+// at any Workers >= 1, so w=2 and w=8 fingerprint identically). Call it on
+// a canonicalized Query for the canonical fingerprint; the engine's cache
+// and jobs do so automatically.
+func (q Query) Key() string {
+	h := sha256.New()
+	writeString(h, string(q.Kind))
+	writeString(h, string(q.Method))
+	writeString(h, string(q.Aggregate))
+	writeInts(h, int64(q.S), int64(q.T))
+	writeInts(h, int64(math.Float64bits(q.Budget)))
+	writeInts(h, int64(len(q.Sources)))
+	for _, v := range q.Sources {
+		writeInts(h, int64(v))
+	}
+	writeInts(h, int64(len(q.Targets)))
+	for _, v := range q.Targets {
+		writeInts(h, int64(v))
+	}
+	writeInts(h, int64(len(q.Pairs)))
+	for _, p := range q.Pairs {
+		writeInts(h, int64(p.S), int64(p.T))
+	}
+	if q.Options == nil {
+		writeInts(h, 0)
+	} else {
+		o := *q.Options
+		workersClass := int64(0)
+		if o.Workers != 0 {
+			workersClass = 1
+		}
+		noElim := int64(0)
+		if o.NoElimination {
+			noElim = 1
+		}
+		writeInts(h, 1,
+			int64(o.K), int64(math.Float64bits(o.Zeta)), int64(o.R), int64(o.L), int64(o.H),
+			int64(o.Z), o.Seed, noElim, int64(o.MaxExactCombos),
+			int64(math.Float64bits(o.K1Ratio)), workersClass)
+		writeString(h, o.Sampler)
+		// Nil and empty candidate sets are different queries (nil = run
+		// elimination, empty = explicitly no candidates), so the nil-ness
+		// is part of the fingerprint, not just the length.
+		hasCands := int64(0)
+		if o.Candidates != nil {
+			hasCands = 1
+		}
+		writeInts(h, hasCands, int64(len(o.Candidates)))
+		for _, e := range o.Candidates {
+			writeInts(h, int64(e.U), int64(e.V), int64(math.Float64bits(e.P)))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeString(h hash.Hash, s string) {
+	writeInts(h, int64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeInts(h hash.Hash, vals ...int64) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+}
+
+// Run answers one query of any kind under ctx — the single dispatch every
+// typed Engine method is a wrapper over. The cancellation contract is the
+// kind's own (see Solve, Estimate, ...): partial results where meaningful,
+// an error wrapping ctx.Err(). With a result cache configured
+// (WithResultCache), a successful result is stored under the query's
+// canonical fingerprint and an identical later query returns the cached,
+// bit-identical Result without recomputing (and without progress events);
+// errors and partial results are never cached.
+func (e *Engine) Run(ctx context.Context, q Query) (Result, error) {
+	cq, err := e.Canonicalize(q)
+	if err != nil {
+		return Result{Kind: q.Kind}, err
+	}
+	res, _, err := e.runCanonical(ctx, cq)
+	return res, err
+}
+
+// runCanonical serves an already-canonical query, consulting and filling
+// the result cache. The bool reports whether the result came from cache.
+// Without a configured cache the fingerprint is never computed — the
+// synchronous path of a cache-less engine (the default) pays no hashing.
+func (e *Engine) runCanonical(ctx context.Context, cq Query) (Result, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var key string
+	if e.cache != nil {
+		key = cq.Key()
+		if res, ok := e.cache.get(key); ok {
+			return res, true, nil
+		}
+	}
+	res, err := e.execute(ctx, cq)
+	if err == nil && e.cache != nil {
+		e.cache.put(key, res)
+	}
+	return res, false, err
+}
+
+// execute dispatches a canonical query to the solver or estimator layers.
+func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
+	res := Result{Kind: q.Kind}
+	opt := *q.Options
+	opt.Progress = q.Progress
+	if opt.Workers != 0 && opt.Sampler == e.scratch.Kind() {
+		opt.Scratch = e.scratch
+	}
+	switch q.Kind {
+	case QuerySolve:
+		sol, err := core.Solve(ctx, e.g, q.S, q.T, q.Method, opt)
+		res.Solution = sol
+		if err == nil && sol.PathCount == 0 && (q.Method == MethodIP || q.Method == MethodBE) {
+			// The legacy free Solve returns an empty zero-gain Solution here;
+			// the Engine surface is stricter so serving layers can tell
+			// "nothing to improve" apart from a real answer.
+			return res, fmt.Errorf("repro: method %q extracted no s-t path on the augmented graph: %w", q.Method, ErrNoPath)
+		}
+		return res, err
+	case QueryMulti:
+		sol, err := core.SolveMulti(ctx, e.g, q.Sources, q.Targets, q.Aggregate, q.Method, opt)
+		res.Multi = sol
+		return res, err
+	case QueryTotalBudget:
+		sol, err := core.SolveTotalBudget(ctx, e.g, q.S, q.T, q.Budget, opt)
+		res.TotalBudget = sol
+		return res, err
+	case QueryEstimate:
+		if err := e.checkNode(q.S); err != nil {
+			return res, err
+		}
+		if err := e.checkNode(q.T); err != nil {
+			return res, err
+		}
+		smp, err := e.estimatorFor(ctx, opt)
+		if err != nil {
+			return res, err
+		}
+		var rel float64
+		if cs, ok := smp.(sampling.CSRSampler); ok {
+			rel = cs.ReliabilityCSR(e.csr, q.S, q.T)
+		} else {
+			rel = smp.Reliability(e.g, q.S, q.T)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return res, fmt.Errorf("repro: estimate interrupted: %w", cerr)
+		}
+		res.Reliability = rel
+		return res, nil
+	case QueryEstimateMany:
+		out, err := e.estimateMany(ctx, opt, q.Pairs)
+		res.Reliabilities = out
+		return res, err
+	}
+	return res, fmt.Errorf("repro: unknown query kind %q: %w", q.Kind, ErrBadQuery)
+}
+
+// estimateMany is the estimate-many execution: the batched parallel
+// sampler when Workers != 0, otherwise the serial path sharded across the
+// warm pool — one undivided full-budget stream per query, keyed on the
+// query index, bit-identical at any scheduling (see
+// sampling.EstimateManySerial).
+func (e *Engine) estimateMany(ctx context.Context, opt Options, pairs []PairQuery) ([]float64, error) {
+	for _, q := range pairs {
+		if err := e.checkNode(q.S); err != nil {
+			return nil, err
+		}
+		if err := e.checkNode(q.T); err != nil {
+			return nil, err
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	if opt.Workers != 0 {
+		smp, err := e.estimatorFor(ctx, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := smp.(sampling.BatchSampler).EstimateMany(e.g, pairs)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("repro: estimate batch interrupted: %w", cerr)
+		}
+		return out, nil
+	}
+	ss := e.scratch
+	if opt.Sampler != ss.Kind() {
+		var err error
+		ss, err = sampling.NewSharedScratch(opt.Sampler)
+		if err != nil {
+			return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+		}
+	}
+	out := sampling.EstimateManySerial(ctx, ss, e.csr, pairs, opt.Z, opt.Seed, 0)
+	if cerr := ctx.Err(); cerr != nil {
+		// Out-of-order scheduling means there is no meaningful completed
+		// prefix; discard the partial merge.
+		return nil, fmt.Errorf("repro: estimate batch interrupted: %w", cerr)
+	}
+	return out, nil
+}
+
+// estimatorFor builds the request-scoped reliability estimator for the
+// resolved options: a parallel sampler leasing workers from the engine's
+// warm pool when the kinds match (a cold pool otherwise), or a fresh
+// serial sampler when Workers == 0. Each call starts from the resolved
+// seed, so identical estimation requests return identical values
+// regardless of what ran before.
+func (e *Engine) estimatorFor(ctx context.Context, opt Options) (sampling.Sampler, error) {
+	if opt.Workers != 0 {
+		var ps *sampling.ParallelSampler
+		if opt.Sampler == e.scratch.Kind() {
+			ps = sampling.NewParallelShared(e.scratch, opt.Z, opt.Seed, opt.Workers)
+		} else {
+			var err error
+			ps, err = sampling.NewParallel(opt.Sampler, opt.Z, opt.Seed, opt.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+			}
+		}
+		ps.SetContext(ctx)
+		return ps, nil
+	}
+	smp, err := sampling.NewSerial(opt.Sampler, opt.Z, opt.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+	}
+	smp.SetContext(ctx)
+	return smp, nil
+}

@@ -1,0 +1,264 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sampling"
+)
+
+// referenceSerialEstimates is the in-order oracle for the Workers=0
+// EstimateMany path: one serial sampler, reseeded to SplitSeed(seed, i)
+// before query i, full budget per query.
+func referenceSerialEstimates(t *testing.T, g *Graph, pairs []PairQuery, kind string, z int, seed int64) []float64 {
+	t.Helper()
+	smp, err := sampling.NewSerial(kind, z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Freeze()
+	out := make([]float64, len(pairs))
+	for i, q := range pairs {
+		if q.S == q.T {
+			out[i] = 1
+			continue
+		}
+		smp.Reseed(rng.SplitSeed(seed, int64(i)))
+		out[i] = smp.(sampling.CSRSampler).ReliabilityCSR(c, q.S, q.T)
+	}
+	return out
+}
+
+// TestQueryKeyCanonical: queries that resolve to the same computation must
+// fingerprint identically; queries that differ in any result-affecting
+// field must not.
+func TestQueryKeyCanonical(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g, WithSolverDefaults(Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(q Query) string {
+		t.Helper()
+		cq, err := eng.Canonicalize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cq.Key()
+	}
+
+	base := Query{Kind: QuerySolve, S: 0, T: 39}
+	if key(base) != key(base) {
+		t.Fatal("Key is not deterministic")
+	}
+	// Explicitly spelling out the engine defaults must not change the key.
+	explicit := Query{Kind: QuerySolve, S: 0, T: 39, Method: MethodBE,
+		Options: &Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8}}
+	if key(base) != key(explicit) {
+		t.Fatal("explicit engine defaults changed the fingerprint")
+	}
+	// Progress callbacks are not part of the fingerprint.
+	withProgress := base
+	withProgress.Progress = func(ProgressEvent) {}
+	if key(base) != key(withProgress) {
+		t.Fatal("progress callback changed the fingerprint")
+	}
+	// Workers >= 1 are interchangeable (bit-identical results), but differ
+	// from serial.
+	w2 := Query{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8, Workers: 2}}
+	w8 := Query{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8, Workers: 8}}
+	if key(w2) != key(w8) {
+		t.Fatal("worker counts >= 1 must fingerprint identically")
+	}
+	if key(base) == key(w2) {
+		t.Fatal("serial and parallel execution must fingerprint differently")
+	}
+	// Every result-affecting change must move the key.
+	variants := []Query{
+		{Kind: QuerySolve, S: 0, T: 40},
+		{Kind: QuerySolve, S: 1, T: 39},
+		{Kind: QuerySolve, S: 0, T: 39, Method: MethodIP},
+		{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 3, Z: 300, Seed: 9, R: 8, L: 8}},
+		{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 400, Seed: 9, R: 8, L: 8}},
+		{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 10, R: 8, L: 8}},
+		{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 9, R: 9, L: 8}},
+		{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8, Sampler: "mc"}},
+		{Kind: QueryEstimate, S: 0, T: 39},
+		{Kind: QueryTotalBudget, S: 0, T: 39, Budget: 1},
+	}
+	seen := map[string]int{key(base): -1}
+	for i, v := range variants {
+		k := key(v)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %d: %+v", i, prev, v)
+		}
+		seen[k] = i
+	}
+	// Kind-irrelevant fields must be stripped: an estimate ignores solver
+	// parameters.
+	estA := Query{Kind: QueryEstimate, S: 0, T: 17}
+	estB := Query{Kind: QueryEstimate, S: 0, T: 17, Method: MethodIP, Budget: 3,
+		Options: &Options{K: 7, Z: 300, Seed: 9, R: 2, L: 2}}
+	if key(estA) != key(estB) {
+		t.Fatal("solver fields leaked into an estimate fingerprint")
+	}
+	// Nil vs explicitly-empty candidate sets are different computations
+	// (elimination vs no candidates) and must fingerprint differently.
+	nilCands := Query{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8}}
+	emptyCands := Query{Kind: QuerySolve, S: 0, T: 39, Options: &Options{K: 2, Z: 300, Seed: 9, R: 8, L: 8, Candidates: []Edge{}}}
+	if key(nilCands) == key(emptyCands) {
+		t.Fatal("nil and empty candidate sets fingerprint identically")
+	}
+}
+
+// TestCanonicalizeCopiesCandidates: a canonicalized query must be isolated
+// from later caller mutations of the Candidates slice (queued jobs hold it
+// across an arbitrary delay), and explicit empty sets must stay non-nil
+// (nil means "run elimination").
+func TestCanonicalizeCopiesCandidates(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []Edge{{U: 0, V: 39, P: 0.5}}
+	cq, err := eng.Canonicalize(Query{Kind: QuerySolve, S: 0, T: 39,
+		Options: &Options{K: 1, Z: 100, Candidates: cands}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands[0] = Edge{U: 7, V: 8, P: 0.1} // caller scribbles after submit
+	if cq.Options.Candidates[0] != (Edge{U: 0, V: 39, P: 0.5}) {
+		t.Fatalf("caller mutation leaked into the canonical query: %+v", cq.Options.Candidates)
+	}
+	empty, err := eng.Canonicalize(Query{Kind: QuerySolve, S: 0, T: 39,
+		Options: &Options{K: 1, Z: 100, Candidates: []Edge{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Options.Candidates == nil {
+		t.Fatal("explicit empty candidate set collapsed to nil")
+	}
+}
+
+// TestRunDispatchMatchesTypedMethods: Engine.Run must serve all five kinds
+// with results identical to the typed wrappers.
+func TestRunDispatchMatchesTypedMethods(t *testing.T) {
+	g := engineTestGraph(t)
+	opt := Options{K: 2, Z: 200, Seed: 9, R: 8, L: 8}
+	eng, err := NewEngine(g, WithSolverDefaults(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	wantSol, err := eng.Solve(ctx, Request{S: 0, T: 39, Method: MethodBE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(ctx, Query{Kind: QuerySolve, S: 0, T: 39, Method: MethodBE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != QuerySolve || !sameSolution(wantSol, res.Solution) {
+		t.Fatalf("Run solve diverged: %+v vs %+v", res.Solution, wantSol)
+	}
+
+	mqs := MultiQueries(g, 1, 3, 7)
+	if len(mqs) > 0 {
+		wantMulti, err := eng.SolveMulti(ctx, MultiRequest{Sources: mqs[0].Sources, Targets: mqs[0].Targets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = eng.Run(ctx, Query{Kind: QueryMulti, Sources: mqs[0].Sources, Targets: mqs[0].Targets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Multi.Base != wantMulti.Base || res.Multi.After != wantMulti.After ||
+			len(res.Multi.Edges) != len(wantMulti.Edges) {
+			t.Fatalf("Run multi diverged: %+v vs %+v", res.Multi, wantMulti)
+		}
+	}
+
+	wantTB, err := eng.SolveTotalBudget(ctx, BudgetRequest{S: 0, T: 39, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Run(ctx, Query{Kind: QueryTotalBudget, S: 0, T: 39, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBudget.After != wantTB.After || res.TotalBudget.Spent != wantTB.Spent {
+		t.Fatalf("Run total-budget diverged: %+v vs %+v", res.TotalBudget, wantTB)
+	}
+
+	wantRel, err := eng.Estimate(ctx, 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Run(ctx, Query{Kind: QueryEstimate, S: 0, T: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability != wantRel {
+		t.Fatalf("Run estimate diverged: %v vs %v", res.Reliability, wantRel)
+	}
+
+	pairs := []PairQuery{{S: 0, T: 9}, {S: 1, T: 22}, {S: 4, T: 4}}
+	wantRels, err := eng.EstimateMany(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Run(ctx, Query{Kind: QueryEstimateMany, Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantRels {
+		if res.Reliabilities[i] != wantRels[i] {
+			t.Fatalf("Run estimate-many[%d] diverged: %v vs %v", i, res.Reliabilities[i], wantRels[i])
+		}
+	}
+
+	if _, err := eng.Run(ctx, Query{Kind: "bogus"}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("unknown kind error %v does not wrap ErrBadQuery", err)
+	}
+	if _, err := eng.Run(ctx, Query{Kind: QueryEstimate, S: 0, T: 17,
+		Options: &Options{Sampler: "bogus"}}); !errors.Is(err, ErrUnknownSampler) {
+		t.Fatalf("unknown sampler error %v does not wrap ErrUnknownSampler", err)
+	}
+}
+
+// TestEngineEstimateManySerialSharded pins the Workers=0 EstimateMany
+// semantics after the warm-pool sharding: query i draws from the stream
+// SplitSeed(seed, i) with the full budget — the reference any worker
+// schedule must reproduce bit-identically — and repeated calls agree.
+func TestEngineEstimateManySerialSharded(t *testing.T) {
+	g := engineTestGraph(t)
+	const z, seed = 400, 21
+	eng, err := NewEngine(g, WithSamplerKind("rss"), WithSampleSize(z), WithSeed(seed), WithWorkers(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []PairQuery{{S: 0, T: 9}, {S: 1, T: 22}, {S: 4, T: 4}, {S: 7, T: 31}}
+	got, err := eng.EstimateMany(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceSerialEstimates(t, g, pairs, "rss", z, seed)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharded serial EstimateMany[%d] = %v, reference %v", i, got[i], want[i])
+		}
+	}
+	again, err := eng.EstimateMany(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("repeat diverged at %d: %v vs %v", i, again[i], want[i])
+		}
+	}
+}

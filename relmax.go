@@ -241,15 +241,17 @@ func LoadDataset(name string, scale float64, seed int64) (*Graph, error) {
 // meters over the lab floor plan).
 func IntelLab(seed int64) (*Graph, [][2]float64) { return datasets.IntelLab(seed) }
 
-// Query is one s-t evaluation pair.
-type Query = datasets.Query
+// EvalQuery is one s-t evaluation pair sampled by Queries. (The name
+// Query now denotes the engine's typed query representation — see Query
+// and Engine.Run.)
+type EvalQuery = datasets.Query
 
 // MultiQuery is one multiple-source-target evaluation instance.
 type MultiQuery = datasets.MultiQuery
 
 // Queries samples s-t query pairs whose endpoints are dMin..dMax hops
 // apart (the paper's protocol uses 3..5).
-func Queries(g *Graph, count, dMin, dMax int, seed int64) []Query {
+func Queries(g *Graph, count, dMin, dMax int, seed int64) []EvalQuery {
 	return datasets.Queries(g, count, dMin, dMax, seed)
 }
 

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# relmaxd end-to-end smoke: build the server, serve a tiny dataset, issue
-# one Solve and one EstimateMany over real HTTP, assert 200s and that
-# identical requests return identical (deterministic) payloads, then check
-# SIGINT triggers a clean graceful shutdown (exit code 0).
+# relmaxd end-to-end smoke: build the server, serve a tiny dataset, then
+# exercise both serving surfaces over real HTTP:
+#   /v1  — one Solve and one EstimateMany, asserting 200s and that
+#          identical requests return identical (deterministic) payloads;
+#   /v2  — submit a job, poll it to completion, assert its result matches
+#          the /v1 payload, resubmit and assert a recorded cache hit with a
+#          bit-identical result, stream the NDJSON events, and cancel a
+#          long-running job via DELETE;
+#   /metrics — assert the counters moved (requests, completions, cache hits);
+# and finally check SIGINT triggers a clean graceful shutdown (exit 0).
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
@@ -12,7 +18,7 @@ trap 'kill "$PID" 2>/dev/null || true' EXIT
 
 go build -o "$BIN" ./cmd/relmaxd
 
-"$BIN" -addr "$ADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -workers 2 &
+"$BIN" -addr "$ADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -workers 2 -cache 64 &
 PID=$!
 
 for _ in $(seq 1 100); do
@@ -26,7 +32,7 @@ HEALTH=$(curl -fsS "$BASE/healthz")
 echo "$HEALTH"
 echo "$HEALTH" | jq -e '.status == "ok" and .datasets.lastfm.n > 0' >/dev/null
 
-echo "== solve (twice, asserting determinism modulo timing)"
+echo "== v1 solve (twice, asserting determinism modulo timing)"
 SOLVE_BODY='{"s":0,"t":39,"method":"be","k":2,"r":8,"l":8}'
 S1=$(curl -fsS -X POST -d "$SOLVE_BODY" "$BASE/v1/solve" | jq -S 'del(.timing)')
 S2=$(curl -fsS -X POST -d "$SOLVE_BODY" "$BASE/v1/solve" | jq -S 'del(.timing)')
@@ -34,7 +40,7 @@ echo "$S1"
 [ "$S1" = "$S2" ] || { echo "FAIL: solve payloads diverged"; echo "$S2"; exit 1; }
 echo "$S1" | jq -e '.method == "be" and (.edges | length) <= 2 and .candidates > 0' >/dev/null
 
-echo "== estimate (twice, asserting determinism)"
+echo "== v1 estimate (twice, asserting determinism)"
 EST_BODY='{"pairs":[[0,9],[1,22],[4,4]]}'
 E1=$(curl -fsS -X POST -d "$EST_BODY" "$BASE/v1/estimate")
 E2=$(curl -fsS -X POST -d "$EST_BODY" "$BASE/v1/estimate")
@@ -42,11 +48,74 @@ echo "$E1"
 [ "$E1" = "$E2" ] || { echo "FAIL: estimate payloads diverged"; echo "$E2"; exit 1; }
 echo "$E1" | jq -e '(.reliabilities | length) == 3 and .reliabilities[2] == 1' >/dev/null
 
+# poll_job ID: poll /v2/jobs/ID until terminal; prints the final payload.
+poll_job() {
+  local id=$1 body status
+  for _ in $(seq 1 200); do
+    body=$(curl -fsS "$BASE/v2/jobs/$id")
+    status=$(echo "$body" | jq -r .status)
+    case "$status" in
+      done|cancelled|failed) echo "$body"; return 0 ;;
+    esac
+    sleep 0.05
+  done
+  echo "FAIL: job $id never terminated (last: $body)" >&2
+  return 1
+}
+
+echo "== v2 jobs: submit -> poll -> result matches v1"
+JOB_BODY='{"kind":"solve","s":0,"t":39,"method":"be","k":2,"r":8,"l":8}'
+J1=$(curl -fsS -X POST -d "$JOB_BODY" "$BASE/v2/jobs")
+ID1=$(echo "$J1" | jq -re .id)
+F1=$(poll_job "$ID1")
+echo "$F1" | jq -e '.status == "done"' >/dev/null
+R1=$(echo "$F1" | jq -S '.result | del(.timing)')
+[ "$R1" = "$S1" ] || { echo "FAIL: v2 result diverged from v1 payload"; echo "$R1"; exit 1; }
+
+echo "== v2 jobs: identical resubmission is a bit-identical cache hit"
+J2=$(curl -fsS -X POST -d "$JOB_BODY" "$BASE/v2/jobs")
+ID2=$(echo "$J2" | jq -re .id)
+F2=$(poll_job "$ID2")
+echo "$F2" | jq -e '.status == "done" and .cache_hit == true' >/dev/null \
+  || { echo "FAIL: resubmission was not a cache hit"; echo "$F2"; exit 1; }
+R2=$(echo "$F2" | jq -S .result)
+R1FULL=$(echo "$F1" | jq -S .result)
+[ "$R2" = "$R1FULL" ] || { echo "FAIL: cache hit not bit-identical"; echo "$R2"; exit 1; }
+
+echo "== v2 jobs: NDJSON events stream"
+# A fresh fingerprint (different seed), so the job really computes and
+# emits per-round progress instead of completing as a cache hit.
+J3=$(curl -fsS -X POST -d '{"kind":"solve","s":0,"t":39,"method":"be","k":2,"r":8,"l":8,"seed":31}' "$BASE/v2/jobs")
+ID3=$(echo "$J3" | jq -re .id)
+EVENTS=$(curl -fsS --max-time 10 "$BASE/v2/jobs/$ID3/events")
+echo "$EVENTS" | head -3
+LINES=$(echo "$EVENTS" | grep -c .)
+[ "$LINES" -ge 2 ] || { echo "FAIL: events stream returned only $LINES lines"; exit 1; }
+echo "$EVENTS" | tail -1 | jq -e '.done == true and .status == "done"' >/dev/null
+
+echo "== v2 jobs: DELETE cancels a running job"
+SLOW=$(curl -fsS -X POST -d '{"kind":"estimate","s":0,"t":39,"z":1000000,"seed":99}' "$BASE/v2/jobs")
+SLOW_ID=$(echo "$SLOW" | jq -re .id)
+curl -fsS -X DELETE "$BASE/v2/jobs/$SLOW_ID" >/dev/null
+FS=$(poll_job "$SLOW_ID")
+echo "$FS" | jq -e '.status == "cancelled" or .status == "done"' >/dev/null \
+  || { echo "FAIL: cancel did not land"; echo "$FS"; exit 1; }
+
+echo "== metrics"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | jq '{total: .requests.total, cache_hits: .cache.hits, completed: .jobs.completed}'
+echo "$METRICS" | jq -e '.requests.total >= 6 and .cache.hits >= 1 and .jobs.completed >= 4' >/dev/null \
+  || { echo "FAIL: metrics counters did not move"; echo "$METRICS"; exit 1; }
+
 echo "== error taxonomy over HTTP"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"s":0,"t":0}' "$BASE/v1/solve")
 [ "$CODE" = "400" ] || { echo "FAIL: s==t returned $CODE, want 400"; exit 1; }
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"dataset":"nope","s":0,"t":5}' "$BASE/v1/solve")
 [ "$CODE" = "404" ] || { echo "FAIL: unknown dataset returned $CODE, want 404"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"kind":"bogus"}' "$BASE/v2/jobs")
+[ "$CODE" = "400" ] || { echo "FAIL: unknown kind returned $CODE, want 400"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v2/jobs/nope")
+[ "$CODE" = "404" ] || { echo "FAIL: unknown job returned $CODE, want 404"; exit 1; }
 
 echo "== graceful shutdown on SIGINT"
 kill -INT "$PID"
