@@ -12,22 +12,42 @@ import (
 // the stored Result bit-identically — the engine's queries are
 // deterministic, so serving the first computation's answer again IS
 // recomputing it, minus the work.
+//
+// The cache is epoch-aware: every entry records the graph epoch its
+// result was computed on, and Engine.Apply advances the cache's current
+// epoch. Because the epoch is part of the fingerprint (Query.Key), a
+// post-mutation query can never hit a pre-mutation entry — invalidation
+// is correctness-free by construction. Stale entries are evicted lazily:
+// untouched, they sink to the LRU tail and are trimmed on the next put or
+// counted miss, so Apply itself never scans the cache. (An entry at an old
+// epoch can still be hit by a job that pinned that epoch before the
+// mutation — also correct, and exactly what snapshot pinning promises.)
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses atomic.Uint64
+	epoch atomic.Uint64 // current graph epoch; entries elsewhere are stale
+
+	hits, misses, invalidated atomic.Uint64
 }
 
 type cacheEntry struct {
-	key string
-	res Result
+	key   string
+	epoch uint64
+	res   Result
 }
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// setEpoch rotates the cache to a new graph epoch. Entries from older
+// epochs become unreachable for new queries (their fingerprints embed the
+// old epoch) and are trimmed lazily from the LRU tail.
+func (c *resultCache) setEpoch(epoch uint64) {
+	c.epoch.Store(epoch)
 }
 
 func (c *resultCache) get(key string) (Result, bool) {
@@ -43,6 +63,9 @@ func (c *resultCache) lookup(key string, countMiss bool) (Result, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
+		if countMiss {
+			c.trimStaleLocked()
+		}
 		c.mu.Unlock()
 		if countMiss {
 			c.misses.Add(1)
@@ -56,7 +79,15 @@ func (c *resultCache) lookup(key string, countMiss bool) (Result, bool) {
 	return res, true
 }
 
-func (c *resultCache) put(key string, res Result) {
+func (c *resultCache) put(key string, epoch uint64, res Result) {
+	if epoch != c.epoch.Load() {
+		// The result belongs to an epoch that rotated away while it
+		// computed (a job pinned before an Apply, finishing after).
+		// Inserting it would be dead weight: no future query can
+		// canonicalize to its fingerprint, and the capacity evictor would
+		// push out a live entry to make room for it.
+		return
+	}
 	res = cloneResult(res)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,11 +98,30 @@ func (c *resultCache) put(key string, res Result) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, res: res})
+	c.trimStaleLocked()
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// trimStaleLocked drops stale-epoch entries from the LRU tail. Stale
+// entries are only reachable by already-pinned old-epoch jobs, so once
+// they stop being touched they sink to the tail and this trim reclaims
+// them incrementally — the lazy half of cache invalidation.
+func (c *resultCache) trimStaleLocked() {
+	cur := c.epoch.Load()
+	for back := c.ll.Back(); back != nil && back.Value.(*cacheEntry).epoch != cur; back = c.ll.Back() {
+		c.removeLocked(back)
+	}
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	if ent.epoch != c.epoch.Load() {
+		c.invalidated.Add(1)
 	}
 }
 

@@ -1,0 +1,219 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrDatasetExists reports a Catalog.Create/Load against a name already
+// serving a dataset.
+var ErrDatasetExists = errors.New("dataset already exists")
+
+// ErrUnknownDataset reports a Catalog operation naming no registered
+// dataset.
+var ErrUnknownDataset = errors.New("unknown dataset")
+
+// ErrCatalogFull reports a Create/Load against a catalog already serving
+// its configured maximum of datasets (SetMaxDatasets).
+var ErrCatalogFull = errors.New("catalog full")
+
+// Catalog is a registry of named datasets, each served by its own Engine,
+// with lifecycle managed at runtime: datasets are created, opened, listed
+// and closed while queries are in flight. It is the serving tier's
+// top-level object — cmd/relmaxd holds one Catalog and resolves every
+// request through it — and the seam the roadmap names for routing queries
+// across engine replicas.
+//
+// Engines created through the catalog inherit the catalog's default
+// EngineOptions (NewCatalog), overridden per dataset by the options passed
+// to Create/Load. All methods are safe for concurrent use; Open is a
+// read-locked map lookup, so the query path never contends with dataset
+// creation.
+type Catalog struct {
+	mu       sync.RWMutex
+	defaults []EngineOption
+	engines  map[string]*Engine
+	// pending reserves names whose engines are still being built, so
+	// Create can release the lock during the O(N + M) clone + freeze
+	// without letting a concurrent Create race the same name.
+	pending map[string]bool
+	// limit caps len(engines) + len(pending); 0 means unbounded. Checked
+	// inside the reservation critical section, so concurrent Creates
+	// cannot overshoot it no matter how long their builds run.
+	limit int
+}
+
+// DatasetInfo describes one registered dataset: its current graph epoch
+// and frozen-snapshot shape at List time.
+type DatasetInfo struct {
+	// Name is the registry key.
+	Name string
+	// Epoch is the engine's current graph epoch (Engine.Epoch).
+	Epoch uint64
+	// Nodes and Edges are the current snapshot's graph size.
+	Nodes, Edges int
+	// Directed reports the graph's orientation.
+	Directed bool
+}
+
+// NewCatalog returns an empty catalog whose datasets default to the given
+// engine options (per-dataset options passed to Create/Load append to —
+// and therefore override — these).
+func NewCatalog(defaults ...EngineOption) *Catalog {
+	return &Catalog{
+		defaults: defaults,
+		engines:  make(map[string]*Engine),
+		pending:  make(map[string]bool),
+	}
+}
+
+// checkName validates a dataset name: registry keys travel in URL paths
+// and metric labels, so they must be non-empty and slash-free.
+func checkName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return fmt.Errorf("repro: invalid dataset name %q (must be non-empty, without '/' or spaces): %w",
+			name, ErrBadQuery)
+	}
+	return nil
+}
+
+// Create registers a new dataset served by a fresh Engine over g (cloned,
+// as NewEngine always does — the caller keeps ownership of g). It fails
+// with ErrDatasetExists if the name is taken — including by a concurrent
+// Create still building. The O(N + M) engine build (clone + freeze) runs
+// OUTSIDE the catalog lock, with the name reserved: serving traffic on
+// other datasets never stalls behind a large dataset upload. The dataset
+// is observable through Open/List only once fully built.
+func (c *Catalog) Create(name string, g *Graph, opts ...EngineOption) (*Engine, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.engines[name]; ok || c.pending[name] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, ErrDatasetExists)
+	}
+	if c.limit > 0 && len(c.engines)+len(c.pending) >= c.limit {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: %d datasets served or building (limit %d): %w",
+			name, len(c.engines)+len(c.pending), c.limit, ErrCatalogFull)
+	}
+	c.pending[name] = true
+	c.mu.Unlock()
+
+	eng, err := NewEngine(g, append(append([]EngineOption(nil), c.defaults...), opts...)...)
+
+	c.mu.Lock()
+	delete(c.pending, name)
+	if err == nil {
+		c.engines[name] = eng
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
+	}
+	return eng, nil
+}
+
+// Load registers a new dataset read from an edge-list file at path (the
+// format written by cmd/datagen / Graph.WriteEdgeList); see Create for the
+// registration semantics.
+func (c *Catalog) Load(name, path string, opts ...EngineOption) (*Engine, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
+	}
+	defer f.Close()
+	g, err := ReadGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
+	}
+	return c.Create(name, g, opts...)
+}
+
+// Open returns the engine serving the named dataset, or ErrUnknownDataset.
+func (c *Catalog) Open(name string) (*Engine, error) {
+	c.mu.RLock()
+	eng, ok := c.engines[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, ErrUnknownDataset)
+	}
+	return eng, nil
+}
+
+// Close removes the named dataset from the catalog and retires its engine:
+// new submissions and mutations fail with ErrClosed, non-terminal jobs are
+// cancelled cooperatively, and queries already running complete on their
+// pinned snapshots. Returns ErrUnknownDataset if the name is not
+// registered.
+func (c *Catalog) Close(name string) error {
+	c.mu.Lock()
+	eng, ok := c.engines[name]
+	if ok {
+		delete(c.engines, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("repro: dataset %q: %w", name, ErrUnknownDataset)
+	}
+	eng.Close()
+	return nil
+}
+
+// List describes every registered dataset, sorted by name.
+func (c *Catalog) List() []DatasetInfo {
+	c.mu.RLock()
+	out := make([]DatasetInfo, 0, len(c.engines))
+	for name, eng := range c.engines {
+		csr := eng.Snapshot()
+		out = append(out, DatasetInfo{
+			Name:     name,
+			Epoch:    csr.Epoch(),
+			Nodes:    csr.N(),
+			Edges:    csr.M(),
+			Directed: csr.Directed(),
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the registered dataset names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.engines))
+	for name := range c.engines {
+		out = append(out, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.engines)
+}
+
+// SetMaxDatasets caps how many datasets the catalog serves (or is
+// concurrently building); n <= 0 removes the cap. Creates beyond the cap
+// fail with ErrCatalogFull — every dataset pins a full engine, so an
+// unbounded catalog behind an open Create endpoint is an OOM lever.
+// Lowering the cap below the current size does not evict anything; it
+// only blocks new Creates until datasets are Closed.
+func (c *Catalog) SetMaxDatasets(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.mu.Unlock()
+}

@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCatalogLifecycle: Create/Open/List/Close round-trip with typed
+// errors for duplicates, unknown names and invalid names.
+func TestCatalogLifecycle(t *testing.T) {
+	cat := NewCatalog(WithSampleSize(100), WithSeed(3))
+	if cat.Len() != 0 || len(cat.List()) != 0 {
+		t.Fatal("fresh catalog not empty")
+	}
+	g := engineTestGraph(t)
+	eng, err := cat.Create("lastfm", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("lastfm", g); !errors.Is(err, ErrDatasetExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	for _, bad := range []string{"", "a/b", "a b"} {
+		if _, err := cat.Create(bad, g); !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("invalid name %q accepted: %v", bad, err)
+		}
+	}
+	got, err := cat.Open("lastfm")
+	if err != nil || got != eng {
+		t.Fatalf("Open returned %v, %v", got, err)
+	}
+	if _, err := cat.Open("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown open: %v", err)
+	}
+
+	small := NewGraph(3, true)
+	small.MustAddEdge(0, 1, 0.5)
+	small.MustAddEdge(1, 2, 0.5)
+	if _, err := cat.Create("tiny", small); err != nil {
+		t.Fatal(err)
+	}
+	infos := cat.List()
+	if len(infos) != 2 || infos[0].Name != "lastfm" || infos[1].Name != "tiny" {
+		t.Fatalf("List: %+v", infos)
+	}
+	if infos[1].Nodes != 3 || infos[1].Edges != 2 || !infos[1].Directed || infos[1].Epoch != 2 {
+		t.Fatalf("tiny info: %+v", infos[1])
+	}
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "lastfm" || names[1] != "tiny" {
+		t.Fatalf("Names: %v", names)
+	}
+
+	// List tracks mutations: the epoch moves with Apply.
+	tinyEng, err := cat.Open("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tinyEng.Apply(context.Background(), AddEdge(0, 2, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range cat.List() {
+		if info.Name == "tiny" && (info.Epoch != 3 || info.Edges != 3) {
+			t.Fatalf("post-mutation tiny info: %+v", info)
+		}
+	}
+
+	if err := cat.Close("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close("tiny"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := cat.Open("tiny"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("closed dataset still opens: %v", err)
+	}
+	if !tinyEng.Closed() {
+		t.Fatal("catalog Close did not close the engine")
+	}
+	if cat.Len() != 1 {
+		t.Fatalf("Len after close: %d", cat.Len())
+	}
+}
+
+// TestCatalogDefaultsAndOverrides: engines inherit the catalog's default
+// options; per-dataset options override them.
+func TestCatalogDefaultsAndOverrides(t *testing.T) {
+	cat := NewCatalog(WithSampleSize(100), WithResultCache(4), WithQueueDepth(2))
+	g := NewGraph(3, false)
+	g.MustAddEdge(0, 1, 0.5)
+	g.MustAddEdge(1, 2, 0.5)
+	def, err := cat.Create("def", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := def.Stats(); st.CacheCap != 4 || st.QueueDepth != 2 {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+	over, err := cat.Create("over", g, WithResultCache(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := over.Stats(); st.CacheCap != 9 || st.QueueDepth != 2 {
+		t.Fatalf("override not applied: %+v", st)
+	}
+	// Engine construction errors surface (and register nothing).
+	if _, err := cat.Create("bad", g, WithSamplerKind("bogus")); !errors.Is(err, ErrUnknownSampler) {
+		t.Fatalf("bad engine options: %v", err)
+	}
+	if _, err := cat.Open("bad"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatal("failed create left a registration behind")
+	}
+}
+
+// TestCatalogMaxDatasets: the cap blocks Creates with ErrCatalogFull and
+// frees up when a dataset closes.
+func TestCatalogMaxDatasets(t *testing.T) {
+	cat := NewCatalog(WithSampleSize(50))
+	cat.SetMaxDatasets(1)
+	g := NewGraph(2, false)
+	g.MustAddEdge(0, 1, 0.5)
+	if _, err := cat.Create("a", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("b", g); !errors.Is(err, ErrCatalogFull) {
+		t.Fatalf("over-cap create: %v", err)
+	}
+	if err := cat.Close("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("b", g); err != nil {
+		t.Fatalf("create after close: %v", err)
+	}
+	// Raising (or removing) the cap unblocks immediately.
+	cat.SetMaxDatasets(0)
+	if _, err := cat.Create("c", g); err != nil {
+		t.Fatalf("uncapped create: %v", err)
+	}
+}
+
+// TestCatalogLoad: datasets load from edge-list files, with I/O and parse
+// errors surfaced.
+func TestCatalogLoad(t *testing.T) {
+	g := NewGraph(4, false)
+	g.MustAddEdge(0, 1, 0.25)
+	g.MustAddEdge(2, 3, 0.75)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(WithSampleSize(50))
+	eng, err := cat.Load("disk", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := eng.Snapshot(); c.N() != 4 || c.M() != 2 {
+		t.Fatalf("loaded graph shape: n=%d m=%d", c.N(), c.M())
+	}
+	if _, err := cat.Load("missing", filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	garbled := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(garbled, []byte("not an edge list\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Load("garbled", garbled); err == nil {
+		t.Fatal("garbled file accepted")
+	}
+}
+
+// TestCatalogCloseCancelsJobs: closing a dataset cancels its in-flight
+// jobs cooperatively.
+func TestCatalogCloseCancelsJobs(t *testing.T) {
+	cat := NewCatalog(WithSampleSize(100))
+	g := engineTestGraph(t)
+	eng, err := cat.Create("lastfm", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := eng.Submit(context.Background(), Query{Kind: QueryEstimate, S: 0, T: 17,
+		Options: &Options{Z: 50_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close("lastfm"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("catalog close did not cancel the job")
+	}
+	if st := job.Status(); st.State != JobCancelled {
+		t.Fatalf("job state after catalog close: %v", st.State)
+	}
+}

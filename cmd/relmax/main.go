@@ -5,6 +5,15 @@
 //
 // It prints the chosen shortcut edges and the reliability before/after.
 //
+// -mutations applies a batch of edge mutations (Engine.Apply) before the
+// query runs — the scripted way to answer "what does the query look like
+// after these edges change" without editing the graph file. The file holds
+// one mutation per line ('#' comments and blank lines are skipped):
+//
+//	add 3 42 0.5     # insert edge (3,42) with probability 0.5
+//	set 7 9 0.25     # re-estimate edge (7,9) to 0.25
+//	remove 1 4       # delete edge (1,4)
+//
 // Every query runs as an engine job (Engine.Submit), the same execution
 // path cmd/relmaxd serves over HTTP; -progress streams the job's per-round
 // solver progress to stderr while it runs. -timeout bounds the solve, and
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -50,6 +60,7 @@ func main() {
 		targets   = flag.String("targets", "", "comma-separated target set (multi-source mode)")
 		agg       = flag.String("agg", "avg", "aggregate for multi mode: avg, min or max")
 		budget    = flag.Float64("budget", 0, "total probability budget (enables the §9 extension)")
+		mutations = flag.String("mutations", "", "file of edge mutations (add/set/remove lines) applied before the query")
 	)
 	flag.Parse()
 
@@ -82,7 +93,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("graph: n=%d m=%d directed=%v\n", g.N(), g.M(), g.Directed())
+	if *mutations != "" {
+		muts, err := readMutations(*mutations)
+		if err != nil {
+			fatal(err)
+		}
+		before := eng.Epoch()
+		epoch, err := eng.Apply(ctx, muts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied %d mutations: epoch %d -> %d\n", len(muts), before, epoch)
+	}
+	snap := eng.Snapshot()
+	fmt.Printf("graph: n=%d m=%d directed=%v epoch=%d\n", snap.N(), snap.M(), snap.Directed(), eng.Epoch())
 
 	if *sources != "" || *targets != "" {
 		S, err := parseNodes(*sources)
@@ -227,6 +251,69 @@ func parseNodes(csv string) ([]repro.NodeID, error) {
 			return nil, fmt.Errorf("bad node id %q", part)
 		}
 		out = append(out, repro.NodeID(v))
+	}
+	return out, nil
+}
+
+// readMutations parses a mutation file: one "add u v p", "set u v p" or
+// "remove u v" per line, '#' comments and blank lines skipped.
+func readMutations(path string) ([]repro.Mutation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []repro.Mutation
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func() ([]repro.Mutation, error) {
+			return nil, fmt.Errorf("%s:%d: bad mutation %q (want 'add u v p', 'set u v p' or 'remove u v')",
+				path, lineNo+1, strings.TrimSpace(line))
+		}
+		// strconv rejects trailing junk ("24x") that Sscanf would silently
+		// truncate — a typo must fail the file, not mutate the wrong edge.
+		node := func(s string) (repro.NodeID, bool) {
+			v, err := strconv.ParseInt(s, 10, 32)
+			return repro.NodeID(v), err == nil
+		}
+		var u, v repro.NodeID
+		okU, okV := false, false
+		if len(fields) >= 2 {
+			u, okU = node(fields[1])
+		}
+		if len(fields) >= 3 {
+			v, okV = node(fields[2])
+		}
+		switch fields[0] {
+		case "add", "set":
+			if len(fields) != 4 || !okU || !okV {
+				return bad()
+			}
+			p, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return bad()
+			}
+			if fields[0] == "add" {
+				out = append(out, repro.AddEdge(u, v, p))
+			} else {
+				out = append(out, repro.SetProb(u, v, p))
+			}
+		case "remove":
+			if len(fields) != 3 || !okU || !okV {
+				return bad()
+			}
+			out = append(out, repro.RemoveEdge(u, v))
+		default:
+			return bad()
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no mutations found", path)
 	}
 	return out, nil
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestParseNodes(t *testing.T) {
@@ -46,6 +48,47 @@ func TestLoadGraphSources(t *testing.T) {
 	}
 	if _, err := loadGraph("", "nope", 0.03, 1); err == nil {
 		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestReadMutations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.txt")
+	content := "# comment\nadd 0 3 0.5\n\nset 1 2 0.25  # trailing comment\nremove 0 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	muts, err := readMutations(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 3 {
+		t.Fatalf("parsed %d mutations, want 3: %+v", len(muts), muts)
+	}
+	if muts[0] != (repro.Mutation{Op: repro.MutAddEdge, U: 0, V: 3, P: 0.5}) ||
+		muts[1] != (repro.Mutation{Op: repro.MutSetProb, U: 1, V: 2, P: 0.25}) ||
+		muts[2] != (repro.Mutation{Op: repro.MutRemoveEdge, U: 0, V: 1}) {
+		t.Fatalf("parsed mutations: %+v", muts)
+	}
+	for name, bad := range map[string]string{
+		"unknown verb":       "frob 0 1 0.5\n",
+		"missing fields":     "add 0 1\n",
+		"extra fields":       "remove 0 1 0.5\n",
+		"non-numeric":        "set a b 0.5\n",
+		"trailing junk node": "remove 1 24x\n",
+		"trailing junk prob": "add 0 1 0.5x\n",
+		"bare verb":          "remove\n",
+		"empty file":         "# nothing\n",
+	} {
+		p := filepath.Join(t.TempDir(), "bad.txt")
+		if err := os.WriteFile(p, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readMutations(p); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := readMutations(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 

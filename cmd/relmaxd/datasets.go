@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// readGraphFile loads an edge-list file from the server's filesystem.
+func readGraphFile(path string) (*repro.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return repro.ReadGraph(f)
+}
+
+// datasetRequest is the JSON body of POST /v2/datasets. Exactly one graph
+// source must be set:
+//
+//   - "dataset": a built-in dataset stand-in (scale/seed default to the
+//     server flags),
+//   - "path": a server-local edge-list file — this assumes the operator
+//     trusts relmaxd's clients with read access to the server's files, as
+//     the flags-based -graph option always has; deploy behind auth or use
+//     edge_list uploads otherwise,
+//   - "edge_list": an inline edge-list upload (the cmd/datagen format),
+//     bounded by the request body cap.
+//
+// The new engine inherits the server's engine defaults (sampler, seed,
+// workers, cache, queue bounds) through the catalog; the catalog size is
+// bounded by -max-datasets.
+type datasetRequest struct {
+	Name     string  `json:"name"`
+	Dataset  string  `json:"dataset,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Path     string  `json:"path,omitempty"`
+	EdgeList string  `json:"edge_list,omitempty"`
+}
+
+// datasetJSON is the wire shape of one dataset listing.
+type datasetJSON struct {
+	Name     string `json:"name"`
+	Epoch    uint64 `json:"epoch"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Directed bool   `json:"directed"`
+}
+
+func datasetJSONOf(d repro.DatasetInfo) datasetJSON {
+	return datasetJSON{Name: d.Name, Epoch: d.Epoch, N: d.Nodes, M: d.Edges, Directed: d.Directed}
+}
+
+// handleDatasetList is GET /v2/datasets: every served dataset with its
+// current epoch and graph size.
+func (s *server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
+	list := s.catalog.List()
+	out := make([]datasetJSON, len(list))
+	for i, d := range list {
+		out[i] = datasetJSONOf(d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// handleDatasetCreate is POST /v2/datasets: register a new dataset at
+// runtime from a built-in stand-in, a server-local file or an uploaded
+// edge list. 201 with the dataset info on success; 409 if the name is
+// taken.
+func (s *server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
+	var req datasetRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sources := 0
+	for _, set := range []bool{req.Dataset != "", req.Path != "", req.EdgeList != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "exactly one of dataset, path or edge_list must be set"})
+		return
+	}
+	var eng *repro.Engine
+	var err error
+	switch {
+	case req.Path != "":
+		// Read the file here (not via catalog.Load) so ONLY file errors
+		// take this branch — catalog errors (409 duplicate, 429 full, 400
+		// bad name) keep their writeError mapping below. A missing or
+		// malformed file is client input, not a server fault: it maps to
+		// 400, and the OS error is deliberately NOT echoed — distinguishing
+		// "no such file" from "permission denied" would hand any client a
+		// filesystem probe; the detail goes to the server log instead.
+		g, ferr := readGraphFile(req.Path)
+		if ferr != nil {
+			s.logf("relmaxd: dataset %q: load %q failed: %v", req.Name, req.Path, ferr)
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("path %q is not a readable edge-list file", req.Path)})
+			return
+		}
+		eng, err = s.catalog.Create(req.Name, g)
+	case req.EdgeList != "":
+		var g *repro.Graph
+		g, err = repro.ReadGraph(strings.NewReader(req.EdgeList))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad edge_list: " + err.Error()})
+			return
+		}
+		eng, err = s.catalog.Create(req.Name, g)
+	default:
+		scale, seed := req.Scale, req.Seed
+		if scale == 0 {
+			scale = s.defaultScale
+		}
+		if seed == 0 {
+			seed = s.defaultSeed
+		}
+		var g *repro.Graph
+		g, err = repro.LoadDataset(req.Dataset, scale, seed)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		eng, err = s.catalog.Create(req.Name, g)
+	}
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	c := eng.Snapshot()
+	s.logf("relmaxd: dataset %q created (n=%d m=%d epoch=%d)", req.Name, c.N(), c.M(), c.Epoch())
+	writeJSON(w, http.StatusCreated, datasetJSON{
+		Name: req.Name, Epoch: c.Epoch(), N: c.N(), M: c.M(), Directed: c.Directed(),
+	})
+}
+
+// handleDatasetClose is DELETE /v2/datasets/{name}: remove the dataset
+// from the catalog (its engine rejects new work and cancels its jobs) and
+// retire its entries in the job store — terminal jobs are evicted,
+// non-terminal ones cancelled but kept resolvable until they land.
+func (s *server) handleDatasetClose(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// retireDataset closes the dataset and folds its final counters into
+	// the retained metrics totals atomically w.r.t. /metrics scrapes, so
+	// the global counters stay monotonic across dataset retirement.
+	if err := s.metrics.retireDataset(s.catalog, name); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	evicted, cancelled := s.jobs.closeDataset(name)
+	s.logf("relmaxd: dataset %q closed (%d jobs evicted, %d cancelled)", name, evicted, cancelled)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"closed": name, "jobs_evicted": evicted, "jobs_cancelled": cancelled,
+	})
+}
+
+// mutationJSON is one edge mutation of a POST /v2/datasets/{name}/mutations
+// batch.
+type mutationJSON struct {
+	// Op is "add-edge", "set-prob" or "remove-edge".
+	Op string  `json:"op"`
+	U  int32   `json:"u"`
+	V  int32   `json:"v"`
+	P  float64 `json:"p,omitempty"`
+}
+
+// handleDatasetMutate is POST /v2/datasets/{name}/mutations: atomically
+// apply a mutation batch and return the new epoch. In-flight jobs keep
+// their pinned snapshots; queries canonicalized afterwards run on the new
+// epoch (and miss the pre-mutation cache entries).
+func (s *server) handleDatasetMutate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Mutations []mutationJSON `json:"mutations"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	eng, dataset, err := s.engineFor(r.PathValue("name"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "mutations must be non-empty"})
+		return
+	}
+	if len(req.Mutations) > s.limits.MaxMutations {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d mutations exceeds the %d-mutation ceiling",
+				len(req.Mutations), s.limits.MaxMutations)})
+		return
+	}
+	muts := make([]repro.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		muts[i] = repro.Mutation{Op: repro.MutationOp(m.Op), U: m.U, V: m.V, P: m.P}
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	epoch, err := eng.Apply(ctx, muts...)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.logf("relmaxd: dataset %q mutated: %d mutations -> epoch %d", dataset, len(muts), epoch)
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": dataset, "epoch": epoch, "applied": len(muts)})
+}

@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// TestDatasetLifecycleHTTP: create (inline upload, built-in, file), list,
+// query through, close, 404 afterwards.
+func TestDatasetLifecycleHTTP(t *testing.T) {
+	ts, _ := testServerV2(t)
+
+	// Create from an inline edge-list upload.
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"tiny","edge_list":"ugraph undirected 3 2\n0 1 0.9\n1 2 0.8\n"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create status %d: %v", status, body)
+	}
+	if body["n"].(float64) != 3 || body["m"].(float64) != 2 || body["epoch"].(float64) != 2 {
+		t.Fatalf("created dataset info: %v", body)
+	}
+	// Duplicate name is a conflict.
+	status, _ = doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"tiny","edge_list":"ugraph undirected 2 1\n0 1 0.5\n"}`)
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate create status %d, want 409", status)
+	}
+	// Create from a built-in stand-in.
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"second","dataset":"lastfm","scale":0.03,"seed":5}`)
+	if status != http.StatusCreated {
+		t.Fatalf("built-in create status %d: %v", status, body)
+	}
+	// Create from a server-local file.
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("ugraph directed 2 1\n0 1 0.7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := json.Marshal(map[string]string{"name": "fromfile", "path": path})
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/v2/datasets", string(pb))
+	if status != http.StatusCreated || body["directed"] != true {
+		t.Fatalf("file create status %d: %v", status, body)
+	}
+
+	// Structural errors: no source, two sources, bad upload, unknown
+	// built-in, bad name.
+	for name, reqBody := range map[string]string{
+		"no source":       `{"name":"x"}`,
+		"two sources":     `{"name":"x","dataset":"lastfm","path":"g.txt"}`,
+		"bad upload":      `{"name":"x","edge_list":"garbage"}`,
+		"unknown builtin": `{"name":"x","dataset":"nope"}`,
+		"bad name":        `{"name":"a/b","dataset":"lastfm"}`,
+		"bad path":        `{"name":"x","path":"/no/such/file.txt"}`,
+	} {
+		if status, body := doJSON(t, http.MethodPost, ts.URL+"/v2/datasets", reqBody); status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %v", name, status, body)
+		}
+	}
+
+	// List shows all four datasets with epochs.
+	status, body = doJSON(t, http.MethodGet, ts.URL+"/v2/datasets", "")
+	if status != http.StatusOK {
+		t.Fatalf("list status %d", status)
+	}
+	list := body["datasets"].([]any)
+	if len(list) != 4 {
+		t.Fatalf("list has %d datasets: %v", len(list), list)
+	}
+
+	// The new dataset serves queries (it must be addressed by name now
+	// that several datasets exist).
+	status, raw := post(t, ts.URL+"/v1/estimate", `{"dataset":"tiny","pairs":[[0,2]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("query on created dataset: %d: %s", status, raw)
+	}
+	// Omitting the dataset with several served is a 404.
+	status, _ = post(t, ts.URL+"/v1/estimate", `{"pairs":[[0,2]]}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("ambiguous dataset status %d, want 404", status)
+	}
+
+	// Close and verify it is gone.
+	status, body = doJSON(t, http.MethodDelete, ts.URL+"/v2/datasets/tiny", "")
+	if status != http.StatusOK || body["closed"] != "tiny" {
+		t.Fatalf("close status %d: %v", status, body)
+	}
+	status, _ = doJSON(t, http.MethodDelete, ts.URL+"/v2/datasets/tiny", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("double close status %d, want 404", status)
+	}
+	status, _ = post(t, ts.URL+"/v1/estimate", `{"dataset":"tiny","pairs":[[0,2]]}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("query on closed dataset status %d, want 404", status)
+	}
+}
+
+// TestDatasetMutationsHTTP: a mutation batch advances the epoch, pre-
+// mutation fingerprints stop hitting the cache, and the re-run result is
+// deterministic for the new epoch.
+func TestDatasetMutationsHTTP(t *testing.T) {
+	ts, _ := testServerV2(t)
+	// A dataset with a known edge list, so the mutations below are valid
+	// by construction.
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"mut","edge_list":"ugraph undirected 3 3\n0 1 0.9\n1 2 0.8\n0 2 0.05\n"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create status %d: %v", status, body)
+	}
+	const est = `{"dataset":"mut","pairs":[[0,2]]}`
+
+	_, first := post(t, ts.URL+"/v1/estimate", est)
+	_, second := post(t, ts.URL+"/v1/estimate", est)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("pre-mutation estimates diverged: %s vs %s", first, second)
+	}
+	_, metricsBody := doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	preHits := metricsBody["cache"].(map[string]any)["hits"].(float64)
+	if preHits < 1 {
+		t.Fatalf("repeat was not a cache hit: %v", metricsBody["cache"])
+	}
+
+	// Mutate: rewrite one edge probability. Epoch must advance past the
+	// initial graph version.
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/v2/datasets/mut/mutations",
+		`{"mutations":[{"op":"set-prob","u":1,"v":2,"p":0.001}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("mutate status %d: %v", status, body)
+	}
+	newEpoch := body["epoch"].(float64)
+	if body["applied"].(float64) != 1 || newEpoch != 4 {
+		t.Fatalf("mutate response: %v", body)
+	}
+	// healthz and the dataset list report the new epoch.
+	_, health := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	got := health["datasets"].(map[string]any)["mut"].(map[string]any)["epoch"].(float64)
+	if got != newEpoch {
+		t.Fatalf("healthz epoch %v, want %v", got, newEpoch)
+	}
+
+	// Re-running the same query is a fresh computation (different
+	// fingerprint, no stale hit), deterministic on the new epoch.
+	_, third := post(t, ts.URL+"/v1/estimate", est)
+	_, fourth := post(t, ts.URL+"/v1/estimate", est)
+	if !bytes.Equal(third, fourth) {
+		t.Fatalf("post-mutation estimates diverged: %s vs %s", third, fourth)
+	}
+	_, metricsBody = doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	cache := metricsBody["cache"].(map[string]any)
+	// Exactly one more hit (the fourth call); the third was a recorded
+	// miss under the new fingerprint.
+	if cache["hits"].(float64) != preHits+1 {
+		t.Fatalf("post-mutation cache hits %v, want %v", cache["hits"], preHits+1)
+	}
+	ds := metricsBody["datasets"].(map[string]any)["mut"].(map[string]any)
+	if ds["epoch"].(float64) != newEpoch {
+		t.Fatalf("per-dataset epoch %v, want %v", ds["epoch"], newEpoch)
+	}
+	if ds["mutations"].(map[string]any)["applies"].(float64) != 1 {
+		t.Fatalf("per-dataset mutation counters: %v", ds["mutations"])
+	}
+
+	// Invalid batches: unknown op, missing edge, empty, unknown dataset.
+	for name, tc := range map[string]struct {
+		path, body string
+		want       int
+	}{
+		"unknown op":      {"/v2/datasets/mut/mutations", `{"mutations":[{"op":"bogus","u":0,"v":1}]}`, http.StatusBadRequest},
+		"missing edge":    {"/v2/datasets/mut/mutations", `{"mutations":[{"op":"remove-edge","u":1,"v":0},{"op":"remove-edge","u":1,"v":0}]}`, http.StatusBadRequest},
+		"empty batch":     {"/v2/datasets/mut/mutations", `{"mutations":[]}`, http.StatusBadRequest},
+		"unknown dataset": {"/v2/datasets/nope/mutations", `{"mutations":[{"op":"set-prob","u":0,"v":9,"p":0.5}]}`, http.StatusNotFound},
+	} {
+		if status, body := doJSON(t, http.MethodPost, ts.URL+tc.path, tc.body); status != tc.want {
+			t.Fatalf("%s: status %d, want %d: %v", name, status, tc.want, body)
+		}
+	}
+}
+
+// TestDatasetCeiling: the catalog size is bounded; creates beyond
+// MaxDatasets are rejected with 429 until one closes.
+func TestDatasetCeiling(t *testing.T) {
+	ts, srv := testServerV2(t)
+	srv.catalog.SetMaxDatasets(2) // lastfm occupies one slot already
+	status, _ := doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"one","edge_list":"ugraph undirected 2 1\n0 1 0.5\n"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create under ceiling: %d", status)
+	}
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"two","edge_list":"ugraph undirected 2 1\n0 1 0.5\n"}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("create over ceiling: %d: %v", status, body)
+	}
+	doJSON(t, http.MethodDelete, ts.URL+"/v2/datasets/one", "")
+	status, _ = doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"two","edge_list":"ugraph undirected 2 1\n0 1 0.5\n"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create after close: %d", status)
+	}
+}
+
+// TestPerDatasetMetrics: the /metrics breakdown attributes requests and
+// job outcomes to the dataset that served them and disappears when the
+// dataset closes.
+func TestPerDatasetMetrics(t *testing.T) {
+	ts, _ := testServerV2(t)
+	status, _ := doJSON(t, http.MethodPost, ts.URL+"/v2/datasets",
+		`{"name":"tiny","edge_list":"ugraph undirected 3 2\n0 1 0.9\n1 2 0.8\n"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create status %d", status)
+	}
+	post(t, ts.URL+"/v1/estimate", `{"dataset":"lastfm","pairs":[[0,9]]}`)
+	post(t, ts.URL+"/v1/estimate", `{"dataset":"tiny","pairs":[[0,2]]}`)
+	post(t, ts.URL+"/v1/estimate", `{"dataset":"tiny","pairs":[[0,2]]}`) // cache hit for tiny
+
+	_, body := doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	datasets := body["datasets"].(map[string]any)
+	lastfm := datasets["lastfm"].(map[string]any)
+	tiny := datasets["tiny"].(map[string]any)
+	if lastfm["requests"].(float64) != 1 || tiny["requests"].(float64) != 2 {
+		t.Fatalf("request attribution: lastfm=%v tiny=%v", lastfm["requests"], tiny["requests"])
+	}
+	if tiny["qps_last_60s"].(float64) <= 0 {
+		t.Fatalf("tiny qps: %v", tiny["qps_last_60s"])
+	}
+	if tiny["jobs"].(map[string]any)["completed"].(float64) != 2 {
+		t.Fatalf("tiny job outcomes: %v", tiny["jobs"])
+	}
+	if tiny["cache"].(map[string]any)["hits"].(float64) != 1 {
+		t.Fatalf("tiny cache hits: %v", tiny["cache"])
+	}
+	if tiny["epoch"].(float64) != 2 {
+		t.Fatalf("tiny epoch: %v", tiny["epoch"])
+	}
+
+	// Closing the dataset removes its breakdown entry.
+	doJSON(t, http.MethodDelete, ts.URL+"/v2/datasets/tiny", "")
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	if _, ok := body["datasets"].(map[string]any)["tiny"]; ok {
+		t.Fatal("closed dataset still in the metrics breakdown")
+	}
+}
+
+// TestJobStoreCloseDataset is the regression test for the jobStore
+// retention fix: closing a dataset evicts its terminal jobs and cancels
+// its non-terminal ones, while other datasets' jobs are untouched.
+func TestJobStoreCloseDataset(t *testing.T) {
+	g, err := repro.LoadDataset("lastfm", 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(g, repro.WithSampleSize(100), repro.WithMaxConcurrent(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := repro.NewEngine(g, repro.WithSampleSize(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newJobStore(16)
+
+	done, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 0, T: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("estimate stuck")
+	}
+	st.add("closing", done)
+	live, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 0, T: 17,
+		Options: &repro.Options{Z: 50_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.add("closing", live)
+	keep, err := other.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 1, T: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-keep.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("other-dataset estimate stuck")
+	}
+	st.add("kept", keep)
+
+	evicted, cancelled := st.closeDataset("closing")
+	if evicted != 1 || cancelled != 1 {
+		t.Fatalf("closeDataset: evicted=%d cancelled=%d, want 1/1", evicted, cancelled)
+	}
+	// The terminal job is gone; the live one is cancelled but still
+	// resolvable so a polling client observes the transition.
+	if _, ok := st.get(done.ID()); ok {
+		t.Fatal("terminal job of the closed dataset not evicted")
+	}
+	sj, ok := st.get(live.ID())
+	if !ok {
+		t.Fatal("non-terminal job evicted before it landed")
+	}
+	select {
+	case <-sj.job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("closeDataset did not cancel the live job")
+	}
+	if state := sj.job.Status().State; state != repro.JobCancelled {
+		t.Fatalf("live job state after close: %v", state)
+	}
+	// The other dataset's job is untouched.
+	if _, ok := st.get(keep.ID()); !ok {
+		t.Fatal("closeDataset evicted another dataset's job")
+	}
+}

@@ -74,6 +74,42 @@ func (st *jobStore) get(id string) (*storedJob, bool) {
 	return sj, ok
 }
 
+// closeDataset retires a dataset's jobs when the catalog closes it:
+// terminal jobs are evicted immediately (their dataset no longer resolves,
+// so nobody can act on their results), while non-terminal jobs are
+// cancelled but stay resolvable until they land — a client polling its job
+// must observe the "cancelled" transition, not a sudden 404. Once
+// terminal, they age out through the normal eviction pass. Returns the
+// counts for the DELETE response.
+func (st *jobStore) closeDataset(dataset string) (evicted, cancelled int) {
+	st.mu.Lock()
+	var cancel []*repro.Job
+	keep := st.order[:0]
+	for _, id := range st.order {
+		sj, ok := st.jobs[id]
+		if !ok || sj.dataset != dataset {
+			keep = append(keep, id)
+			continue
+		}
+		if sj.job.Status().State.Terminal() {
+			delete(st.jobs, id)
+			evicted++
+			continue
+		}
+		cancel = append(cancel, sj.job)
+		cancelled++
+		keep = append(keep, id)
+	}
+	st.order = keep
+	st.mu.Unlock()
+	// Cancel outside the lock: Cancel wakes waiters synchronously and must
+	// not serialize against concurrent store lookups.
+	for _, j := range cancel {
+		j.Cancel()
+	}
+	return evicted, cancelled
+}
+
 // jobRequest is the JSON body of POST /v2/jobs: one query of any kind.
 // Kind defaults to "solve". Zero-valued solver parameters inherit the
 // engine defaults, exactly like /v1.
@@ -262,6 +298,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	s.metrics.recordDataset(dataset)
 	job, err := eng.Submit(r.Context(), req.query())
 	if err != nil {
 		s.writeError(w, r, err)

@@ -1,8 +1,11 @@
 // Command relmaxd serves reliability-maximization and reliability-
-// estimation queries over HTTP/JSON: one long-lived Engine per dataset
-// (pinned CSR snapshot + warm sampler pool + result cache), every query a
-// job on a bounded worker queue (load shedding with 503 when full),
-// per-request timeouts, cooperative cancellation, and graceful shutdown.
+// estimation queries over HTTP/JSON: a Catalog of datasets, each served by
+// a long-lived Engine (versioned CSR snapshots + warm sampler pool +
+// epoch-aware result cache), every query a job on a bounded worker queue
+// (load shedding with 503 when full), per-request timeouts, cooperative
+// cancellation, and graceful shutdown. Datasets named on the command line
+// seed the catalog; more are created, mutated and closed at runtime via
+// the /v2/datasets endpoints.
 //
 //	relmaxd -addr :8080 -dataset lastfm -scale 0.05 -workers -1
 //	relmaxd -addr :8080 -datasets lastfm,astopo -z 1000 -cache 512
@@ -10,7 +13,7 @@
 //
 // Endpoints:
 //
-//	GET    /healthz              — liveness + served datasets and graph sizes
+//	GET    /healthz              — liveness + served datasets, graph sizes and epochs
 //	POST   /v1/solve             — one Problem 1 query, synchronous   {"s":0,"t":5,"method":"be","k":2}
 //	POST   /v1/estimate          — batched reliability, synchronous   {"pairs":[[0,5],[1,7]]}
 //	POST   /v2/jobs              — submit any query kind as an async job
@@ -18,14 +21,27 @@
 //	GET    /v2/jobs/{id}         — job status, progress and (when done) result
 //	DELETE /v2/jobs/{id}         — cancel a queued or running job
 //	GET    /v2/jobs/{id}/events  — NDJSON stream of solver progress events
-//	GET    /metrics              — qps, latency quantiles, queue depth, cancellations, cache hits
+//	GET    /v2/datasets          — list datasets with epoch + graph size
+//	POST   /v2/datasets          — create a dataset at runtime
+//	                               {"name":"x","dataset":"lastfm"} | {"name":"x","path":"g.txt"} | {"name":"x","edge_list":"..."}
+//	DELETE /v2/datasets/{name}   — close a dataset (evict its terminal jobs, cancel live ones)
+//	POST   /v2/datasets/{name}/mutations
+//	                             — atomically mutate the graph, returns the new epoch
+//	                               {"mutations":[{"op":"add-edge","u":0,"v":5,"p":0.4},
+//	                                             {"op":"set-prob","u":1,"v":2,"p":0.9},
+//	                                             {"op":"remove-edge","u":3,"v":4}]}
+//	GET    /metrics              — qps, latency quantiles, queue depth, cache hits,
+//	                               plus a per-dataset breakdown (epoch, qps, jobs, cache)
 //
 // The /v1 endpoints are synchronous shims over the same job runner, so
-// both surfaces share one concurrency bound and one result cache.
-// Responses are deterministic for a fixed dataset and seed (identical
-// requests return identical payloads, modulo the "timing" block), which is
-// what makes the CI smoke test possible — see scripts/relmaxd_smoke.sh and
-// examples/server for a walkthrough.
+// both surfaces share one concurrency bound and one result cache. In-
+// flight jobs pin the graph epoch current at submit time: a mutation never
+// perturbs them, and re-running the same query afterwards is a fresh
+// fingerprint (observable as a cache miss). Responses are deterministic
+// for a fixed dataset, epoch and seed (identical requests return identical
+// payloads, modulo the "timing" block), which is what makes the CI smoke
+// test possible — see scripts/relmaxd_smoke.sh and examples/server for a
+// walkthrough.
 package main
 
 import (
@@ -62,11 +78,13 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently running jobs per engine (0 = all CPUs)")
 		queueDepth    = flag.Int("queue-depth", 64, "max jobs waiting per engine beyond the running ones; excess gets 503 (0 = no queueing)")
 
-		maxZ     = flag.Int("max-z", defaultLimits().MaxZ, "per-request ceiling on samples z")
-		maxK     = flag.Int("max-k", defaultLimits().MaxK, "per-request ceiling on the edge budget k")
-		maxRL    = flag.Int("max-rl", defaultLimits().MaxRL, "per-request ceiling on elimination width r and path count l")
-		maxPairs = flag.Int("max-pairs", defaultLimits().MaxPairs, "per-request ceiling on estimate batch size")
-		maxBody  = flag.Int64("max-body", defaultLimits().MaxBodyBytes, "request body cap in bytes")
+		maxZ         = flag.Int("max-z", defaultLimits().MaxZ, "per-request ceiling on samples z")
+		maxK         = flag.Int("max-k", defaultLimits().MaxK, "per-request ceiling on the edge budget k")
+		maxRL        = flag.Int("max-rl", defaultLimits().MaxRL, "per-request ceiling on elimination width r and path count l")
+		maxPairs     = flag.Int("max-pairs", defaultLimits().MaxPairs, "per-request ceiling on estimate batch size")
+		maxMutations = flag.Int("max-mutations", defaultLimits().MaxMutations, "per-request ceiling on mutation batch size")
+		maxDatasets  = flag.Int("max-datasets", defaultLimits().MaxDatasets, "ceiling on concurrently served datasets")
+		maxBody      = flag.Int64("max-body", defaultLimits().MaxBodyBytes, "request body cap in bytes")
 	)
 	flag.Parse()
 
@@ -74,14 +92,17 @@ func main() {
 		scale: *scale, z: *z, sampler: *sampler, seed: *seed, workers: *workers,
 		cache: *cache, maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
 	}
-	engines, err := buildEngines(*graph, *datasets, *dataset, cfg)
+	catalog, err := buildCatalog(*graph, *datasets, *dataset, cfg)
 	if err != nil {
 		log.Fatalf("relmaxd: %v", err)
 	}
-	srv := newServer(engines, *timeout)
+	srv := newServer(catalog, *timeout)
+	srv.defaultScale, srv.defaultSeed = *scale, *seed
+	catalog.SetMaxDatasets(*maxDatasets)
 	srv.limits = limits{
 		MaxZ: *maxZ, MaxK: *maxK, MaxRL: *maxRL,
-		MaxPairs: *maxPairs, MaxBodyBytes: *maxBody,
+		MaxPairs: *maxPairs, MaxMutations: *maxMutations, MaxDatasets: *maxDatasets,
+		MaxBodyBytes: *maxBody,
 	}
 	// Read timeouts bound the request *transport* (slow-loris headers and
 	// bodies), complementing the per-request solve timeout which only
@@ -137,9 +158,10 @@ type engineConfig struct {
 	queueDepth    int
 }
 
-// buildEngines constructs one Engine per served dataset.
-func buildEngines(graphPath, datasetsCSV, dataset string, cfg engineConfig) (map[string]*repro.Engine, error) {
-	opts := []repro.EngineOption{
+// buildCatalog seeds a Catalog with the datasets named on the command
+// line; its defaults then govern every dataset created at runtime too.
+func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*repro.Catalog, error) {
+	catalog := repro.NewCatalog(
 		repro.WithSamplerKind(cfg.sampler),
 		repro.WithSampleSize(cfg.z),
 		repro.WithSeed(cfg.seed),
@@ -147,28 +169,10 @@ func buildEngines(graphPath, datasetsCSV, dataset string, cfg engineConfig) (map
 		repro.WithResultCache(cfg.cache),
 		repro.WithMaxConcurrent(cfg.maxConcurrent),
 		repro.WithQueueDepth(cfg.queueDepth),
-	}
-	engines := make(map[string]*repro.Engine)
-	add := func(name string, g *repro.Graph) error {
-		eng, err := repro.NewEngine(g, opts...)
-		if err != nil {
-			return fmt.Errorf("dataset %s: %w", name, err)
-		}
-		engines[name] = eng
-		return nil
-	}
+	)
 	switch {
 	case graphPath != "":
-		f, err := os.Open(graphPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		g, err := repro.ReadGraph(f)
-		if err != nil {
-			return nil, err
-		}
-		if err := add("graph", g); err != nil {
+		if _, err := catalog.Load("graph", graphPath); err != nil {
 			return nil, err
 		}
 	case datasetsCSV != "" || dataset != "":
@@ -185,16 +189,16 @@ func buildEngines(graphPath, datasetsCSV, dataset string, cfg engineConfig) (map
 			if err != nil {
 				return nil, err
 			}
-			if err := add(name, g); err != nil {
-				return nil, err
+			if _, err := catalog.Create(name, g); err != nil {
+				return nil, fmt.Errorf("dataset %s: %w", name, err)
 			}
 		}
 	default:
 		return nil, fmt.Errorf("one of -graph, -dataset or -datasets is required (datasets: %s)",
 			strings.Join(repro.DatasetNames(), ", "))
 	}
-	if len(engines) == 0 {
+	if catalog.Len() == 0 {
 		return nil, fmt.Errorf("no datasets to serve")
 	}
-	return engines, nil
+	return catalog, nil
 }

@@ -6,53 +6,58 @@ import (
 	"testing"
 )
 
-func TestBuildEnginesFromDatasets(t *testing.T) {
-	engines, err := buildEngines("", "lastfm, astopo", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, workers: 2})
+func TestBuildCatalogFromDatasets(t *testing.T) {
+	catalog, err := buildCatalog("", "lastfm, astopo", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(engines) != 2 || engines["lastfm"] == nil || engines["astopo"] == nil {
-		t.Fatalf("engines = %v", engines)
+	names := catalog.Names()
+	if len(names) != 2 || names[0] != "astopo" || names[1] != "lastfm" {
+		t.Fatalf("datasets = %v", names)
 	}
 	// Single -dataset alias.
-	engines, err = buildEngines("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "mc", seed: 1})
+	catalog, err = buildCatalog("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "mc", seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(engines) != 1 || engines["lastfm"] == nil {
-		t.Fatalf("engines = %v", engines)
+	if catalog.Len() != 1 {
+		t.Fatalf("datasets = %v", catalog.Names())
+	}
+	if _, err := catalog.Open("lastfm"); err != nil {
+		t.Fatal(err)
 	}
 }
 
-func TestBuildEnginesFromGraphFile(t *testing.T) {
+func TestBuildCatalogFromGraphFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.txt")
 	data := "ugraph undirected 3 2\n0 1 0.5\n1 2 0.5\n"
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	engines, err := buildEngines(path, "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1})
+	catalog, err := buildCatalog(path, "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(engines) != 1 || engines["graph"] == nil {
-		t.Fatalf("engines = %v", engines)
+	eng, err := catalog.Open("graph")
+	if err != nil {
+		t.Fatalf("datasets = %v: %v", catalog.Names(), err)
 	}
-	if n := engines["graph"].Snapshot().N(); n != 3 {
+	if n := eng.Snapshot().N(); n != 3 {
 		t.Fatalf("graph engine has n=%d, want 3", n)
 	}
 }
 
-func TestBuildEnginesErrors(t *testing.T) {
-	if _, err := buildEngines("", "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
+func TestBuildCatalogErrors(t *testing.T) {
+	if _, err := buildCatalog("", "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
 		t.Fatal("no source accepted")
 	}
-	if _, err := buildEngines("", "", "nope", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
+	if _, err := buildCatalog("", "", "nope", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if _, err := buildEngines("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "bogus", seed: 1}); err == nil {
+	if _, err := buildCatalog("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "bogus", seed: 1}); err == nil {
 		t.Fatal("unknown sampler kind accepted")
 	}
-	if _, err := buildEngines(filepath.Join(t.TempDir(), "missing.txt"), "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
+	if _, err := buildCatalog(filepath.Join(t.TempDir(), "missing.txt"), "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
 		t.Fatal("missing graph file accepted")
 	}
 }

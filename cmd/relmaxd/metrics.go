@@ -29,10 +29,63 @@ type metrics struct {
 	lat        []time.Duration // ring buffer
 	latNext    int
 	latFull    bool
-	// secs is a 60-bucket one-second histogram of request completions,
-	// giving an exact requests-in-the-last-minute count in O(1) memory.
+	// window counts request completions over the last minute.
+	window secWindow
+	// byDataset counts query requests (solve/estimate/submit) per resolved
+	// dataset, each with its own one-minute window. Entries are dropped
+	// when a dataset is closed and pruned at snapshot time if a racing
+	// request resurrected one after the drop.
+	byDataset map[string]*datasetCounters
+	// retired accumulates the final engine counters of closed datasets, so
+	// the global jobs.*/cache.* totals stay monotonic across DELETE
+	// /v2/datasets — a scraper computing rates must never see a counter
+	// reset just because a dataset was retired.
+	retired repro.EngineStats
+}
+
+// secWindow is a 60-bucket one-second histogram, giving an exact events-
+// in-the-last-minute count in O(1) memory. Callers hold their own lock.
+type secWindow struct {
 	secs    [60]uint64
 	lastSec int64
+}
+
+// advance zeroes the buckets of the seconds skipped since the last sample.
+func (w *secWindow) advance(now int64) {
+	if w.lastSec == 0 {
+		w.lastSec = now
+		return
+	}
+	for s := w.lastSec + 1; s <= now && s <= w.lastSec+60; s++ {
+		w.secs[s%60] = 0
+	}
+	if now > w.lastSec {
+		w.lastSec = now
+	}
+}
+
+// hit records one event at now.
+func (w *secWindow) hit(now int64) {
+	w.advance(now)
+	w.secs[now%60]++
+}
+
+// last60 returns the event count over the trailing minute; call advance
+// first so stale buckets are zeroed.
+func (w *secWindow) last60() uint64 {
+	var n uint64
+	for _, c := range w.secs {
+		n += c
+	}
+	return n
+}
+
+// datasetCounters is the per-dataset share of the request metrics; job
+// outcomes, cache statistics and the epoch come live from the dataset's
+// engine at snapshot time.
+type datasetCounters struct {
+	requests uint64
+	window   secWindow
 }
 
 func newMetrics() *metrics {
@@ -41,7 +94,55 @@ func newMetrics() *metrics {
 		byEndpoint: make(map[string]uint64),
 		byStatus:   make(map[string]uint64),
 		lat:        make([]time.Duration, latWindow),
+		byDataset:  make(map[string]*datasetCounters),
 	}
+}
+
+// recordDataset notes one query request routed to a dataset (called by the
+// query handlers once the dataset is resolved, before the work runs).
+func (m *metrics) recordDataset(name string) {
+	now := time.Now().Unix()
+	m.mu.Lock()
+	dc, ok := m.byDataset[name]
+	if !ok {
+		dc = &datasetCounters{}
+		m.byDataset[name] = dc
+	}
+	dc.requests++
+	dc.window.hit(now)
+	m.mu.Unlock()
+}
+
+// retireDataset removes the dataset from the catalog and folds its final
+// engine counters into the retained totals, atomically with respect to
+// snapshot(): both run under m.mu, so a scrape sees the dataset either
+// live in the catalog or folded into retired — never in both (a double
+// count) or in neither (the counter dip a rate() would misread as a
+// reset). Stragglers still landing their cancellation a sample block
+// after Close may be undercounted by ones — acceptable monitoring noise.
+// The lock order m.mu → catalog's internal lock matches snapshot() and
+// cannot invert: Catalog methods never call back into metrics.
+func (m *metrics) retireDataset(catalog *repro.Catalog, name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eng, err := catalog.Open(name)
+	if err != nil {
+		return err
+	}
+	if err := catalog.Close(name); err != nil {
+		return err
+	}
+	delete(m.byDataset, name)
+	st := eng.Stats()
+	m.retired.SubmittedJobs += st.SubmittedJobs
+	m.retired.CompletedJobs += st.CompletedJobs
+	m.retired.CancelledJobs += st.CancelledJobs
+	m.retired.FailedJobs += st.FailedJobs
+	m.retired.RejectedJobs += st.RejectedJobs
+	m.retired.CacheHits += st.CacheHits
+	m.retired.CacheMisses += st.CacheMisses
+	m.retired.CacheInvalidated += st.CacheInvalidated
+	return nil
 }
 
 // record notes one completed request. Only query-serving endpoints feed
@@ -71,22 +172,7 @@ func (m *metrics) record(endpoint string, status int, d time.Duration, recordLat
 			m.latNext, m.latFull = 0, true
 		}
 	}
-	m.advanceLocked(now)
-	m.secs[now%60]++
-}
-
-// advanceLocked zeroes the second-buckets skipped since the last sample.
-func (m *metrics) advanceLocked(now int64) {
-	if m.lastSec == 0 {
-		m.lastSec = now
-		return
-	}
-	for s := m.lastSec + 1; s <= now && s <= m.lastSec+60; s++ {
-		m.secs[s%60] = 0
-	}
-	if now > m.lastSec {
-		m.lastSec = now
-	}
+	m.window.hit(now)
 }
 
 type metricsResponse struct {
@@ -117,20 +203,73 @@ type metricsResponse struct {
 		Rejected  uint64 `json:"rejected"`
 	} `json:"jobs"`
 	Cache struct {
-		Hits   uint64 `json:"hits"`
-		Misses uint64 `json:"misses"`
-		Len    int    `json:"len"`
-		Cap    int    `json:"cap"`
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		Len         int    `json:"len"`
+		Cap         int    `json:"cap"`
+		Invalidated uint64 `json:"invalidated"`
 	} `json:"cache"`
+	// Datasets breaks the serving counters down per dataset now that
+	// datasets come and go at runtime: request volume from the collector,
+	// epoch/job/cache numbers live from each engine.
+	Datasets map[string]datasetMetrics `json:"datasets"`
 }
 
-// snapshot assembles the /metrics payload, folding in live engine stats.
-func (m *metrics) snapshot(engines map[string]*repro.Engine) metricsResponse {
+// datasetMetrics is the per-dataset block of the /metrics payload.
+type datasetMetrics struct {
+	Epoch    uint64  `json:"epoch"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Requests uint64  `json:"requests"`
+	QPS60S   float64 `json:"qps_last_60s"`
+	Jobs     struct {
+		Queued    int    `json:"queued"`
+		Running   int    `json:"running"`
+		Submitted uint64 `json:"submitted"`
+		Completed uint64 `json:"completed"`
+		Cancelled uint64 `json:"cancelled"`
+		Failed    uint64 `json:"failed"`
+		Rejected  uint64 `json:"rejected"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		Len         int    `json:"len"`
+		Invalidated uint64 `json:"invalidated"`
+	} `json:"cache"`
+	Mutations struct {
+		Applies uint64 `json:"applies"`
+		Applied uint64 `json:"applied"`
+	} `json:"mutations"`
+}
+
+// snapshot assembles the /metrics payload, folding in live engine stats
+// from every dataset the catalog currently serves.
+func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 	var resp metricsResponse
 	now := time.Now()
 	resp.UptimeS = now.Sub(m.start).Seconds()
 
 	m.mu.Lock()
+	// List — and capture the engine pointers — under m.mu (the catalog
+	// never locks back into metrics, so the order is safe). Two races die
+	// here: recordDataset also runs under m.mu after its dataset is
+	// registered, so a counter for a name missing from this listing can
+	// only be a close-race resurrection, never a just-created dataset; and
+	// retireDataset folds counters into m.retired under the same lock, so
+	// the pointer set and the retired copy below are mutually consistent —
+	// a dataset closed after we unlock is still summed through its
+	// captured engine pointer (EngineStats only ever grows), keeping the
+	// global totals monotonic across retirement.
+	live := catalog.List()
+	liveNames := make(map[string]bool, len(live))
+	engines := make(map[string]*repro.Engine, len(live))
+	for _, d := range live {
+		liveNames[d.Name] = true
+		if eng, err := catalog.Open(d.Name); err == nil {
+			engines[d.Name] = eng
+		}
+	}
 	resp.Requests.Total = m.total
 	resp.Requests.PerEndpoint = make(map[string]uint64, len(m.byEndpoint))
 	for k, v := range m.byEndpoint {
@@ -140,17 +279,42 @@ func (m *metrics) snapshot(engines map[string]*repro.Engine) metricsResponse {
 	for k, v := range m.byStatus {
 		resp.Requests.PerStatus[k] = v
 	}
-	m.advanceLocked(now.Unix())
-	var recent uint64
-	for _, c := range m.secs {
-		recent += c
-	}
+	m.window.advance(now.Unix())
+	recent := m.window.last60()
 	window := m.latNext
 	if m.latFull {
 		window = len(m.lat)
 	}
 	lats := append([]time.Duration(nil), m.lat[:window]...)
+	type dsReq struct {
+		requests uint64
+		last60   uint64
+	}
+	perDataset := make(map[string]dsReq, len(m.byDataset))
+	for name, dc := range m.byDataset {
+		if !liveNames[name] {
+			// A request racing a dataset close can re-create the counter
+			// after dropDataset ran; prune it here so closed (or closed-
+			// and-recreated) datasets never report ghost traffic.
+			delete(m.byDataset, name)
+			continue
+		}
+		dc.window.advance(now.Unix())
+		perDataset[name] = dsReq{requests: dc.requests, last60: dc.window.last60()}
+	}
+	retired := m.retired
 	m.mu.Unlock()
+
+	// Seed the global totals with the retained counters of closed
+	// datasets; live engines add on top below.
+	resp.Jobs.Submitted = retired.SubmittedJobs
+	resp.Jobs.Completed = retired.CompletedJobs
+	resp.Jobs.Cancelled = retired.CancelledJobs
+	resp.Jobs.Failed = retired.FailedJobs
+	resp.Jobs.Rejected = retired.RejectedJobs
+	resp.Cache.Hits = retired.CacheHits
+	resp.Cache.Misses = retired.CacheMisses
+	resp.Cache.Invalidated = retired.CacheInvalidated
 
 	if resp.UptimeS > 0 {
 		resp.QPS.Lifetime = float64(resp.Requests.Total) / resp.UptimeS
@@ -170,7 +334,12 @@ func (m *metrics) snapshot(engines map[string]*repro.Engine) metricsResponse {
 		resp.LatencyMS.Max = float64(lats[len(lats)-1].Microseconds()) / 1000
 	}
 
-	for _, eng := range engines {
+	resp.Datasets = make(map[string]datasetMetrics)
+	for _, info := range live {
+		eng, ok := engines[info.Name]
+		if !ok {
+			continue // closed while List ran inside the locked section
+		}
 		st := eng.Stats()
 		resp.Jobs.Queued += st.QueuedJobs
 		resp.Jobs.Running += st.RunningJobs
@@ -183,12 +352,28 @@ func (m *metrics) snapshot(engines map[string]*repro.Engine) metricsResponse {
 		resp.Cache.Misses += st.CacheMisses
 		resp.Cache.Len += st.CacheLen
 		resp.Cache.Cap += st.CacheCap
+		resp.Cache.Invalidated += st.CacheInvalidated
+
+		var dm datasetMetrics
+		dm.Epoch = info.Epoch
+		dm.N, dm.M = info.Nodes, info.Edges
+		if rq, ok := perDataset[info.Name]; ok {
+			dm.Requests = rq.requests
+			dm.QPS60S = float64(rq.last60) / 60
+		}
+		dm.Jobs.Queued, dm.Jobs.Running = st.QueuedJobs, st.RunningJobs
+		dm.Jobs.Submitted, dm.Jobs.Completed = st.SubmittedJobs, st.CompletedJobs
+		dm.Jobs.Cancelled, dm.Jobs.Failed, dm.Jobs.Rejected = st.CancelledJobs, st.FailedJobs, st.RejectedJobs
+		dm.Cache.Hits, dm.Cache.Misses = st.CacheHits, st.CacheMisses
+		dm.Cache.Len, dm.Cache.Invalidated = st.CacheLen, st.CacheInvalidated
+		dm.Mutations.Applies, dm.Mutations.Applied = st.Applies, st.MutationsApplied
+		resp.Datasets[info.Name] = dm
 	}
 	return resp
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.engines))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.catalog))
 }
 
 // statusWriter captures the response status for the metrics middleware,

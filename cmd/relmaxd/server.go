@@ -7,26 +7,28 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"sort"
 	"time"
 
 	"repro"
 )
 
-// server routes HTTP/JSON queries to one Engine per dataset. Construction
-// state (engines, limits) is immutable afterwards; the mutable serving
-// state — the job store and the metrics collector — is internally locked,
-// so the handler is safe for any number of concurrent requests.
+// server routes HTTP/JSON queries through a repro.Catalog: one Engine per
+// dataset, with datasets created, mutated and closed at runtime via the
+// /v2/datasets family. Construction state (catalog handle, limits) is
+// immutable afterwards; the mutable serving state — the catalog's
+// registry, the job store and the metrics collector — is internally
+// locked, so the handler is safe for any number of concurrent requests.
 //
 // Every query, including the synchronous /v1 endpoints, runs as a job on
 // the engine's bounded worker queue: /v1 submits and waits inline, /v2
 // returns the job ID immediately. That gives one global concurrency bound
 // and one load-shedding point (HTTP 503 when the queue is full).
 type server struct {
-	engines map[string]*repro.Engine
-	// defaultName addresses the single engine when a request omits
-	// "dataset"; empty when several datasets are served.
-	defaultName string
+	catalog *repro.Catalog
+	// defaultScale and defaultSeed parameterize built-in dataset creation
+	// when a POST /v2/datasets request leaves them zero (flags in main.go).
+	defaultScale float64
+	defaultSeed  int64
 	// timeout bounds every request; per-request "timeout_ms" may shorten
 	// but never extend it. For /v2 jobs it bounds the job's runtime.
 	timeout time.Duration
@@ -51,9 +53,19 @@ type limits struct {
 	MaxRL int
 	// MaxPairs caps the estimate batch size.
 	MaxPairs int
+	// MaxMutations caps a /v2 mutation batch.
+	MaxMutations int
+	// MaxDatasets caps how many datasets the catalog serves at once: every
+	// dataset pins a full engine (graph clone, CSR, sampler pool, cache),
+	// so unbounded POST /v2/datasets would be an OOM lever. Enforced by
+	// the catalog itself (Catalog.SetMaxDatasets, applied in newServer),
+	// which counts in-flight builds too — concurrent creates cannot
+	// overshoot it.
+	MaxDatasets int
 	// MaxBodyBytes caps request bodies: a solve request is a handful of
 	// scalars and an estimate batch of even 100k pairs fits comfortably,
-	// so anything larger is abuse, not traffic.
+	// so anything larger is abuse, not traffic. Dataset uploads (inline
+	// edge lists) live under the same cap.
 	MaxBodyBytes int64
 }
 
@@ -63,25 +75,24 @@ func defaultLimits() limits {
 		MaxK:         1_000,
 		MaxRL:        100_000,
 		MaxPairs:     10_000,
+		MaxMutations: 10_000,
+		MaxDatasets:  64,
 		MaxBodyBytes: 4 << 20,
 	}
 }
 
-func newServer(engines map[string]*repro.Engine, timeout time.Duration) *server {
-	s := &server{
-		engines: engines,
-		timeout: timeout,
-		limits:  defaultLimits(),
-		jobs:    newJobStore(retainedJobs),
-		metrics: newMetrics(),
-		logf:    log.Printf,
+func newServer(catalog *repro.Catalog, timeout time.Duration) *server {
+	catalog.SetMaxDatasets(defaultLimits().MaxDatasets)
+	return &server{
+		catalog:      catalog,
+		defaultScale: 0.08,
+		defaultSeed:  1,
+		timeout:      timeout,
+		limits:       defaultLimits(),
+		jobs:         newJobStore(retainedJobs),
+		metrics:      newMetrics(),
+		logf:         log.Printf,
 	}
-	if len(engines) == 1 {
-		for name := range engines {
-			s.defaultName = name
-		}
-	}
-	return s
 }
 
 func (s *server) handler() http.Handler {
@@ -95,6 +106,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", s.instrument("v2.status", false, s.handleJobGet))
 	mux.HandleFunc("DELETE /v2/jobs/{id}", s.instrument("v2.cancel", false, s.handleJobCancel))
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.instrument("v2.events", false, s.handleJobEvents))
+	mux.HandleFunc("GET /v2/datasets", s.instrument("v2.datasets.list", false, s.handleDatasetList))
+	mux.HandleFunc("POST /v2/datasets", s.instrument("v2.datasets.create", false, s.handleDatasetCreate))
+	mux.HandleFunc("DELETE /v2/datasets/{name}", s.instrument("v2.datasets.close", false, s.handleDatasetClose))
+	mux.HandleFunc("POST /v2/datasets/{name}/mutations", s.instrument("v2.datasets.mutate", false, s.handleDatasetMutate))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -145,28 +160,25 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// engineFor resolves a dataset name through the catalog. An empty name is
+// accepted only while exactly one dataset is being served — the
+// single-dataset convenience the CLI flags set up — and resolves to it.
 func (s *server) engineFor(name string) (*repro.Engine, string, error) {
 	if name == "" {
-		name = s.defaultName
+		names := s.catalog.Names()
+		if len(names) != 1 {
+			return nil, "", fmt.Errorf("request must name a dataset (serving: %v): %w", names, repro.ErrUnknownDataset)
+		}
+		name = names[0]
 	}
-	if name == "" {
-		return nil, "", fmt.Errorf("request must name a dataset (serving: %v)", s.names())
-	}
-	eng, ok := s.engines[name]
-	if !ok {
-		return nil, "", fmt.Errorf("unknown dataset %q (serving: %v)", name, s.names())
+	eng, err := s.catalog.Open(name)
+	if err != nil {
+		return nil, "", fmt.Errorf("unknown dataset %q (serving: %v): %w", name, s.names(), repro.ErrUnknownDataset)
 	}
 	return eng, name, nil
 }
 
-func (s *server) names() []string {
-	out := make([]string, 0, len(s.engines))
-	for name := range s.engines {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *server) names() []string { return s.catalog.Names() }
 
 // requestContext derives the per-request context: the client disconnect
 // context, bounded by the server timeout and any shorter per-request one.
@@ -190,14 +202,15 @@ func (s *server) effectiveTimeout(timeoutMS int64) time.Duration {
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	type graphInfo struct {
-		N        int  `json:"n"`
-		M        int  `json:"m"`
-		Directed bool `json:"directed"`
+		N        int    `json:"n"`
+		M        int    `json:"m"`
+		Directed bool   `json:"directed"`
+		Epoch    uint64 `json:"epoch"`
 	}
-	info := make(map[string]graphInfo, len(s.engines))
-	for name, eng := range s.engines {
-		c := eng.Snapshot()
-		info[name] = graphInfo{N: c.N(), M: c.M(), Directed: c.Directed()}
+	list := s.catalog.List()
+	info := make(map[string]graphInfo, len(list))
+	for _, d := range list {
+		info[d.Name] = graphInfo{N: d.Nodes, M: d.Edges, Directed: d.Directed, Epoch: d.Epoch}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "datasets": info})
 }
@@ -227,7 +240,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Kind = string(repro.QuerySolve)
-	eng, _, err := s.engineFor(req.Dataset)
+	eng, dataset, err := s.engineFor(req.Dataset)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
@@ -236,6 +249,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	s.metrics.recordDataset(dataset)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	res, err := s.runJob(ctx, eng, req.query())
@@ -254,7 +268,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Kind = string(repro.QueryEstimateMany)
-	eng, _, err := s.engineFor(req.Dataset)
+	eng, dataset, err := s.engineFor(req.Dataset)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
@@ -267,6 +281,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	s.metrics.recordDataset(dataset)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	res, err := s.runJob(ctx, eng, req.query())
@@ -289,8 +304,9 @@ func (s *server) runJob(ctx context.Context, eng *repro.Engine, q repro.Query) (
 }
 
 // writeError maps the library's typed error taxonomy to HTTP statuses:
-// invalid input 400, queue overload 503, timeouts 504, client-abandoned
-// requests are logged only, everything else 500.
+// invalid input 400, unknown datasets (and engines closed mid-request)
+// 404, duplicate datasets 409, queue overload 503, timeouts 504,
+// client-abandoned requests are logged only, everything else 500.
 func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, repro.ErrOverloaded):
@@ -300,7 +316,15 @@ func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, context.Canceled):
 		// The client went away; nobody is reading the response.
 		s.logf("relmaxd: %s %s abandoned: %v", r.Method, r.URL.Path, err)
+	case errors.Is(err, repro.ErrUnknownDataset),
+		errors.Is(err, repro.ErrClosed):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, repro.ErrDatasetExists):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case errors.Is(err, repro.ErrCatalogFull):
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, repro.ErrBadQuery),
+		errors.Is(err, repro.ErrBadMutation),
 		errors.Is(err, repro.ErrUnknownMethod),
 		errors.Is(err, repro.ErrUnknownSampler),
 		errors.Is(err, repro.ErrBudget),

@@ -14,19 +14,27 @@ import (
 	"repro"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// testCatalog builds a single-dataset catalog over the lastfm fixture with
+// the given engine defaults.
+func testCatalog(t *testing.T, opts ...repro.EngineOption) *repro.Catalog {
 	t.Helper()
 	g, err := repro.LoadDataset("lastfm", 0.03, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := repro.NewEngine(g,
-		repro.WithSampleSize(200), repro.WithSeed(7), repro.WithWorkers(2),
-		repro.WithSolverDefaults(repro.Options{K: 2, Z: 200, Seed: 7, R: 8, L: 8, Workers: 2}))
-	if err != nil {
+	catalog := repro.NewCatalog(opts...)
+	if _, err := catalog.Create("lastfm", g); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(map[string]*repro.Engine{"lastfm": eng}, 30*time.Second)
+	return catalog
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	catalog := testCatalog(t,
+		repro.WithSampleSize(200), repro.WithSeed(7), repro.WithWorkers(2),
+		repro.WithSolverDefaults(repro.Options{K: 2, Z: 200, Seed: 7, R: 8, L: 8, Workers: 2}))
+	srv := newServer(catalog, 30*time.Second)
 	srv.logf = t.Logf
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)

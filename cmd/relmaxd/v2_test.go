@@ -17,20 +17,12 @@ import (
 // result cache on, bounded job queue, metrics.
 func testServerV2(t *testing.T, engOpts ...repro.EngineOption) (*httptest.Server, *server) {
 	t.Helper()
-	g, err := repro.LoadDataset("lastfm", 0.03, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
 	opts := append([]repro.EngineOption{
 		repro.WithSampleSize(200), repro.WithSeed(7), repro.WithWorkers(2),
 		repro.WithSolverDefaults(repro.Options{K: 2, Z: 200, Seed: 7, R: 8, L: 8, Workers: 2}),
 		repro.WithResultCache(32),
 	}, engOpts...)
-	eng, err := repro.NewEngine(g, opts...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := newServer(map[string]*repro.Engine{"lastfm": eng}, 30*time.Second)
+	srv := newServer(testCatalog(t, opts...), 30*time.Second)
 	srv.logf = t.Logf
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
@@ -343,17 +335,10 @@ func TestV2Metrics(t *testing.T) {
 // TestLimitsAreFlags: the ceilings come from the server configuration, not
 // compile-time constants.
 func TestLimitsAreFlags(t *testing.T) {
-	g, err := repro.LoadDataset("lastfm", 0.03, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := repro.NewEngine(g, repro.WithSampleSize(200), repro.WithSeed(7), repro.WithWorkers(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := newServer(map[string]*repro.Engine{"lastfm": eng}, 30*time.Second)
+	catalog := testCatalog(t, repro.WithSampleSize(200), repro.WithSeed(7), repro.WithWorkers(2))
+	srv := newServer(catalog, 30*time.Second)
 	srv.logf = t.Logf
-	srv.limits = limits{MaxZ: 100, MaxK: 1, MaxRL: 10, MaxPairs: 2, MaxBodyBytes: 1 << 20}
+	srv.limits = limits{MaxZ: 100, MaxK: 1, MaxRL: 10, MaxPairs: 2, MaxMutations: 2, MaxBodyBytes: 1 << 20}
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	cases := []struct{ name, path, body string }{
@@ -365,6 +350,8 @@ func TestLimitsAreFlags(t *testing.T) {
 		{"pairs over custom ceiling", "/v1/estimate", `{"pairs":[[0,1],[0,2],[0,3]]}`},
 		{"v2 k over custom ceiling", "/v2/jobs", `{"kind":"solve","s":0,"t":39,"k":2}`},
 		{"v2 pairs over custom ceiling", "/v2/jobs", `{"kind":"estimate-many","pairs":[[0,1],[0,2],[0,3]]}`},
+		{"v2 mutations over custom ceiling", "/v2/datasets/lastfm/mutations",
+			`{"mutations":[{"op":"set-prob","u":0,"v":1,"p":0.5},{"op":"set-prob","u":0,"v":2,"p":0.5},{"op":"set-prob","u":0,"v":3,"p":0.5}]}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -376,7 +363,7 @@ func TestLimitsAreFlags(t *testing.T) {
 	}
 	// The body cap is enforced through MaxBytesReader (fresh server so the
 	// cap is in place before it starts serving).
-	tiny := newServer(map[string]*repro.Engine{"lastfm": eng}, 30*time.Second)
+	tiny := newServer(catalog, 30*time.Second)
 	tiny.logf = t.Logf
 	tiny.limits = defaultLimits()
 	tiny.limits.MaxBodyBytes = 16

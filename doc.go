@@ -93,7 +93,49 @@
 // while the job runs), record their solver progress events for streaming
 // (Job.Events), and report cache hits in their status. Engine.Stats
 // exposes the serving counters (queue gauges, job outcomes, cache
-// hit/miss) that back cmd/relmaxd's /metrics endpoint.
+// hit/miss, the current epoch) that back cmd/relmaxd's /metrics endpoint.
+//
+// # Datasets and mutation
+//
+// A deployed server does not freeze its graphs forever: edges arrive,
+// probabilities get re-estimated, datasets get loaded and retired while
+// queries are in flight. Two types carry that lifecycle.
+//
+// A Catalog is a registry of named datasets, each served by its own
+// Engine, managed at runtime:
+//
+//	cat := repro.NewCatalog(repro.WithResultCache(256), repro.WithWorkers(-1))
+//	eng, err := cat.Create("social", g)     // register a graph
+//	eng, err = cat.Load("roads", "g.txt")   // or an edge-list file
+//	eng, err = cat.Open("social")           // resolve for serving
+//	infos := cat.List()                     // names, epochs, graph sizes
+//	err = cat.Close("roads")                // retire: cancels its jobs
+//
+// An Engine's graph is mutable behind versioned snapshots. Apply commits
+// an atomic batch of mutations — AddEdge, SetProb, RemoveEdge — by
+// building the next frozen CSR epoch aside and rotating it in with one
+// pointer swap:
+//
+//	epoch, err := eng.Apply(ctx,
+//		repro.AddEdge(3, 42, 0.5),
+//		repro.SetProb(7, 9, 0.25),
+//		repro.RemoveEdge(1, 4))
+//
+// Readers never lock against writers: every query pins the snapshot
+// current at canonicalization (jobs pin at Submit), so work in flight
+// across an Apply completes on the graph it started on, bit-identical to
+// a never-mutated engine. The graph epoch is part of every canonical
+// fingerprint (Query.Key), which makes cache invalidation free of
+// correctness risk: the same query after a mutation is a new fingerprint,
+// so it can only miss; stale-epoch entries become unreachable and are
+// evicted lazily (Stats reports the reclaimed count). A batch is
+// all-or-nothing — the first invalid mutation (ErrBadMutation) aborts it
+// with the epoch unchanged.
+//
+// cmd/relmaxd exposes the whole lifecycle over HTTP: POST/GET/DELETE
+// /v2/datasets to create (from a built-in stand-in, a server-local file
+// or an uploaded edge list), list and close datasets, and
+// POST /v2/datasets/{name}/mutations to mutate — see examples/server.
 //
 // # Legacy compatibility
 //
@@ -120,10 +162,12 @@
 // Internally every estimate runs on a frozen CSR snapshot of the graph
 // (Graph.Freeze): a flat, immutable adjacency layout with arc-aligned
 // probabilities that the samplers traverse with zero heap allocations per
-// sample in steady state. The snapshot is cached on the graph and
-// invalidated by mutations (AddEdge, SetProb); snapshots already handed
-// out remain valid — an Engine clones the graph at construction, so its
-// pinned snapshot is isolated from caller mutations. Candidate-evaluation
+// sample in steady state. The snapshot is cached on the graph, stamped
+// with the graph's mutation version as its epoch (CSR.Epoch), and
+// invalidated by mutations (AddEdge, SetProb, RemoveEdge); snapshots
+// already handed out remain valid — an Engine clones the graph at
+// construction, so its snapshots are isolated from caller mutations, and
+// Engine.Apply only ever swaps in freshly built ones. Candidate-evaluation
 // loops derive lightweight overlay views (one candidate edge over a shared
 // base snapshot) instead of cloning the graph, which is what makes the
 // batched EstimateEdges path cheap.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/sampling"
@@ -19,6 +20,13 @@ import (
 //   - a warm pool of per-worker serial samplers (when Workers != 0),
 //     leased per request so repeated queries reuse scratch memory.
 //
+// The graph is mutable behind versioned snapshots: Apply commits a batch
+// of mutations by building the next frozen epoch and rotating it in
+// atomically. Every query pins the snapshot current at canonicalization
+// (for jobs: at Submit), so in-flight work is never perturbed by a
+// concurrent Apply — it completes on the epoch it started on, bit-identical
+// to an engine that was never mutated. See Apply and Mutation.
+//
 // Every query method takes a context.Context. Cancellation and deadlines
 // are cooperative and cheap: the samplers poll ctx between sample blocks
 // (never per edge) and the greedy solvers stop at round boundaries, so a
@@ -28,14 +36,23 @@ import (
 // randomness the legacy path consumes: for the same Options, Engine.Solve
 // and the free Solve return bit-identical Solutions.
 //
-// An Engine is safe for concurrent use: queries never mutate the pinned
-// graph, and each request derives its own deterministic sampler state, so
-// a query's result depends only on its request (not on what else is in
-// flight). Identical requests always produce identical answers — the
-// stateless semantics a serving tier wants (cmd/relmaxd builds on this).
+// An Engine is safe for concurrent use: queries never mutate the snapshot
+// they pinned, and each request derives its own deterministic sampler
+// state, so a query's result depends only on its request and the epoch it
+// ran on. Identical requests on the same epoch always produce identical
+// answers — the stateless semantics a serving tier wants (cmd/relmaxd
+// builds on this through a Catalog of engines).
 type Engine struct {
-	g       *Graph
-	csr     *CSR
+	// snap is the current epoch: an immutable (graph, CSR) pair swapped
+	// wholesale by Apply. Readers load it once per query and never see a
+	// torn state; old snapshots stay valid for the queries that pinned
+	// them.
+	snap atomic.Pointer[engineSnapshot]
+	// applyMu serializes Apply (and Close's terminal transition): clones
+	// build off the snapshot they loaded, so two concurrent Applies would
+	// otherwise lose one batch.
+	applyMu sync.Mutex
+
 	opt     Options // defaults template; Sampler/Z/Seed resolved at build
 	method  Method
 	scratch *sampling.SharedScratch
@@ -57,8 +74,23 @@ type Engine struct {
 	jobSem        chan struct{}
 	jobSeq        atomic.Int64
 
+	// closed rejects new Submits/Applies after Close; liveJobs tracks
+	// non-terminal jobs so Close can cancel them.
+	closed   atomic.Bool
+	liveMu   sync.Mutex
+	liveJobs map[*Job]struct{}
+
 	queuedJobs, runningJobs, inFlightJobs                                 atomic.Int64
 	submittedJobs, completedJobs, cancelledJobs, failedJobs, rejectedJobs atomic.Uint64
+	applies, mutationsApplied                                             atomic.Uint64
+}
+
+// engineSnapshot is one frozen graph epoch: the engine-private mutable
+// Graph (only Apply ever touches it, and only by cloning) plus its CSR.
+// Both are immutable once the snapshot is published.
+type engineSnapshot struct {
+	g   *Graph
+	csr *CSR
 }
 
 // EngineOption configures NewEngine.
@@ -173,15 +205,24 @@ func NewEngine(g *Graph, opts ...EngineOption) (*Engine, error) {
 	}
 	e.jobSem = make(chan struct{}, e.maxConcurrent)
 	e.id = engineSeq.Add(1)
-	e.g = g.Clone()
-	e.csr = e.g.Freeze()
+	e.liveJobs = make(map[*Job]struct{})
+	gc := g.Clone()
+	e.snap.Store(&engineSnapshot{g: gc, csr: gc.Freeze()})
+	if e.cache != nil {
+		e.cache.setEpoch(gc.Version())
+	}
 	return e, nil
 }
 
-// Snapshot returns the engine's pinned immutable CSR snapshot; it is safe
-// for unrestricted concurrent reads and never changes for the lifetime of
-// the engine.
-func (e *Engine) Snapshot() *CSR { return e.csr }
+// Snapshot returns the engine's current immutable CSR snapshot; it is safe
+// for unrestricted concurrent reads and never changes once returned. Apply
+// rotates the engine to a new snapshot — callers that must correlate
+// several reads use one Snapshot value, not repeated calls.
+func (e *Engine) Snapshot() *CSR { return e.snap.Load().csr }
+
+// Epoch returns the engine's current graph epoch: the version stamp of the
+// snapshot queries pin. It changes exactly when Apply commits a batch.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().csr.Epoch() }
 
 // options resolves the effective Options for one request: nil uses the
 // engine defaults; a non-nil override is taken as-is except that zero
@@ -289,9 +330,9 @@ func (e *Engine) SolveTotalBudget(ctx context.Context, req BudgetRequest) (Total
 	return res.TotalBudget, err
 }
 
-func (e *Engine) checkNode(v NodeID) error {
-	if v < 0 || int(v) >= e.g.N() {
-		return fmt.Errorf("repro: node %d out of range [0,%d): %w", v, e.g.N(), ErrBadQuery)
+func (s *engineSnapshot) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= s.g.N() {
+		return fmt.Errorf("repro: node %d out of range [0,%d): %w", v, s.g.N(), ErrBadQuery)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@
 // serving surfaces: the synchronous /v1 endpoints and the /v2 job API —
 // submit a job, poll its status, stream its NDJSON progress events,
 // demonstrate a cache hit on resubmission, cancel a long-running job, and
-// read /metrics.
+// read /metrics — plus the dataset lifecycle: create a dataset at
+// runtime, solve on it, mutate its graph and observe the re-solve missing
+// the cache on the new epoch.
 //
 // Start a server first:
 //
@@ -18,7 +20,13 @@
 //	curl localhost:8080/v2/jobs/<id>            # poll status → result
 //	curl localhost:8080/v2/jobs/<id>/events     # NDJSON progress stream
 //	curl -X DELETE localhost:8080/v2/jobs/<id>  # cancel
-//	curl localhost:8080/metrics
+//	curl localhost:8080/v2/datasets             # list datasets + epochs
+//	curl -X POST -d '{"name":"demo","edge_list":"ugraph undirected 3 3\n0 1 0.9\n1 2 0.8\n0 2 0.05\n"}' \
+//	     localhost:8080/v2/datasets             # create at runtime
+//	curl -X POST -d '{"mutations":[{"op":"set-prob","u":1,"v":2,"p":0.01}]}' \
+//	     localhost:8080/v2/datasets/demo/mutations  # mutate → new epoch
+//	curl -X DELETE localhost:8080/v2/datasets/demo  # close
+//	curl localhost:8080/metrics                 # incl. per-dataset breakdown
 package main
 
 import (
@@ -98,6 +106,65 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("resubmitted as %s: status %s, cache_hit=%v\n", again.ID, againFinal.Status, againFinal.CacheHit)
+
+	// --- Dataset lifecycle: create → solve → mutate → re-solve. ---
+	var created struct {
+		Name  string `json:"name"`
+		Epoch uint64 `json:"epoch"`
+		N     int    `json:"n"`
+		M     int    `json:"m"`
+	}
+	createReq := map[string]any{
+		"name":      "demo",
+		"edge_list": "ugraph undirected 3 3\n0 1 0.9\n1 2 0.8\n0 2 0.05\n",
+	}
+	if err := call(ctx, http.MethodPost, *addr+"/v2/datasets", createReq, &created); err != nil {
+		fail(err)
+	}
+	fmt.Printf("created dataset %q: n=%d m=%d epoch=%d\n", created.Name, created.N, created.M, created.Epoch)
+
+	demoQuery := map[string]any{"dataset": "demo", "kind": "estimate", "s": 0, "t": 2}
+	solveOnDemo := func() (float64, bool) {
+		job, err := submitJob(ctx, *addr, demoQuery)
+		if err != nil {
+			fail(err)
+		}
+		final, err := pollJob(ctx, *addr, job.ID)
+		if err != nil {
+			fail(err)
+		}
+		var est struct {
+			Reliability float64 `json:"reliability"`
+		}
+		if err := json.Unmarshal(final.Result, &est); err != nil {
+			fail(err)
+		}
+		return est.Reliability, final.CacheHit
+	}
+	rel1, _ := solveOnDemo()
+	rel2, hit := solveOnDemo()
+	fmt.Printf("demo estimate: %.4f (repeat %.4f, cache_hit=%v)\n", rel1, rel2, hit)
+
+	// Mutate the graph: the epoch advances, in-flight work keeps its
+	// pinned snapshot, and the same query becomes a new fingerprint.
+	var mutated struct {
+		Epoch   uint64 `json:"epoch"`
+		Applied int    `json:"applied"`
+	}
+	mutReq := map[string]any{"mutations": []map[string]any{
+		{"op": "set-prob", "u": 1, "v": 2, "p": 0.01},
+	}}
+	if err := call(ctx, http.MethodPost, *addr+"/v2/datasets/demo/mutations", mutReq, &mutated); err != nil {
+		fail(err)
+	}
+	fmt.Printf("mutated demo: %d mutation(s), epoch %d -> %d\n", mutated.Applied, created.Epoch, mutated.Epoch)
+	rel3, hit3 := solveOnDemo()
+	fmt.Printf("re-solve after mutation: %.4f (cache_hit=%v — fresh epoch, fresh fingerprint)\n", rel3, hit3)
+
+	if err := call(ctx, http.MethodDelete, *addr+"/v2/datasets/demo", nil, &struct{}{}); err != nil {
+		fail(err)
+	}
+	fmt.Println("closed dataset demo")
 
 	// Submit a deliberately long job and cancel it via DELETE.
 	slow, err := submitJob(ctx, *addr, map[string]any{"kind": "estimate", "s": *s, "t": *t, "z": 1_000_000})

@@ -17,6 +17,7 @@ import "fmt"
 type CSR struct {
 	directed bool
 	n        int
+	epoch    uint64    // Graph.Version at freeze time; overlays inherit it
 	p        []float64 // probability per base edge ID
 	ends     []Edge    // endpoints per base edge ID
 	outArcs  []Arc     // concatenated out-adjacency rows
@@ -67,6 +68,7 @@ func newCSR(g *Graph) *CSR {
 	c := &CSR{
 		directed: g.directed,
 		n:        g.n,
+		epoch:    g.version,
 		p:        append([]float64(nil), g.p...),
 		ends:     append([]Edge(nil), g.ends...),
 	}
@@ -107,6 +109,12 @@ func (c *CSR) M() int { return len(c.p) + len(c.xp) }
 
 // Directed reports whether the snapshot is of a directed graph.
 func (c *CSR) Directed() bool { return c.directed }
+
+// Epoch returns the source graph's Version at freeze time — the identity
+// of this snapshot in an epoch-versioned serving tier (see repro.Engine).
+// Overlay views report the epoch of their base snapshot: they are
+// ephemeral per-candidate scratch, not new graph states.
+func (c *CSR) Epoch() uint64 { return c.epoch }
 
 // Prob returns the existence probability of edge eid (base or overlay).
 func (c *CSR) Prob(eid int32) float64 {
@@ -245,6 +253,7 @@ func (c *CSR) WithEdges(extra []Edge) *CSR {
 	v := &CSR{
 		directed: c.directed,
 		n:        c.n,
+		epoch:    c.epoch,
 		p:        c.p,
 		ends:     c.ends,
 		outArcs:  c.outArcs,

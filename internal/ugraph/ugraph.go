@@ -52,6 +52,12 @@ type Graph struct {
 	in       [][]Arc   // in-adjacency (directed only; nil when undirected)
 	index    map[int64]int32
 
+	// version counts mutations (AddEdge, SetProb, RemoveEdge) since New;
+	// Clone preserves it. Freeze stamps the snapshot with the version as
+	// its epoch, so two graphs that went through the same construction
+	// history freeze to snapshots with equal epochs.
+	version uint64
+
 	// frozen caches the CSR snapshot handed out by Freeze; any mutation
 	// clears it. Snapshots already obtained stay valid — they never alias
 	// the mutable slices above.
@@ -80,6 +86,18 @@ func (g *Graph) M() int { return len(g.p) }
 
 // Directed reports whether the graph is directed.
 func (g *Graph) Directed() bool { return g.directed }
+
+// Version returns the graph's mutation counter: the number of AddEdge,
+// SetProb and RemoveEdge calls applied since New. Freeze stamps it on the
+// snapshot as CSR.Epoch.
+func (g *Graph) Version() uint64 { return g.version }
+
+// mutate records one mutation: the version advances and the cached frozen
+// snapshot is invalidated (snapshots already handed out stay valid).
+func (g *Graph) mutate() {
+	g.version++
+	g.frozen.Store(nil)
+}
 
 func (g *Graph) key(u, v NodeID) int64 {
 	if !g.directed && u > v {
@@ -115,7 +133,7 @@ func (g *Graph) AddEdge(u, v NodeID, p float64) (int32, error) {
 	if _, dup := g.index[key]; dup {
 		return -1, fmt.Errorf("ugraph: duplicate edge (%d,%d)", u, v)
 	}
-	g.frozen.Store(nil) // invalidate the cached snapshot
+	g.mutate()
 	eid := int32(len(g.p))
 	g.p = append(g.p, p)
 	g.ends = append(g.ends, Edge{U: u, V: v, P: p})
@@ -160,10 +178,61 @@ func (g *Graph) SetProb(eid int32, p float64) error {
 	if p < 0 || p > 1 || math.IsNaN(p) {
 		return fmt.Errorf("ugraph: probability %v outside [0,1]", p)
 	}
-	g.frozen.Store(nil) // invalidate the cached snapshot
+	g.mutate()
 	g.p[eid] = p
 	g.ends[eid].P = p
 	return nil
+}
+
+// RemoveEdge deletes edge (u, v); for undirected graphs the orientation is
+// ignored. Edge IDs stay dense: every edge with an ID above the removed one
+// is renumbered down by one (a full adjacency sweep, O(N + M)), so callers
+// holding edge IDs across a removal must re-resolve them via EdgeID.
+// Snapshots already issued by Freeze are unaffected.
+func (g *Graph) RemoveEdge(u, v NodeID) error {
+	if err := g.checkNode(u); err != nil {
+		return err
+	}
+	if err := g.checkNode(v); err != nil {
+		return err
+	}
+	key := g.key(u, v)
+	eid, ok := g.index[key]
+	if !ok {
+		return fmt.Errorf("ugraph: no edge (%d,%d) to remove", u, v)
+	}
+	g.mutate()
+	delete(g.index, key)
+	g.p = append(g.p[:eid], g.p[eid+1:]...)
+	g.ends = append(g.ends[:eid], g.ends[eid+1:]...)
+	for k, id := range g.index {
+		if id > eid {
+			g.index[k] = id - 1
+		}
+	}
+	compactRows(g.out, eid)
+	if g.directed {
+		compactRows(g.in, eid)
+	}
+	return nil
+}
+
+// compactRows drops every arc with the removed edge ID and renumbers the
+// IDs above it, preserving per-row arc order.
+func compactRows(rows [][]Arc, removed int32) {
+	for u, row := range rows {
+		w := row[:0]
+		for _, a := range row {
+			if a.EID == removed {
+				continue
+			}
+			if a.EID > removed {
+				a.EID--
+			}
+			w = append(w, a)
+		}
+		rows[u] = w
+	}
 }
 
 // Endpoints returns the edge descriptor of eid (U→V for directed edges).
@@ -209,6 +278,7 @@ func (g *Graph) Clone() *Graph {
 		ends:     append([]Edge(nil), g.ends...),
 		out:      make([][]Arc, g.n),
 		index:    make(map[int64]int32, len(g.index)),
+		version:  g.version,
 	}
 	for u := range g.out {
 		c.out[u] = append([]Arc(nil), g.out[u]...)

@@ -117,6 +117,9 @@ type Job struct {
 // already in the result cache completes immediately (State JobDone,
 // CacheHit set) without consuming a queue slot.
 func (e *Engine) Submit(ctx context.Context, q Query) (*Job, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("repro: Submit: %w", ErrClosed)
+	}
 	cq, err := e.Canonicalize(q)
 	if err != nil {
 		return nil, err
@@ -163,8 +166,28 @@ func (e *Engine) Submit(ctx context.Context, q Query) (*Job, error) {
 	e.queuedJobs.Add(1)
 	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	j.cancel = cancel
+	// Track the job until it terminates so Close can cancel stragglers. A
+	// Close racing this Submit is benign either way: the job was admitted,
+	// and Close snapshots liveJobs after setting the closed flag, so it
+	// sees (and cancels) this job once track returns.
+	e.track(j)
+	if e.closed.Load() {
+		j.Cancel()
+	}
 	go j.run(jctx)
 	return j, nil
+}
+
+func (e *Engine) track(j *Job) {
+	e.liveMu.Lock()
+	e.liveJobs[j] = struct{}{}
+	e.liveMu.Unlock()
+}
+
+func (e *Engine) untrack(j *Job) {
+	e.liveMu.Lock()
+	delete(e.liveJobs, j)
+	e.liveMu.Unlock()
 }
 
 // run takes the job through the bounded queue: wait for a concurrency
@@ -208,6 +231,11 @@ func (j *Job) ID() string { return j.id }
 
 // Key returns the canonical query fingerprint the job runs under.
 func (j *Job) Key() string { return j.key }
+
+// Epoch returns the graph epoch the job pinned at Submit: the job computes
+// on that snapshot even if Engine.Apply rotates the graph while it waits
+// or runs.
+func (j *Job) Epoch() uint64 { return j.q.epoch }
 
 // Kind returns the job's query kind.
 func (j *Job) Kind() QueryKind { return j.q.Kind }
@@ -340,6 +368,12 @@ func (j *Job) finish(res Result, hit bool, err error) {
 	e := j.eng
 	j.mu.Lock()
 	j.res, j.err, j.cacheHit = res, err, hit
+	// Release the pinned snapshot and the progress closure: a terminal job
+	// can be retained indefinitely (relmaxd's job store keeps the last
+	// 1024), and under a mutation workload each one would otherwise pin a
+	// whole per-epoch graph clone. Kind/epoch/key stay for Status.
+	j.q.snap = nil
+	j.q.Progress = nil
 	switch {
 	case err == nil:
 		j.state = JobDone
@@ -354,6 +388,7 @@ func (j *Job) finish(res Result, hit bool, err error) {
 	j.finished = time.Now()
 	j.broadcastLocked()
 	j.mu.Unlock()
+	e.untrack(j)
 	close(j.done)
 	if j.cancel != nil {
 		j.cancel() // release the context's resources
@@ -380,30 +415,45 @@ type EngineStats struct {
 	// rejections); CompletedJobs/CancelledJobs/FailedJobs the terminal
 	// outcomes; RejectedJobs the ErrOverloaded fast-fails.
 	SubmittedJobs, CompletedJobs, CancelledJobs, FailedJobs, RejectedJobs uint64
+	// Epoch is the current graph epoch; Applies and MutationsApplied count
+	// the committed Engine.Apply batches and the individual mutations in
+	// them.
+	Epoch                     uint64
+	Applies, MutationsApplied uint64
 	// CacheHits/CacheMisses count result-cache lookups (zero when the
 	// cache is disabled); CacheLen/CacheCap its current and maximum size.
+	// CacheInvalidated counts stale-epoch entries reclaimed by the lazy
+	// invalidation sweep after mutations.
 	CacheHits, CacheMisses uint64
 	CacheLen, CacheCap     int
+	CacheInvalidated       uint64
+	// Closed reports that the engine was retired (Engine.Close).
+	Closed bool
 }
 
 // Stats returns the engine's current serving counters.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		QueuedJobs:    int(e.queuedJobs.Load()),
-		RunningJobs:   int(e.runningJobs.Load()),
-		MaxConcurrent: e.maxConcurrent,
-		QueueDepth:    e.queueDepth,
-		SubmittedJobs: e.submittedJobs.Load(),
-		CompletedJobs: e.completedJobs.Load(),
-		CancelledJobs: e.cancelledJobs.Load(),
-		FailedJobs:    e.failedJobs.Load(),
-		RejectedJobs:  e.rejectedJobs.Load(),
+		QueuedJobs:       int(e.queuedJobs.Load()),
+		RunningJobs:      int(e.runningJobs.Load()),
+		MaxConcurrent:    e.maxConcurrent,
+		QueueDepth:       e.queueDepth,
+		SubmittedJobs:    e.submittedJobs.Load(),
+		CompletedJobs:    e.completedJobs.Load(),
+		CancelledJobs:    e.cancelledJobs.Load(),
+		FailedJobs:       e.failedJobs.Load(),
+		RejectedJobs:     e.rejectedJobs.Load(),
+		Epoch:            e.Epoch(),
+		Applies:          e.applies.Load(),
+		MutationsApplied: e.mutationsApplied.Load(),
+		Closed:           e.closed.Load(),
 	}
 	if e.cache != nil {
 		st.CacheHits = e.cache.hits.Load()
 		st.CacheMisses = e.cache.misses.Load()
 		st.CacheLen = e.cache.len()
 		st.CacheCap = e.cache.cap
+		st.CacheInvalidated = e.cache.invalidated.Load()
 	}
 	return st
 }

@@ -1,0 +1,157 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBadMutation marks a mutation batch the engine rejected: adding an
+// edge that already exists, touching a missing edge, out-of-range
+// endpoints or probabilities outside [0, 1]. The batch is atomic — on any
+// bad mutation nothing is applied and the epoch does not advance.
+var ErrBadMutation = errors.New("invalid mutation")
+
+// ErrClosed reports an operation against a closed engine (one removed
+// from its Catalog, or Close()d directly). Submissions and mutations are
+// rejected; queries already in flight finish on their pinned snapshots.
+var ErrClosed = errors.New("engine closed")
+
+// MutationOp names one graph mutation kind.
+type MutationOp string
+
+// The mutation kinds accepted by Engine.Apply.
+const (
+	// MutAddEdge inserts edge (U, V) with probability P.
+	MutAddEdge MutationOp = "add-edge"
+	// MutSetProb re-estimates the existence probability of edge (U, V) to P.
+	MutSetProb MutationOp = "set-prob"
+	// MutRemoveEdge deletes edge (U, V).
+	MutRemoveEdge MutationOp = "remove-edge"
+)
+
+// Mutation is one edge-level change to an engine's graph; batches of them
+// are committed atomically by Engine.Apply. Construct with AddEdge,
+// SetProb and RemoveEdge.
+type Mutation struct {
+	// Op selects the mutation kind.
+	Op MutationOp
+	// U and V are the edge endpoints (orientation ignored on undirected
+	// graphs).
+	U, V NodeID
+	// P is the edge probability for add-edge and set-prob.
+	P float64
+}
+
+// AddEdge is the mutation inserting edge (u, v) with probability p.
+func AddEdge(u, v NodeID, p float64) Mutation {
+	return Mutation{Op: MutAddEdge, U: u, V: v, P: p}
+}
+
+// SetProb is the mutation re-estimating edge (u, v)'s probability to p.
+func SetProb(u, v NodeID, p float64) Mutation {
+	return Mutation{Op: MutSetProb, U: u, V: v, P: p}
+}
+
+// RemoveEdge is the mutation deleting edge (u, v).
+func RemoveEdge(u, v NodeID) Mutation {
+	return Mutation{Op: MutRemoveEdge, U: u, V: v}
+}
+
+// Apply atomically commits a batch of mutations and returns the new graph
+// epoch. The next epoch is built aside — clone, mutate, freeze — and
+// rotated in with one pointer swap, so queries and jobs that already
+// pinned the previous snapshot keep running on it unperturbed and return
+// results bit-identical to a never-mutated engine. Queries canonicalized
+// after Apply returns see the new epoch: their fingerprints change (the
+// epoch is part of Query.Key), so the result cache self-invalidates —
+// stale-epoch entries can no longer be hit and are evicted lazily.
+//
+// The batch is all-or-nothing: the first invalid mutation (duplicate add,
+// missing edge, bad probability — see ErrBadMutation) or a fired ctx
+// aborts the whole batch with the epoch unchanged. Mutations are applied
+// in order, so a batch may remove an edge it just added. Concurrent
+// Applies serialize. Cost: O(N + M) per batch for the clone and freeze —
+// what buys the wait-free read side — plus O(1) per add/set-prob and
+// O(N + M) per REMOVAL (dense edge-ID renumbering), so removal-heavy
+// batches on large graphs are O(removals · M); batch compaction is a
+// known follow-up if mutation rates ever rival query rates.
+func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.closed.Load() {
+		return 0, fmt.Errorf("repro: Apply: %w", ErrClosed)
+	}
+	cur := e.snap.Load()
+	if len(muts) == 0 {
+		return cur.csr.Epoch(), nil
+	}
+	g := cur.g.Clone()
+	for i, m := range muts {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", i, len(muts), err)
+		}
+		var err error
+		switch m.Op {
+		case MutAddEdge:
+			_, err = g.AddEdge(m.U, m.V, m.P)
+		case MutSetProb:
+			if eid, ok := g.EdgeID(m.U, m.V); ok {
+				err = g.SetProb(eid, m.P)
+			} else {
+				err = fmt.Errorf("no edge (%d,%d)", m.U, m.V)
+			}
+		case MutRemoveEdge:
+			err = g.RemoveEdge(m.U, m.V)
+		default:
+			err = fmt.Errorf("unknown op %q", m.Op)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
+				i, m.Op, m.U, m.V, err, ErrBadMutation)
+		}
+	}
+	next := &engineSnapshot{g: g, csr: g.Freeze()}
+	// Rotate the cache epoch BEFORE publishing the snapshot: a query that
+	// canonicalizes against the new snapshot and races its result into the
+	// cache must find the cache already on the new epoch, or the lazy trim
+	// would reclaim the fresh entry as stale. The reverse window — an
+	// old-epoch result put after the epoch rotates — is trimmed as stale,
+	// which is exactly what it is about to become.
+	if e.cache != nil {
+		e.cache.setEpoch(next.csr.Epoch())
+	}
+	e.snap.Store(next)
+	e.applies.Add(1)
+	e.mutationsApplied.Add(uint64(len(muts)))
+	return next.csr.Epoch(), nil
+}
+
+// Close retires the engine: new Submits and Applies fail with ErrClosed
+// and every non-terminal job is cancelled (cooperatively — they finish as
+// JobCancelled within one sample block). Synchronous queries already in
+// flight complete on their pinned snapshots. Close is idempotent; a
+// Catalog calls it when a dataset is removed.
+func (e *Engine) Close() {
+	e.applyMu.Lock()
+	already := e.closed.Swap(true)
+	e.applyMu.Unlock()
+	if already {
+		return
+	}
+	e.liveMu.Lock()
+	jobs := make([]*Job, 0, len(e.liveJobs))
+	for j := range e.liveJobs {
+		jobs = append(jobs, j)
+	}
+	e.liveMu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+}
+
+// Closed reports whether the engine has been Close()d.
+func (e *Engine) Closed() bool { return e.closed.Load() }

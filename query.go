@@ -68,7 +68,20 @@ type Query struct {
 	// never part of the fingerprint; note that a cache hit skips the
 	// computation entirely, so no progress events fire.
 	Progress ProgressFunc
+
+	// snap and epoch pin the graph snapshot the query runs on, set by
+	// Canonicalize. The epoch is part of the fingerprint (Key), so the
+	// same logical query resolves to distinct cache entries before and
+	// after a mutation; the snapshot pointer is what lets a job submitted
+	// before Engine.Apply keep computing on the graph it was submitted
+	// against.
+	snap  *engineSnapshot
+	epoch uint64
 }
+
+// Epoch returns the graph epoch a canonicalized query is pinned to (zero
+// on queries that have not passed through Engine.Canonicalize).
+func (q Query) Epoch() uint64 { return q.epoch }
 
 // Result is the union of the five query results; Kind tells which field is
 // populated.
@@ -89,13 +102,18 @@ type Result struct {
 // Canonicalize resolves q against the engine configuration into its
 // canonical form: Method and Aggregate defaults applied, Options fully
 // resolved (engine inheritance plus the paper defaults) and stripped to
-// the fields that can affect the answer of this Kind, node sets copied.
-// Two queries that would run the identical computation canonicalize to
-// Queries with equal Key() fingerprints — the property the result cache
-// and job deduplication rely on. Engine.Run and Engine.Submit canonicalize
-// internally; callers only need this to compute fingerprints themselves.
+// the fields that can affect the answer of this Kind, node sets copied,
+// and the engine's current graph snapshot pinned (Epoch). Two queries
+// that would run the identical computation on the same epoch canonicalize
+// to Queries with equal Key() fingerprints — the property the result
+// cache and job deduplication rely on; a mutation (Engine.Apply) advances
+// the epoch, so post-mutation queries fingerprint differently and never
+// hit pre-mutation cache entries. Engine.Run and Engine.Submit
+// canonicalize internally; callers only need this to compute fingerprints
+// themselves.
 func (e *Engine) Canonicalize(q Query) (Query, error) {
-	out := Query{Kind: q.Kind, Progress: q.Progress}
+	snap := e.snap.Load()
+	out := Query{Kind: q.Kind, Progress: q.Progress, snap: snap, epoch: snap.csr.Epoch()}
 	opt := e.options(q.Options)
 	opt.Scratch = nil
 	opt.Progress = nil
@@ -150,13 +168,16 @@ func (e *Engine) Canonicalize(q Query) (Query, error) {
 
 // Key returns the query's deterministic fingerprint: a hex-encoded
 // SHA-256 over a canonical binary encoding of every result-affecting
-// field. Progress callbacks and the scratch pool are excluded, and the
+// field, including the pinned graph epoch — the same query before and
+// after a mutation is two different computations and fingerprints as
+// such. Progress callbacks and the scratch pool are excluded, and the
 // worker count collapses to serial-vs-parallel (results are bit-identical
 // at any Workers >= 1, so w=2 and w=8 fingerprint identically). Call it on
 // a canonicalized Query for the canonical fingerprint; the engine's cache
 // and jobs do so automatically.
 func (q Query) Key() string {
 	h := sha256.New()
+	writeInts(h, int64(q.epoch))
 	writeString(h, string(q.Kind))
 	writeString(h, string(q.Method))
 	writeString(h, string(q.Aggregate))
@@ -253,14 +274,16 @@ func (e *Engine) runCanonical(ctx context.Context, cq Query) (Result, bool, erro
 	}
 	res, err := e.execute(ctx, cq)
 	if err == nil && e.cache != nil {
-		e.cache.put(key, res)
+		e.cache.put(key, cq.epoch, res)
 	}
 	return res, false, err
 }
 
-// execute dispatches a canonical query to the solver or estimator layers.
+// execute dispatches a canonical query to the solver or estimator layers,
+// running entirely on the snapshot the query pinned at canonicalization.
 func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 	res := Result{Kind: q.Kind}
+	snap := q.snap
 	opt := *q.Options
 	opt.Progress = q.Progress
 	if opt.Workers != 0 && opt.Sampler == e.scratch.Kind() {
@@ -268,7 +291,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 	}
 	switch q.Kind {
 	case QuerySolve:
-		sol, err := core.Solve(ctx, e.g, q.S, q.T, q.Method, opt)
+		sol, err := core.Solve(ctx, snap.g, q.S, q.T, q.Method, opt)
 		res.Solution = sol
 		if err == nil && sol.PathCount == 0 && (q.Method == MethodIP || q.Method == MethodBE) {
 			// The legacy free Solve returns an empty zero-gain Solution here;
@@ -278,18 +301,18 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		}
 		return res, err
 	case QueryMulti:
-		sol, err := core.SolveMulti(ctx, e.g, q.Sources, q.Targets, q.Aggregate, q.Method, opt)
+		sol, err := core.SolveMulti(ctx, snap.g, q.Sources, q.Targets, q.Aggregate, q.Method, opt)
 		res.Multi = sol
 		return res, err
 	case QueryTotalBudget:
-		sol, err := core.SolveTotalBudget(ctx, e.g, q.S, q.T, q.Budget, opt)
+		sol, err := core.SolveTotalBudget(ctx, snap.g, q.S, q.T, q.Budget, opt)
 		res.TotalBudget = sol
 		return res, err
 	case QueryEstimate:
-		if err := e.checkNode(q.S); err != nil {
+		if err := snap.checkNode(q.S); err != nil {
 			return res, err
 		}
-		if err := e.checkNode(q.T); err != nil {
+		if err := snap.checkNode(q.T); err != nil {
 			return res, err
 		}
 		smp, err := e.estimatorFor(ctx, opt)
@@ -298,9 +321,9 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		}
 		var rel float64
 		if cs, ok := smp.(sampling.CSRSampler); ok {
-			rel = cs.ReliabilityCSR(e.csr, q.S, q.T)
+			rel = cs.ReliabilityCSR(snap.csr, q.S, q.T)
 		} else {
-			rel = smp.Reliability(e.g, q.S, q.T)
+			rel = smp.Reliability(snap.g, q.S, q.T)
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("repro: estimate interrupted: %w", cerr)
@@ -308,7 +331,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		res.Reliability = rel
 		return res, nil
 	case QueryEstimateMany:
-		out, err := e.estimateMany(ctx, opt, q.Pairs)
+		out, err := e.estimateMany(ctx, snap, opt, q.Pairs)
 		res.Reliabilities = out
 		return res, err
 	}
@@ -320,12 +343,12 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 // warm pool — one undivided full-budget stream per query, keyed on the
 // query index, bit-identical at any scheduling (see
 // sampling.EstimateManySerial).
-func (e *Engine) estimateMany(ctx context.Context, opt Options, pairs []PairQuery) ([]float64, error) {
+func (e *Engine) estimateMany(ctx context.Context, snap *engineSnapshot, opt Options, pairs []PairQuery) ([]float64, error) {
 	for _, q := range pairs {
-		if err := e.checkNode(q.S); err != nil {
+		if err := snap.checkNode(q.S); err != nil {
 			return nil, err
 		}
-		if err := e.checkNode(q.T); err != nil {
+		if err := snap.checkNode(q.T); err != nil {
 			return nil, err
 		}
 	}
@@ -337,7 +360,7 @@ func (e *Engine) estimateMany(ctx context.Context, opt Options, pairs []PairQuer
 		if err != nil {
 			return nil, err
 		}
-		out := smp.(sampling.BatchSampler).EstimateMany(e.g, pairs)
+		out := smp.(sampling.BatchSampler).EstimateMany(snap.g, pairs)
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("repro: estimate batch interrupted: %w", cerr)
 		}
@@ -351,7 +374,7 @@ func (e *Engine) estimateMany(ctx context.Context, opt Options, pairs []PairQuer
 			return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
 		}
 	}
-	out := sampling.EstimateManySerial(ctx, ss, e.csr, pairs, opt.Z, opt.Seed, 0)
+	out := sampling.EstimateManySerial(ctx, ss, snap.csr, pairs, opt.Z, opt.Seed, 0)
 	if cerr := ctx.Err(); cerr != nil {
 		// Out-of-order scheduling means there is no meaningful completed
 		// prefix; discard the partial merge.

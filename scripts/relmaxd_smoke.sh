@@ -7,7 +7,13 @@
 #          the /v1 payload, resubmit and assert a recorded cache hit with a
 #          bit-identical result, stream the NDJSON events, and cancel a
 #          long-running job via DELETE;
-#   /metrics — assert the counters moved (requests, completions, cache hits);
+#   /v2/datasets — create a dataset at runtime, solve on it, mutate its
+#          graph (epoch bump), assert the re-run misses the cache but is
+#          deterministic on the new epoch, then close it (404 afterwards);
+#   /metrics — assert the counters moved (requests, completions, cache
+#          hits) and the per-dataset breakdown exists;
+# then restart with -queue-depth 1 -max-concurrent 1 and fire a submit
+# storm, asserting load shedding answers 503/ErrOverloaded end to end;
 # and finally check SIGINT triggers a clean graceful shutdown (exit 0).
 set -euo pipefail
 
@@ -101,11 +107,53 @@ FS=$(poll_job "$SLOW_ID")
 echo "$FS" | jq -e '.status == "cancelled" or .status == "done"' >/dev/null \
   || { echo "FAIL: cancel did not land"; echo "$FS"; exit 1; }
 
+echo "== v2 datasets: create -> solve -> mutate -> re-solve (cache miss) -> close"
+CREATED=$(curl -fsS -X POST -d '{"name":"demo","edge_list":"ugraph undirected 3 3\n0 1 0.9\n1 2 0.8\n0 2 0.05\n"}' "$BASE/v2/datasets")
+echo "$CREATED"
+echo "$CREATED" | jq -e '.name == "demo" and .n == 3 and .m == 3 and .epoch == 3' >/dev/null
+# Duplicate names are a 409 conflict.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"name":"demo","dataset":"lastfm"}' "$BASE/v2/datasets")
+[ "$CODE" = "409" ] || { echo "FAIL: duplicate dataset returned $CODE, want 409"; exit 1; }
+curl -fsS "$BASE/v2/datasets" | jq -e '.datasets | length == 2' >/dev/null
+
+DEMO_EST='{"dataset":"demo","pairs":[[0,2]]}'
+D1=$(curl -fsS -X POST -d "$DEMO_EST" "$BASE/v1/estimate")
+D2=$(curl -fsS -X POST -d "$DEMO_EST" "$BASE/v1/estimate")
+[ "$D1" = "$D2" ] || { echo "FAIL: demo estimates diverged"; exit 1; }
+HITS_BEFORE=$(curl -fsS "$BASE/metrics" | jq '.datasets.demo.cache.hits')
+[ "$HITS_BEFORE" -ge 1 ] || { echo "FAIL: demo repeat was not a cache hit"; exit 1; }
+
+# add-edge on an existing edge must fail the whole batch (atomicity) ...
+MUT=$(curl -sS -X POST -d '{"mutations":[{"op":"set-prob","u":1,"v":2,"p":0.01},{"op":"add-edge","u":0,"v":2,"p":0.5}]}' "$BASE/v2/datasets/demo/mutations")
+echo "$MUT" | grep -q "invalid mutation" || { echo "FAIL: duplicate add-edge accepted: $MUT"; exit 1; }
+curl -fsS "$BASE/healthz" | jq -e '.datasets.demo.epoch == 3' >/dev/null \
+  || { echo "FAIL: rejected batch advanced the epoch"; exit 1; }
+# ... while a valid batch advances the epoch.
+MUT=$(curl -fsS -X POST -d '{"mutations":[{"op":"set-prob","u":1,"v":2,"p":0.01},{"op":"remove-edge","u":0,"v":2}]}' "$BASE/v2/datasets/demo/mutations")
+echo "$MUT"
+echo "$MUT" | jq -e '.epoch == 5 and .applied == 2' >/dev/null
+curl -fsS "$BASE/healthz" | jq -e '.datasets.demo.epoch == 5 and .datasets.demo.m == 2' >/dev/null
+
+D3=$(curl -fsS -X POST -d "$DEMO_EST" "$BASE/v1/estimate")
+D4=$(curl -fsS -X POST -d "$DEMO_EST" "$BASE/v1/estimate")
+[ "$D3" = "$D4" ] || { echo "FAIL: post-mutation estimates diverged"; exit 1; }
+[ "$D1" != "$D3" ] || { echo "FAIL: estimate unchanged by mutation (removed the only alternative path)"; exit 1; }
+HITS_AFTER=$(curl -fsS "$BASE/metrics" | jq '.datasets.demo.cache.hits')
+[ "$HITS_AFTER" = "$((HITS_BEFORE + 1))" ] || { echo "FAIL: post-mutation re-run did not miss then hit (hits $HITS_BEFORE -> $HITS_AFTER)"; exit 1; }
+
+curl -fsS -X DELETE "$BASE/v2/datasets/demo" | jq -e '.closed == "demo"' >/dev/null
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$DEMO_EST" "$BASE/v1/estimate")
+[ "$CODE" = "404" ] || { echo "FAIL: closed dataset returned $CODE, want 404"; exit 1; }
+
 echo "== metrics"
 METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | jq '{total: .requests.total, cache_hits: .cache.hits, completed: .jobs.completed}'
 echo "$METRICS" | jq -e '.requests.total >= 6 and .cache.hits >= 1 and .jobs.completed >= 4' >/dev/null \
   || { echo "FAIL: metrics counters did not move"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | jq -e '.datasets.lastfm.requests >= 2 and .datasets.lastfm.epoch >= 1' >/dev/null \
+  || { echo "FAIL: per-dataset breakdown missing"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | jq -e '.datasets | has("demo") | not' >/dev/null \
+  || { echo "FAIL: closed dataset still in metrics"; exit 1; }
 
 echo "== error taxonomy over HTTP"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"s":0,"t":0}' "$BASE/v1/solve")
@@ -121,6 +169,50 @@ echo "== graceful shutdown on SIGINT"
 kill -INT "$PID"
 if ! wait "$PID"; then
   echo "FAIL: relmaxd exited non-zero on SIGINT"
+  exit 1
+fi
+
+echo "== overload: submit storm against -queue-depth 1 sheds with 503"
+OADDR="127.0.0.1:18081"
+OBASE="http://$OADDR"
+"$BIN" -addr "$OADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -cache 0 \
+  -max-concurrent 1 -queue-depth 1 &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$OBASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "FAIL: overload relmaxd died during startup"; exit 1; }
+  sleep 0.1
+done
+# Capacity is 1 running + 1 queued: a storm of 8 distinct long-running
+# submits must see at least one 503, and every response must be either an
+# admission (202) or a shed (503) — never a hang or a 5xx crash.
+STORM_DIR=$(mktemp -d)
+STORM_PIDS=()
+for i in $(seq 1 8); do
+  curl -s -o "$STORM_DIR/body.$i" -w '%{http_code}' -X POST \
+    -d "{\"kind\":\"estimate\",\"s\":0,\"t\":17,\"z\":1000000,\"seed\":$i}" \
+    "$OBASE/v2/jobs" > "$STORM_DIR/code.$i" &
+  STORM_PIDS+=("$!")
+done
+wait "${STORM_PIDS[@]}"
+SHED=0
+for i in $(seq 1 8); do
+  CODE=$(cat "$STORM_DIR/code.$i")
+  case "$CODE" in
+    202) ;;
+    503) SHED=$((SHED + 1))
+         grep -q "overloaded" "$STORM_DIR/body.$i" \
+           || { echo "FAIL: 503 body does not name ErrOverloaded"; cat "$STORM_DIR/body.$i"; exit 1; } ;;
+    *)   echo "FAIL: storm request $i returned $CODE"; cat "$STORM_DIR/body.$i"; exit 1 ;;
+  esac
+done
+[ "$SHED" -ge 1 ] || { echo "FAIL: no request was shed under the storm"; exit 1; }
+echo "storm: $SHED of 8 requests shed with 503"
+curl -fsS "$OBASE/metrics" | jq -e '.jobs.rejected >= 1' >/dev/null \
+  || { echo "FAIL: rejected counter did not move"; exit 1; }
+kill -INT "$PID"
+if ! wait "$PID"; then
+  echo "FAIL: overload relmaxd exited non-zero on SIGINT"
   exit 1
 fi
 trap - EXIT
