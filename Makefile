@@ -3,9 +3,9 @@
 
 GO ?= go
 BENCH_COUNT ?= 6
-BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval
+BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval|BenchmarkVectorMC
 
-.PHONY: build test race bench bench-smoke bench-baseline bench-compare fuzz-smoke smoke-relmaxd cover lint fmt ci
+.PHONY: build test race bench bench-smoke bench-baseline bench-compare bench-gate fuzz-smoke smoke-relmaxd cover lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -29,20 +29,39 @@ bench-smoke:
 
 # Record the perf baseline before a change: run the tracked benchmarks
 # BENCH_COUNT times into bench-baseline.txt (not committed; per-machine).
+# The run lands in a temp file first so an interrupted or failed run can't
+# silently truncate an existing baseline; the move is the commit point.
 bench-baseline:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -run '^$$' ./... | tee bench-baseline.txt
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -run '^$$' ./... | tee bench-baseline.txt.tmp
+	@mv bench-baseline.txt.tmp bench-baseline.txt
+	@echo "baseline recorded in bench-baseline.txt"
 
-# Compare the working tree against the recorded baseline with benchstat
-# (falls back to printing both files when benchstat is not installed).
+# Compare the working tree against the recorded baseline with benchstat.
+# benchstat is required: a comparison target that silently degrades to
+# dumping raw files lets perf regressions through, so missing benchstat is
+# a hard error with the install command spelled out.
 bench-compare:
 	@test -f bench-baseline.txt || { echo "no bench-baseline.txt; run 'make bench-baseline' on the old tree first"; exit 1; }
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "ERROR: benchstat not found in PATH."; \
+		echo "Install it with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+		exit 1; }
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -run '^$$' ./... | tee bench-new.txt
-	@if command -v benchstat >/dev/null 2>&1; then \
-		benchstat bench-baseline.txt bench-new.txt; \
-	else \
-		echo "--- benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
-		echo "--- raw results left in bench-baseline.txt / bench-new.txt"; \
-	fi
+	benchstat bench-baseline.txt bench-new.txt
+
+# Machine gate over the bench-baseline/bench-compare pair: fail on >10%
+# median regressions, require parallel speedup (w4 beats w1 for both the
+# scalar and vector parallel samplers), and emit the BENCH_mcvec.json
+# speedup artifact plus a markdown summary (bench-summary.md; CI appends
+# it to the job summary).
+bench-gate:
+	@test -f bench-baseline.txt || { echo "no bench-baseline.txt; run 'make bench-baseline' on the old tree first"; exit 1; }
+	@test -f bench-new.txt || { echo "no bench-new.txt; run 'make bench-compare' first"; exit 1; }
+	$(GO) run ./cmd/benchgate \
+		-old bench-baseline.txt -new bench-new.txt -threshold 0.10 \
+		-faster 'BenchmarkParallelReliability/mc/w4<BenchmarkParallelReliability/mc/w1' \
+		-faster 'BenchmarkParallelReliability/mcvec/w4<BenchmarkParallelReliability/mcvec/w1' \
+		-speedup-json BENCH_mcvec.json -markdown bench-summary.md
 
 # End-to-end serving smoke: build cmd/relmaxd, start it on a tiny dataset,
 # issue one Solve and one EstimateMany over real HTTP, assert 200s and
@@ -55,6 +74,7 @@ smoke-relmaxd:
 fuzz-smoke:
 	$(GO) test ./internal/ugraph -run '^$$' -fuzz '^FuzzEdgeListRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/ugraph -run '^$$' -fuzz '^FuzzFreezeConsistency$$' -fuzztime 10s
+	$(GO) test ./internal/sampling -run '^$$' -fuzz '^FuzzMCVecScalarReplay$$' -fuzztime 10s
 
 # Coverage with a ratchet: fail if total coverage drops below the recorded
 # baseline (.github/coverage-baseline.txt). Raise the baseline when a PR

@@ -210,13 +210,16 @@ func benchReliability(b *testing.B, smp Sampler) {
 // serial; on a single core they measure the fan-out overhead instead.
 func BenchmarkParallelReliability(b *testing.B) {
 	const z = 4000
-	for _, kind := range []string{"mc", "rss"} {
+	for _, kind := range []string{"mc", "rss", "mcvec"} {
 		b.Run(kind+"/serial", func(b *testing.B) {
 			var smp Sampler
-			if kind == "mc" {
+			switch kind {
+			case "mc":
 				smp = NewMonteCarloSampler(z, 1)
-			} else {
+			case "rss":
 				smp = NewRSSSampler(z, 1)
+			default:
+				smp = NewMCVecSampler(z, 1)
 			}
 			benchReliability(b, smp)
 		})

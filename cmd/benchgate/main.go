@@ -1,0 +1,364 @@
+// Command benchgate turns raw `go test -bench` output into a CI verdict.
+// It parses one or two benchmark result files (as written by the Makefile's
+// bench-baseline / bench-compare targets), reduces the -count repetitions
+// of each benchmark to medians, and then:
+//
+//   - fails when any benchmark in -new regressed more than -threshold
+//     against the same benchmark in -old (the benchstat table is for
+//     humans; this check is the machine gate),
+//   - fails when a -faster assertion "A<B" does not hold on -new medians
+//     (used to prove parallel speedup, e.g. w4 < w1 wall-clock),
+//   - writes a machine-readable speedup artifact (-speedup-json) mapping
+//     every vector-MC benchmark to its ns/op, allocs/op and speedup over
+//     the scalar twin (the same benchmark name with the "mcvec" path
+//     segment replaced by "mc"),
+//   - renders a markdown summary (-markdown) suitable for
+//     $GITHUB_STEP_SUMMARY.
+//
+// Exit status: 0 when all gates pass, 1 on a regression or failed
+// assertion, 2 on usage or parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result accumulates the repeated runs (-count N) of one benchmark.
+type result struct {
+	nsOp     []float64
+	allocsOp []float64
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkVectorMC/from/mcvec/n256-4   160   1546624 ns/op   2048 B/op   1 allocs/op
+//
+// The trailing -4 is GOMAXPROCS, not part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench reads `go test -bench` output, keyed by benchmark name with
+// the GOMAXPROCS suffix stripped, accumulating one entry per run.
+func parseBench(r io.Reader) (map[string]*result, error) {
+	out := make(map[string]*result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := out[m[1]]
+		if res == nil {
+			res = &result{}
+			out[m[1]] = res
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", m[1], fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsOp = append(res.nsOp, v)
+			case "allocs/op":
+				res.allocsOp = append(res.allocsOp, v)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// median reduces a benchmark's repeated runs to a robust central value.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// delta is one benchmark's old-vs-new comparison.
+type delta struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	ratio    float64 // newNs/oldNs - 1; positive means slower
+	regessed bool
+}
+
+// compare pairs the benchmarks present in both files and flags every one
+// whose median slowed down by more than threshold. Benchmarks present in
+// only one file (added or removed by the change) are skipped: the gate
+// judges regressions, not coverage.
+func compare(old, new map[string]*result, threshold float64) []delta {
+	var out []delta
+	for name, n := range new {
+		o, ok := old[name]
+		if !ok {
+			continue
+		}
+		om, nm := median(o.nsOp), median(n.nsOp)
+		if math.IsNaN(om) || math.IsNaN(nm) || om == 0 {
+			continue
+		}
+		r := nm/om - 1
+		out = append(out, delta{name: name, oldNs: om, newNs: nm, ratio: r, regessed: r > threshold})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// fasterAssert is a parsed "A<B" assertion on new-file medians.
+type fasterAssert struct {
+	faster, slower string
+}
+
+func parseFaster(spec string) (fasterAssert, error) {
+	parts := strings.Split(spec, "<")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fasterAssert{}, fmt.Errorf("bad -faster spec %q: want A<B", spec)
+	}
+	return fasterAssert{faster: strings.TrimSpace(parts[0]), slower: strings.TrimSpace(parts[1])}, nil
+}
+
+// checkFaster returns an error when the assertion's left benchmark is not
+// strictly faster (lower median ns/op) than its right one.
+func checkFaster(results map[string]*result, a fasterAssert) error {
+	fr, ok := results[a.faster]
+	if !ok {
+		return fmt.Errorf("faster assertion: benchmark %q not found", a.faster)
+	}
+	sr, ok := results[a.slower]
+	if !ok {
+		return fmt.Errorf("faster assertion: benchmark %q not found", a.slower)
+	}
+	fm, sm := median(fr.nsOp), median(sr.nsOp)
+	if !(fm < sm) {
+		return fmt.Errorf("faster assertion failed: %s (%.0f ns/op) not faster than %s (%.0f ns/op)", a.faster, fm, a.slower, sm)
+	}
+	return nil
+}
+
+// speedup is one vector benchmark's comparison against its scalar twin.
+type speedup struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	Scalar          string  `json:"scalar"`
+	ScalarNsPerOp   float64 `json:"scalar_ns_per_op"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+}
+
+// scalarTwin maps a vector benchmark name to its scalar counterpart by
+// replacing the exact "mcvec" path segment with "mc"; empty when the name
+// has no such segment.
+func scalarTwin(name string) string {
+	segs := strings.Split(name, "/")
+	hit := false
+	for i, s := range segs {
+		if s == "mcvec" {
+			segs[i] = "mc"
+			hit = true
+		}
+	}
+	if !hit {
+		return ""
+	}
+	return strings.Join(segs, "/")
+}
+
+// buildSpeedups extracts every mcvec benchmark that has a scalar twin in
+// the same result set, sorted by name for a stable artifact.
+func buildSpeedups(results map[string]*result) []speedup {
+	var out []speedup
+	for name, res := range results {
+		twin := scalarTwin(name)
+		if twin == "" {
+			continue
+		}
+		tr, ok := results[twin]
+		if !ok {
+			continue
+		}
+		vm, sm := median(res.nsOp), median(tr.nsOp)
+		if math.IsNaN(vm) || math.IsNaN(sm) || vm == 0 {
+			continue
+		}
+		out = append(out, speedup{
+			Name:            name,
+			NsPerOp:         vm,
+			AllocsPerOp:     median(res.allocsOp),
+			Scalar:          twin,
+			ScalarNsPerOp:   sm,
+			SpeedupVsScalar: sm / vm,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// renderMarkdown formats the gate verdict, the regression table and the
+// speedup table for a CI job summary.
+func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, fasterErrs []string, threshold float64) {
+	failed := len(fasterErrs)
+	for _, d := range deltas {
+		if d.regessed {
+			failed++
+		}
+	}
+	if failed == 0 {
+		fmt.Fprintf(w, "## Bench gate: PASS\n\n")
+	} else {
+		fmt.Fprintf(w, "## Bench gate: FAIL (%d check(s))\n\n", failed)
+	}
+	for _, e := range fasterErrs {
+		fmt.Fprintf(w, "- ❌ %s\n", e)
+	}
+	if len(deltas) > 0 {
+		fmt.Fprintf(w, "\n| benchmark | old ns/op | new ns/op | delta | gate (>%.0f%%) |\n|---|---:|---:|---:|---|\n", threshold*100)
+		for _, d := range deltas {
+			verdict := "ok"
+			if d.regessed {
+				verdict = "REGRESSED"
+			}
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | %s |\n", d.name, d.oldNs, d.newNs, d.ratio*100, verdict)
+		}
+	}
+	if len(speedups) > 0 {
+		fmt.Fprintf(w, "\n| vector benchmark | ns/op | allocs/op | scalar ns/op | speedup |\n|---|---:|---:|---:|---:|\n")
+		for _, s := range speedups {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2fx |\n", s.Name, s.NsPerOp, s.AllocsPerOp, s.ScalarNsPerOp, s.SpeedupVsScalar)
+		}
+	}
+}
+
+// multiFlag collects repeated -faster flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline bench output (optional; enables the regression gate)")
+	newPath := fs.String("new", "", "bench output under test (required)")
+	threshold := fs.Float64("threshold", 0.10, "fail when a benchmark's median ns/op regresses by more than this fraction")
+	jsonPath := fs.String("speedup-json", "", "write the mcvec-vs-mc speedup artifact to this path")
+	mdPath := fs.String("markdown", "", "write a markdown summary to this path ('-' for stdout)")
+	var fasters multiFlag
+	fs.Var(&fasters, "faster", "assert benchmark A is faster than B on the new results, as 'A<B' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *newPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -new is required")
+		return 2
+	}
+	load := func(path string) (map[string]*result, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	if len(newRes) == 0 {
+		fmt.Fprintf(stderr, "benchgate: no benchmark results in %s\n", *newPath)
+		return 2
+	}
+
+	var deltas []delta
+	if *oldPath != "" {
+		oldRes, err := load(*oldPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		deltas = compare(oldRes, newRes, *threshold)
+	}
+
+	var fasterErrs []string
+	for _, spec := range fasters {
+		a, err := parseFaster(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		if err := checkFaster(newRes, a); err != nil {
+			fasterErrs = append(fasterErrs, err.Error())
+		}
+	}
+
+	speedups := buildSpeedups(newRes)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(struct {
+			Benchmarks []speedup `json:"benchmarks"`
+		}{speedups}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: writing %s: %v\n", *jsonPath, err)
+			return 2
+		}
+	}
+
+	if *mdPath != "" {
+		out := stdout
+		if *mdPath != "-" {
+			f, err := os.Create(*mdPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchgate: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		renderMarkdown(out, deltas, speedups, fasterErrs, *threshold)
+	}
+
+	failed := false
+	for _, d := range deltas {
+		if d.regessed {
+			failed = true
+			fmt.Fprintf(stderr, "benchgate: %s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)\n",
+				d.name, d.ratio*100, d.oldNs, d.newNs, *threshold*100)
+		}
+	}
+	for _, e := range fasterErrs {
+		failed = true
+		fmt.Fprintf(stderr, "benchgate: %s\n", e)
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: %d benchmark(s) checked, %d compared against baseline, %d faster assertion(s), all within gates\n",
+		len(newRes), len(deltas), len(fasters))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

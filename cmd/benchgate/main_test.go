@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: repro/internal/sampling
+BenchmarkVectorMC/st/mc/n256-4      	    1000	    100000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVectorMC/st/mc/n256-4      	    1000	    102000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVectorMC/st/mc/n256-4      	    1000	     98000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVectorMC/st/mcvec/n256-4   	    5000	     20000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelReliability/mc/w1-4	     100	   4000000 ns/op
+BenchmarkParallelReliability/mc/w4-4	     400	   1500000 ns/op
+PASS
+`
+
+const sampleNew = `goos: linux
+BenchmarkVectorMC/st/mc/n256-8      	    1000	    101000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVectorMC/st/mcvec/n256-8   	    5000	     19000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelReliability/mc/w1-8	     100	   4100000 ns/op
+BenchmarkParallelReliability/mc/w4-8	     400	   1400000 ns/op
+PASS
+`
+
+func parse(t *testing.T, s string) map[string]*result {
+	t.Helper()
+	res, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseBenchStripsGOMAXPROCSAndAggregatesRuns(t *testing.T) {
+	res := parse(t, sampleOld)
+	r, ok := res["BenchmarkVectorMC/st/mc/n256"]
+	if !ok {
+		t.Fatalf("missing benchmark after suffix strip; have %v", keys(res))
+	}
+	if len(r.nsOp) != 3 {
+		t.Fatalf("want 3 runs aggregated, got %d", len(r.nsOp))
+	}
+	if m := median(r.nsOp); m != 100000 {
+		t.Fatalf("median = %v, want 100000", m)
+	}
+	if a := median(r.allocsOp); a != 0 {
+		t.Fatalf("allocs median = %v, want 0", a)
+	}
+}
+
+func keys(m map[string]*result) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); !math.IsNaN(m) {
+		t.Fatalf("empty median = %v, want NaN", m)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := parse(t, "BenchmarkA-4 100 1000 ns/op\nBenchmarkB-4 100 1000 ns/op\nBenchmarkGone-4 1 5 ns/op\n")
+	new := parse(t, "BenchmarkA-4 100 1050 ns/op\nBenchmarkB-4 100 1200 ns/op\nBenchmarkAdded-4 1 5 ns/op\n")
+	ds := compare(old, new, 0.10)
+	if len(ds) != 2 {
+		t.Fatalf("want 2 paired benchmarks, got %d: %+v", len(ds), ds)
+	}
+	// Sorted by name: A then B.
+	if ds[0].name != "BenchmarkA" || ds[0].regessed {
+		t.Fatalf("A (+5%%) must pass: %+v", ds[0])
+	}
+	if ds[1].name != "BenchmarkB" || !ds[1].regessed {
+		t.Fatalf("B (+20%%) must fail: %+v", ds[1])
+	}
+}
+
+func TestParseFaster(t *testing.T) {
+	a, err := parseFaster("X<Y")
+	if err != nil || a.faster != "X" || a.slower != "Y" {
+		t.Fatalf("parseFaster: %+v, %v", a, err)
+	}
+	for _, bad := range []string{"", "X", "X<", "<Y", "X<Y<Z"} {
+		if _, err := parseFaster(bad); err == nil {
+			t.Fatalf("parseFaster(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckFaster(t *testing.T) {
+	res := parse(t, sampleOld)
+	ok := fasterAssert{faster: "BenchmarkParallelReliability/mc/w4", slower: "BenchmarkParallelReliability/mc/w1"}
+	if err := checkFaster(res, ok); err != nil {
+		t.Fatalf("w4<w1 must hold: %v", err)
+	}
+	bad := fasterAssert{faster: ok.slower, slower: ok.faster}
+	if err := checkFaster(res, bad); err == nil {
+		t.Fatal("w1<w4 must fail")
+	}
+	missing := fasterAssert{faster: "BenchmarkNope", slower: ok.slower}
+	if err := checkFaster(res, missing); err == nil {
+		t.Fatal("missing benchmark must fail")
+	}
+}
+
+func TestScalarTwin(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkVectorMC/from/mcvec/n256":        "BenchmarkVectorMC/from/mc/n256",
+		"BenchmarkCSRvsLegacy/mcvec/csr/n2048":     "BenchmarkCSRvsLegacy/mc/csr/n2048",
+		"BenchmarkParallelReliability/mcvec/w4":    "BenchmarkParallelReliability/mc/w4",
+		"BenchmarkVectorMC/from/mc/n256":           "", // already scalar
+		"BenchmarkFreeze/n256":                     "",
+		"BenchmarkSomething/mcvectors/odd-segment": "", // substring must not match
+	}
+	for in, want := range cases {
+		if got := scalarTwin(in); got != want {
+			t.Errorf("scalarTwin(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildSpeedups(t *testing.T) {
+	res := parse(t, sampleOld)
+	sp := buildSpeedups(res)
+	if len(sp) != 1 {
+		t.Fatalf("want 1 speedup entry, got %+v", sp)
+	}
+	s := sp[0]
+	if s.Name != "BenchmarkVectorMC/st/mcvec/n256" || s.Scalar != "BenchmarkVectorMC/st/mc/n256" {
+		t.Fatalf("wrong pairing: %+v", s)
+	}
+	if want := 100000.0 / 20000.0; s.SpeedupVsScalar != want {
+		t.Fatalf("speedup = %v, want %v", s.SpeedupVsScalar, want)
+	}
+	if s.AllocsPerOp != 0 {
+		t.Fatalf("allocs = %v, want 0", s.AllocsPerOp)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	old, new := parse(t, sampleOld), parse(t, sampleNew)
+	ds := compare(old, new, 0.10)
+	sp := buildSpeedups(new)
+	var buf bytes.Buffer
+	renderMarkdown(&buf, ds, sp, nil, 0.10)
+	out := buf.String()
+	for _, want := range []string{"Bench gate: PASS", "BenchmarkVectorMC/st/mc/n256", "speedup", "| ok |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	renderMarkdown(&buf, ds, sp, []string{"boom"}, 0.10)
+	if out := buf.String(); !strings.Contains(out, "FAIL") || !strings.Contains(out, "boom") {
+		t.Errorf("failing markdown wrong:\n%s", out)
+	}
+}
+
+// TestRunEndToEnd drives the full CLI path: gate pass with artifact and
+// summary, then a forced regression and a forced faster-assertion failure.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	jsonPath := filepath.Join(dir, "BENCH_mcvec.json")
+	mdPath := filepath.Join(dir, "summary.md")
+	if err := os.WriteFile(oldPath, []byte(sampleOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(sampleNew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-old", oldPath, "-new", newPath,
+		"-faster", "BenchmarkParallelReliability/mc/w4<BenchmarkParallelReliability/mc/w1",
+		"-speedup-json", jsonPath, "-markdown", mdPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Benchmarks []speedup `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &artifact); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(artifact.Benchmarks) != 1 || artifact.Benchmarks[0].SpeedupVsScalar < 5 {
+		t.Fatalf("artifact content wrong: %+v", artifact.Benchmarks)
+	}
+	if md, err := os.ReadFile(mdPath); err != nil || !strings.Contains(string(md), "Bench gate: PASS") {
+		t.Fatalf("summary wrong (%v):\n%s", err, md)
+	}
+
+	// Regression: threshold 0 makes the +1% drift on st/mc fail.
+	stderr.Reset()
+	if code := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "0"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regression run = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regressed") {
+		t.Fatalf("missing regression diagnostic: %s", stderr.String())
+	}
+
+	// Inverted assertion must fail even without a baseline.
+	stderr.Reset()
+	if code := run([]string{"-new", newPath, "-faster", "BenchmarkParallelReliability/mc/w1<BenchmarkParallelReliability/mc/w4"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("inverted faster run = %d, want 1", code)
+	}
+
+	// Usage errors exit 2.
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -new run = %d, want 2", code)
+	}
+	if code := run([]string{"-new", filepath.Join(dir, "absent.txt")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("absent file run = %d, want 2", code)
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, []byte("PASS\n"), 0o644)
+	if code := run([]string{"-new", empty}, &stdout, &stderr); code != 2 {
+		t.Fatalf("empty file run = %d, want 2", code)
+	}
+	if code := run([]string{"-new", newPath, "-faster", "no-angle"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad faster spec run = %d, want 2", code)
+	}
+}

@@ -50,7 +50,7 @@ func main() {
 		l         = flag.Int("l", 30, "number of most reliable paths")
 		h         = flag.Int("h", 0, "hop constraint for new edges (0 = unbounded)")
 		z         = flag.Int("z", 500, "reliability samples")
-		sampler   = flag.String("sampler", "rss", "reliability estimator: mc, rss or lazy")
+		sampler   = flag.String("sampler", "rss", "reliability estimator: mc, rss, lazy or mcvec (word-parallel MC)")
 		method    = flag.String("method", "be", "solver: "+methodList())
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "sampling worker pool size (0 = serial, -1 = all CPUs)")

@@ -194,7 +194,7 @@ func NewEngine(g *Graph, opts ...EngineOption) (*Engine, error) {
 	}
 	scratch, err := sampling.NewSharedScratch(e.opt.Sampler)
 	if err != nil {
-		return nil, fmt.Errorf("repro: NewEngine: sampler %q (want mc, rss or lazy): %w", e.opt.Sampler, ErrUnknownSampler)
+		return nil, fmt.Errorf("repro: NewEngine: sampler %q (want mc, rss, lazy or mcvec): %w", e.opt.Sampler, ErrUnknownSampler)
 	}
 	e.scratch = scratch
 	if e.maxConcurrent <= 0 {

@@ -74,7 +74,8 @@ type Options struct {
 	H int
 	// Z is the sample size for reliability estimation (default 500).
 	Z int
-	// Sampler chooses the estimator: "mc" or "rss" (default "rss").
+	// Sampler chooses the estimator: "mc", "rss", "lazy" or "mcvec" (the
+	// word-parallel 64-lane MC; default "rss").
 	Sampler string
 	// Seed drives all randomness (default 1).
 	Seed int64
@@ -165,7 +166,7 @@ func (o Options) NewSampler(ctx context.Context, stream int64) (sampling.Sampler
 		} else {
 			ps, err := sampling.NewParallel(o.Sampler, o.Z, seed, o.Workers)
 			if err != nil {
-				return nil, fmt.Errorf("core: sampler %q (want mc, rss or lazy): %w", o.Sampler, ErrUnknownSampler)
+				return nil, fmt.Errorf("core: sampler %q (want mc, rss, lazy or mcvec): %w", o.Sampler, ErrUnknownSampler)
 			}
 			smp = ps
 		}
@@ -177,8 +178,10 @@ func (o Options) NewSampler(ctx context.Context, stream int64) (sampling.Sampler
 			smp = sampling.NewRSS(o.Z, seed)
 		case "lazy":
 			smp = sampling.NewLazy(o.Z, seed)
+		case "mcvec":
+			smp = sampling.NewMCVec(o.Z, seed)
 		default:
-			return nil, fmt.Errorf("core: sampler %q (want mc, rss or lazy): %w", o.Sampler, ErrUnknownSampler)
+			return nil, fmt.Errorf("core: sampler %q (want mc, rss, lazy or mcvec): %w", o.Sampler, ErrUnknownSampler)
 		}
 	}
 	smp.SetContext(ctx)

@@ -1,6 +1,9 @@
 package rng
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestNewDeterministic(t *testing.T) {
 	a, b := New(42), New(42)
@@ -67,5 +70,63 @@ func TestPerm(t *testing.T) {
 			t.Fatalf("bad permutation %v", p)
 		}
 		seen[v] = true
+	}
+}
+
+func TestBernoulliMaskEdges(t *testing.T) {
+	r := NewMask64(4)
+	for i := 0; i < 100; i++ {
+		if m := BernoulliMask(&r, 0); m != 0 {
+			t.Fatalf("BernoulliMask(0) = %#x, want 0", m)
+		}
+		if m := BernoulliMask(&r, 1); m != ^uint64(0) {
+			t.Fatalf("BernoulliMask(1) = %#x, want all ones", m)
+		}
+		if m := BernoulliMask(&r, -0.5); m != 0 {
+			t.Fatalf("BernoulliMask(-0.5) = %#x, want 0", m)
+		}
+		if m := BernoulliMask(&r, 1.5); m != ^uint64(0) {
+			t.Fatalf("BernoulliMask(1.5) = %#x, want all ones", m)
+		}
+	}
+}
+
+// TestBernoulliMaskRate checks every one of the 64 lanes independently:
+// each bit position must fire at rate p, so a lane-coupling bug (a digit
+// word reused across positions, an off-by-one in the undecided mask)
+// cannot hide in an aggregate count.
+func TestBernoulliMaskRate(t *testing.T) {
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.75, 1.0 / 3.0} {
+		r := NewMask64(5)
+		const trials = 8000
+		var perLane [64]int
+		for i := 0; i < trials; i++ {
+			m := BernoulliMask(&r, p)
+			for lane := 0; lane < 64; lane++ {
+				if m&(1<<lane) != 0 {
+					perLane[lane]++
+				}
+			}
+		}
+		// 5-sigma binomial bound per lane; with 64 lanes x 5 ps the
+		// false-failure probability stays ~1e-5.
+		tol := 5 * math.Sqrt(p*(1-p)/trials)
+		for lane, hits := range perLane {
+			rate := float64(hits) / trials
+			if rate < p-tol || rate > p+tol {
+				t.Errorf("p=%v lane %d: empirical rate %v outside %v ± %v", p, lane, rate, p, tol)
+			}
+		}
+	}
+}
+
+// TestBernoulliMaskDeterministic pins the stream: same seed, same masks.
+func TestBernoulliMaskDeterministic(t *testing.T) {
+	a, b := NewMask64(6), NewMask64(6)
+	for i := 0; i < 200; i++ {
+		p := float64(i%97) / 97
+		if ma, mb := BernoulliMask(&a, p), BernoulliMask(&b, p); ma != mb {
+			t.Fatalf("iteration %d: masks diverged %#x vs %#x", i, ma, mb)
+		}
 	}
 }

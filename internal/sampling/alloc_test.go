@@ -54,6 +54,9 @@ func TestReliabilityZeroAllocs(t *testing.T) {
 		mc := NewMonteCarlo(64, 3)
 		rs := NewRSS(64, 3)
 		lz := NewLazy(64, 3)
+		// z=130 spans two full lane blocks plus a tail mask, so the vector
+		// loop's block iteration and partial-lane path are both measured.
+		vec := NewMCVec(130, 3)
 		suffix := "/undirected"
 		if directed {
 			suffix = "/directed"
@@ -70,6 +73,20 @@ func TestReliabilityZeroAllocs(t *testing.T) {
 			lz.Reseed(3)
 			lz.Reliability(g, s, tt)
 		})
+		assertZeroAllocs(t, "mcvec"+suffix, func() {
+			vec.Reseed(3)
+			vec.Reliability(g, s, tt)
+		})
+		// The backward orientation returns a fresh counts vector (inherent
+		// to the API); the vector loop behind it must add nothing.
+		c := g.Freeze()
+		vec.ReliabilityToCSR(c, tt) // warm-up
+		if allocs := testing.AllocsPerRun(10, func() {
+			vec.Reseed(3)
+			vec.ReliabilityToCSR(c, tt)
+		}); allocs > 1 {
+			t.Errorf("mcvec/to%s: %v allocs per call, want <= 1 (the result slice)", suffix, allocs)
+		}
 	}
 }
 
@@ -88,6 +105,11 @@ func TestOverlayReliabilityZeroAllocs(t *testing.T) {
 	assertZeroAllocs(t, "rss/overlay", func() {
 		rs.Reseed(3)
 		rs.ReliabilityCSR(overlay, s, tt)
+	})
+	vec := NewMCVec(130, 3)
+	assertZeroAllocs(t, "mcvec/overlay", func() {
+		vec.Reseed(3)
+		vec.ReliabilityCSR(overlay, s, tt)
 	})
 }
 

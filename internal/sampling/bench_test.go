@@ -61,6 +61,17 @@ func BenchmarkCSRvsLegacy(b *testing.B) {
 				sinkFloat = smp.Reliability(g, s, t)
 			}
 		})
+		b.Run(fmt.Sprintf("mcvec/csr/n%d", n), func(b *testing.B) {
+			// Same budget as mc/csr: the per-op ratio between the two is
+			// the word-parallel speedup benchgate reports.
+			smp := NewMCVec(z, 1)
+			smp.Reliability(g, s, t)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = smp.Reliability(g, s, t)
+			}
+		})
 		b.Run(fmt.Sprintf("rss/csr/n%d", n), func(b *testing.B) {
 			smp := NewRSS(z, 1)
 			smp.Reliability(g, s, t)
@@ -79,6 +90,47 @@ func BenchmarkCSRvsLegacy(b *testing.B) {
 				sinkFloat = smp.Reliability(g, s, t)
 			}
 		})
+	}
+}
+
+// BenchmarkVectorMC is the scalar-vs-vector differential the bench gate
+// tracks: identical budgets, lane-aligned (z = 8 blocks) so neither side
+// pays a partial block. The from/* pairs run the full-closure estimators,
+// where word parallelism is undiluted (~10x); the st/* pairs keep the
+// early-exit s-t query, where the scalar walker stops per world but the
+// vector must run until every straggler lane resolves.
+func BenchmarkVectorMC(b *testing.B) {
+	const z = 8 * laneBlock
+	for _, n := range []int{256, 2048} {
+		g := benchGraph(n, false)
+		c := g.Freeze()
+		s, t := ugraph.NodeID(0), ugraph.NodeID(n-1)
+		for _, kind := range []string{"mc", "mcvec"} {
+			newSmp := func() CSRSampler {
+				if kind == "mc" {
+					return NewMonteCarlo(z, 1)
+				}
+				return NewMCVec(z, 1)
+			}
+			b.Run(fmt.Sprintf("st/%s/n%d", kind, n), func(b *testing.B) {
+				smp := newSmp()
+				smp.ReliabilityCSR(c, s, t)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sinkFloat = smp.ReliabilityCSR(c, s, t)
+				}
+			})
+			b.Run(fmt.Sprintf("from/%s/n%d", kind, n), func(b *testing.B) {
+				smp := newSmp()
+				smp.ReliabilityFromCSR(c, s)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					smp.ReliabilityFromCSR(c, s)
+				}
+			})
+		}
 	}
 }
 

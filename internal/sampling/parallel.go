@@ -38,6 +38,10 @@ type ParallelSampler struct {
 	factory Factory
 	workers int
 	shards  int
+	// quantum is the underlying estimator's preferred budget granularity
+	// (64 for mcvec's lane blocks, 1 for the scalar kinds): shard budgets
+	// are multiples of it except the last, which absorbs the tail.
+	quantum int
 	seed    atomic.Int64
 	z       atomic.Int64
 	call    atomic.Int64
@@ -49,8 +53,8 @@ type ParallelSampler struct {
 	canceller
 }
 
-// factoryFor maps an estimator kind ("mc", "rss" or "lazy") to its serial
-// factory.
+// factoryFor maps an estimator kind ("mc", "rss", "lazy" or "mcvec") to
+// its serial factory.
 func factoryFor(kind string) (Factory, error) {
 	switch kind {
 	case "mc":
@@ -59,23 +63,44 @@ func factoryFor(kind string) (Factory, error) {
 		return func(z int, seed int64) Sampler { return NewRSS(z, seed) }, nil
 	case "lazy":
 		return func(z int, seed int64) Sampler { return NewLazy(z, seed) }, nil
+	case "mcvec":
+		return func(z int, seed int64) Sampler { return NewMCVec(z, seed) }, nil
 	default:
-		return nil, fmt.Errorf("sampling: unknown sampler %q (want mc, rss or lazy)", kind)
+		return nil, fmt.Errorf("sampling: unknown sampler %q (want mc, rss, lazy or mcvec)", kind)
 	}
 }
 
-// KnownKind reports whether kind names a built-in estimator ("mc", "rss"
-// or "lazy") — the validation the Engine's query canonicalization uses to
-// reject unknown sampler overrides before any work is queued.
+// KnownKind reports whether kind names a built-in estimator ("mc", "rss",
+// "lazy" or "mcvec") — the validation the Engine's query canonicalization
+// uses to reject unknown sampler overrides before any work is queued.
 func KnownKind(kind string) bool {
 	_, err := factoryFor(kind)
 	return err == nil
 }
 
-// NewSerial constructs a serial sampler of the named kind ("mc", "rss" or
-// "lazy") — the single-goroutine counterpart of NewParallel. On error the
-// returned interface is nil (never a typed-nil concrete pointer), so
-// `smp == nil` is a valid failure check.
+// budgetQuantizer is implemented by estimators whose work comes in fixed
+// sample-count blocks (MCVec's 64 lane worlds): ParallelSampler aligns
+// shard budgets to the quantum so interior shards run whole blocks and only
+// the final shard carries the z % quantum tail.
+type budgetQuantizer interface {
+	budgetQuantum() int
+}
+
+// quantumOf probes a factory for the estimator's budget quantum (1 for the
+// scalar samplers). The probe sampler is returned to the caller for pool
+// seeding so the construction-time allocation is not wasted.
+func quantumOf(factory Factory) (int, Sampler) {
+	probe := factory(1, 0)
+	if q, ok := probe.(budgetQuantizer); ok {
+		return q.budgetQuantum(), probe
+	}
+	return 1, probe
+}
+
+// NewSerial constructs a serial sampler of the named kind ("mc", "rss",
+// "lazy" or "mcvec") — the single-goroutine counterpart of NewParallel. On
+// error the returned interface is nil (never a typed-nil concrete pointer),
+// so `smp == nil` is a valid failure check.
 func NewSerial(kind string, z int, seed int64) (Sampler, error) {
 	factory, err := factoryFor(kind)
 	if err != nil {
@@ -84,8 +109,8 @@ func NewSerial(kind string, z int, seed int64) (Sampler, error) {
 	return factory(z, seed), nil
 }
 
-// NewParallel wraps the named estimator kind ("mc", "rss" or "lazy") in a
-// ParallelSampler with total budget z. workers <= 0 selects
+// NewParallel wraps the named estimator kind ("mc", "rss", "lazy" or
+// "mcvec") in a ParallelSampler with total budget z. workers <= 0 selects
 // runtime.GOMAXPROCS(0).
 func NewParallel(kind string, z int, seed int64, workers int) (*ParallelSampler, error) {
 	factory, err := factoryFor(kind)
@@ -104,7 +129,10 @@ func NewParallelWith(name string, factory Factory, z int, seed int64, workers in
 	ps := &ParallelSampler{name: name, factory: factory, workers: workers, shards: DefaultShards}
 	ps.seed.Store(seed)
 	ps.z.Store(int64(z))
+	quantum, probe := quantumOf(factory)
+	ps.quantum = quantum
 	ps.pool = &sync.Pool{New: func() any { return factory(1, 0) }}
+	ps.pool.Put(probe)
 	return ps
 }
 
@@ -116,8 +144,9 @@ func NewParallelWith(name string, factory Factory, z int, seed int64, workers in
 // requests. Sharing never affects results: every leased sampler is fully
 // reconfigured (Reseed + SetSampleSize + SetContext) before estimating.
 type SharedScratch struct {
-	kind string
-	pool sync.Pool
+	kind    string
+	quantum int
+	pool    sync.Pool
 }
 
 // NewSharedScratch validates the estimator kind and returns an empty warm
@@ -128,7 +157,10 @@ func NewSharedScratch(kind string) (*SharedScratch, error) {
 		return nil, err
 	}
 	ss := &SharedScratch{kind: kind}
+	quantum, probe := quantumOf(factory)
+	ss.quantum = quantum
 	ss.pool.New = func() any { return factory(1, 0) }
+	ss.pool.Put(probe)
 	return ss, nil
 }
 
@@ -147,6 +179,7 @@ func NewParallelShared(ss *SharedScratch, z int, seed int64, workers int) *Paral
 	}
 	ps := NewParallelWith(ss.kind, factory, z, seed, workers)
 	ps.pool = &ss.pool
+	ps.quantum = ss.quantum
 	return ps
 }
 
@@ -260,8 +293,16 @@ func (ps *ParallelSampler) shardBudgets(z int) []int {
 // it) while a batch that alone saturates the shard target gets one shard
 // per item and pays no per-shard overhead (each shard costs a full RNG
 // reseed — the 607-word rand source re-init — plus a scratch reset). The
-// count depends only on (z, items), never on the worker count, so results
-// stay bit-identical across pool sizes.
+// count depends only on (z, items) and the estimator's fixed quantum,
+// never on the worker count, so results stay bit-identical across pool
+// sizes.
+//
+// Budgets are distributed in units of the estimator's quantum (64 for
+// mcvec's lane blocks): every shard receives whole blocks and only the
+// last shard is shrunk by the z % quantum tail, so interior shards never
+// pay a partial lane mask. For quantum 1 (the scalar kinds) this reduces
+// exactly to the historical even split, keeping their shard streams — and
+// therefore their estimates — bit-identical to earlier releases.
 func (ps *ParallelSampler) shardBudgetsFor(z, items int) []int {
 	if z < 1 {
 		z = 1
@@ -269,7 +310,16 @@ func (ps *ParallelSampler) shardBudgetsFor(z, items int) []int {
 	if items < 1 {
 		items = 1
 	}
-	shards := (z + minShardBudget - 1) / minShardBudget
+	q := ps.quantum
+	if q < 1 {
+		q = 1
+	}
+	blocks := (z + q - 1) / q
+	unit := minShardBudget / q
+	if unit < 1 {
+		unit = 1
+	}
+	shards := (blocks + unit - 1) / unit
 	if target := (ps.shards + items - 1) / items; shards > target {
 		shards = target
 	}
@@ -277,13 +327,17 @@ func (ps *ParallelSampler) shardBudgetsFor(z, items int) []int {
 		shards = ps.shards
 	}
 	out := make([]int, shards)
-	base, extra := z/shards, z%shards
+	base, extra := blocks/shards, blocks%shards
 	for i := range out {
-		out[i] = base
+		nb := base
 		if i < extra {
-			out[i]++
+			nb++
 		}
+		out[i] = nb * q
 	}
+	// The tail never exceeds the last shard's whole-block budget: the last
+	// shard holds >= 1 block and the shortfall is < one block.
+	out[shards-1] -= blocks*q - z
 	return out
 }
 

@@ -1,8 +1,24 @@
 // Package sampling implements polynomial-time s-t reliability estimation
 // over uncertain graphs: plain Monte Carlo sampling with lazy edge
-// instantiation (Fishman-style, §3.1 of the paper) and recursive stratified
-// sampling (RSS, Li et al. TKDE'16; §5.3), plus single-source reliability
-// vectors used by the search-space elimination of Algorithm 4.
+// instantiation (Fishman-style, §3.1 of the paper), recursive stratified
+// sampling (RSS, Li et al. TKDE'16; §5.3), and a word-parallel Monte Carlo
+// variant ("mcvec", MCVec) that samples 64 possible worlds per BFS by
+// packing edge existence into uint64 lane masks — plus single-source
+// reliability vectors used by the search-space elimination of Algorithm 4.
+//
+// # Vector Monte Carlo determinism
+//
+// MCVec is statistically equivalent to MonteCarlo — both are unbiased
+// estimators of the same reliability — but NOT stream-compatible with it:
+// the vector sampler draws 64 Bernoulli trials per RNG interaction
+// (rng.BernoulliMask over a SplitMix64 word stream) where the scalar
+// sampler draws one Float64, so the two consume different randomness and
+// their estimates differ within Monte Carlo error at equal Z. MCVec's own
+// determinism contract matches every other sampler's: a fixed seed yields
+// bit-identical estimates across runs, across Graph/CSR/overlay entry
+// points, and — through ParallelSampler's 64-aligned shard budgets — at
+// any worker count. Budgets are processed in blocks of 64 lanes with the
+// final block masked down to z%64 lanes, so any Z is honored exactly.
 //
 // # Snapshots
 //

@@ -149,7 +149,7 @@ func (e *Engine) Canonicalize(q Query) (Query, error) {
 		opt = opt.Normalized()
 	case QueryEstimate, QueryEstimateMany:
 		if !sampling.KnownKind(opt.Sampler) {
-			return Query{}, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+			return Query{}, fmt.Errorf("repro: sampler %q (want mc, rss, lazy or mcvec): %w", opt.Sampler, ErrUnknownSampler)
 		}
 		if q.Kind == QueryEstimate {
 			out.S, out.T = q.S, q.T
@@ -371,7 +371,7 @@ func (e *Engine) estimateMany(ctx context.Context, snap *engineSnapshot, opt Opt
 		var err error
 		ss, err = sampling.NewSharedScratch(opt.Sampler)
 		if err != nil {
-			return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+			return nil, fmt.Errorf("repro: sampler %q (want mc, rss, lazy or mcvec): %w", opt.Sampler, ErrUnknownSampler)
 		}
 	}
 	out := sampling.EstimateManySerial(ctx, ss, snap.csr, pairs, opt.Z, opt.Seed, 0)
@@ -398,7 +398,7 @@ func (e *Engine) estimatorFor(ctx context.Context, opt Options) (sampling.Sample
 			var err error
 			ps, err = sampling.NewParallel(opt.Sampler, opt.Z, opt.Seed, opt.Workers)
 			if err != nil {
-				return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+				return nil, fmt.Errorf("repro: sampler %q (want mc, rss, lazy or mcvec): %w", opt.Sampler, ErrUnknownSampler)
 			}
 		}
 		ps.SetContext(ctx)
@@ -406,7 +406,7 @@ func (e *Engine) estimatorFor(ctx context.Context, opt Options) (sampling.Sample
 	}
 	smp, err := sampling.NewSerial(opt.Sampler, opt.Z, opt.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("repro: sampler %q (want mc, rss or lazy): %w", opt.Sampler, ErrUnknownSampler)
+		return nil, fmt.Errorf("repro: sampler %q (want mc, rss, lazy or mcvec): %w", opt.Sampler, ErrUnknownSampler)
 	}
 	smp.SetContext(ctx)
 	return smp, nil
