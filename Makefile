@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-bearing packages: parallel sampler, solvers,
-# the root package (Engine's concurrent-use contract) and the HTTP server.
+# the root package (Engine's concurrent-use contract, including the
+# durability tests), the persistence layer and the HTTP server.
 race:
-	$(GO) test -race . ./internal/sampling/... ./internal/core/... ./cmd/relmaxd
+	$(GO) test -race . ./internal/sampling/... ./internal/core/... ./internal/store ./cmd/relmaxd
 
 # Full benchmark run with stable settings for recording numbers.
 bench:
@@ -70,11 +71,14 @@ smoke-relmaxd:
 	./scripts/relmaxd_smoke.sh
 
 # Short fuzz smoke: each target fuzzes for 10s on top of the checked-in
-# seed corpus, catching shallow regressions in the I/O and Freeze paths.
+# seed corpus, catching shallow regressions in the I/O, Freeze and
+# durability-decode paths.
 fuzz-smoke:
 	$(GO) test ./internal/ugraph -run '^$$' -fuzz '^FuzzEdgeListRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/ugraph -run '^$$' -fuzz '^FuzzFreezeConsistency$$' -fuzztime 10s
 	$(GO) test ./internal/sampling -run '^$$' -fuzz '^FuzzMCVecScalarReplay$$' -fuzztime 10s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime 10s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 10s
 
 # Coverage with a ratchet: fail if total coverage drops below the recorded
 # baseline (.github/coverage-baseline.txt). Raise the baseline when a PR

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -45,6 +46,11 @@ type Catalog struct {
 	// inside the reservation critical section, so concurrent Creates
 	// cannot overshoot it no matter how long their builds run.
 	limit int
+	// storageRoot, when non-empty (SetStorage), makes every dataset
+	// durable: Create initializes storageRoot/<name>, Restore recovers
+	// from it, DropStorage deletes it. Dataset names are slash- and
+	// space-free (checkName), so they are safe directory names.
+	storageRoot string
 }
 
 // DatasetInfo describes one registered dataset: its current graph epoch
@@ -103,9 +109,16 @@ func (c *Catalog) Create(name string, g *Graph, opts ...EngineOption) (*Engine, 
 			name, len(c.engines)+len(c.pending), c.limit, ErrCatalogFull)
 	}
 	c.pending[name] = true
+	root := c.storageRoot
 	c.mu.Unlock()
 
-	eng, err := NewEngine(g, append(append([]EngineOption(nil), c.defaults...), opts...)...)
+	all := append([]EngineOption(nil), c.defaults...)
+	if root != "" {
+		// Injected between defaults and per-dataset options, so a caller
+		// can still override the store (e.g. WithStore in tests).
+		all = append(all, WithStorage(filepath.Join(root, name)))
+	}
+	eng, err := NewEngine(g, append(all, opts...)...)
 
 	c.mu.Lock()
 	delete(c.pending, name)
@@ -216,4 +229,108 @@ func (c *Catalog) SetMaxDatasets(n int) {
 	c.mu.Lock()
 	c.limit = n
 	c.mu.Unlock()
+}
+
+// SetStorage makes the catalog durable: every subsequent Create/Load
+// persists its dataset under root/<name> (Create initializes that
+// directory — it never resurrects stale state under a reused name), and
+// Restore recovers datasets written by a previous process. The root is
+// created if missing. Datasets created before SetStorage stay in-memory.
+func (c *Catalog) SetStorage(root string) error {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("repro: SetStorage: %w", err)
+	}
+	c.mu.Lock()
+	c.storageRoot = root
+	c.mu.Unlock()
+	return nil
+}
+
+// Restore registers a dataset recovered from the catalog's storage root:
+// the newest valid checkpoint under root/<name> plus its WAL replayed to
+// the exact committed epoch (see OpenEngine). Registration semantics match
+// Create — the name is reserved while the recovery builds, and the O(N+M)
+// work runs outside the catalog lock. It fails with store.ErrNoState if
+// nothing is stored under the name.
+func (c *Catalog) Restore(name string, opts ...EngineOption) (*Engine, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	root := c.storageRoot
+	if root == "" {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: catalog has no storage root (SetStorage): %w",
+			name, ErrBadQuery)
+	}
+	if _, ok := c.engines[name]; ok || c.pending[name] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, ErrDatasetExists)
+	}
+	if c.limit > 0 && len(c.engines)+len(c.pending) >= c.limit {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: %d datasets served or building (limit %d): %w",
+			name, len(c.engines)+len(c.pending), c.limit, ErrCatalogFull)
+	}
+	c.pending[name] = true
+	c.mu.Unlock()
+
+	eng, err := OpenEngine(filepath.Join(root, name),
+		append(append([]EngineOption(nil), c.defaults...), opts...)...)
+
+	c.mu.Lock()
+	delete(c.pending, name)
+	if err == nil {
+		c.engines[name] = eng
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
+	}
+	return eng, nil
+}
+
+// StoredNames lists the dataset names with state under the storage root,
+// sorted — the boot-time feed for restoring a serving tier (cmd/relmaxd
+// restores each of them). Names that would not pass checkName are skipped:
+// they cannot have been written by a Catalog.
+func (c *Catalog) StoredNames() ([]string, error) {
+	c.mu.RLock()
+	root := c.storageRoot
+	c.mu.RUnlock()
+	if root == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("repro: StoredNames: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && checkName(e.Name()) == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DropStorage deletes the durable state stored under the name. It does not
+// touch a running engine — retire the dataset with Close first, then drop;
+// a serving tier's DELETE endpoint does exactly that. Dropping a name with
+// no stored state is a no-op.
+func (c *Catalog) DropStorage(name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	c.mu.RLock()
+	root := c.storageRoot
+	c.mu.RUnlock()
+	if root == "" {
+		return nil
+	}
+	if err := os.RemoveAll(filepath.Join(root, name)); err != nil {
+		return fmt.Errorf("repro: DropStorage %q: %w", name, err)
+	}
+	return nil
 }

@@ -155,6 +155,13 @@ func (s *server) handleDatasetClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	evicted, cancelled := s.jobs.closeDataset(name)
+	// A deleted dataset's durable state goes with it: the engine was
+	// already retired above, so the bytes are cold. Best-effort — a failed
+	// removal is logged and the worst case is an orphan directory that the
+	// next boot restores as a dataset again.
+	if err := s.catalog.DropStorage(name); err != nil {
+		s.logf("relmaxd: dataset %q: drop storage: %v", name, err)
+	}
 	s.logf("relmaxd: dataset %q closed (%d jobs evicted, %d cancelled)", name, evicted, cancelled)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"closed": name, "jobs_evicted": evicted, "jobs_cancelled": cancelled,

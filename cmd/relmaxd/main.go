@@ -7,9 +7,19 @@
 // seed the catalog; more are created, mutated and closed at runtime via
 // the /v2/datasets endpoints.
 //
+// With -data-dir the catalog is durable: every dataset keeps a write-ahead
+// log plus snapshot checkpoints under <data-dir>/<name>, each mutation
+// batch is fsynced before the new epoch is acknowledged, and on boot every
+// stored dataset is recovered to its exact committed epoch (corrupt ones
+// are logged and skipped, never fatal). Command-line seeding skips names
+// that were restored, so a restart with the same flags serves the mutated
+// state, not a re-seeded copy; DELETE /v2/datasets/{name} also removes the
+// dataset's durable state.
+//
 //	relmaxd -addr :8080 -dataset lastfm -scale 0.05 -workers -1
 //	relmaxd -addr :8080 -datasets lastfm,astopo -z 1000 -cache 512
 //	relmaxd -addr :8080 -graph g.txt -max-concurrent 8 -queue-depth 128
+//	relmaxd -addr :8080 -dataset lastfm -data-dir /var/lib/relmaxd
 //
 // Endpoints:
 //
@@ -74,6 +84,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request / per-job timeout (0 = none)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 
+		dataDir     = flag.String("data-dir", "", "durable storage root: per-dataset WAL + checkpoints, datasets recovered on boot")
+		ckptBatches = flag.Int("checkpoint-batches", 0, "checkpoint after this many mutation batches (0 = default 64; needs -data-dir)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this much WAL growth in bytes (0 = default 4MiB; needs -data-dir)")
+
 		cache         = flag.Int("cache", 256, "result-cache entries per engine (0 disables caching)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently running jobs per engine (0 = all CPUs)")
 		queueDepth    = flag.Int("queue-depth", 64, "max jobs waiting per engine beyond the running ones; excess gets 503 (0 = no queueing)")
@@ -91,6 +105,7 @@ func main() {
 	cfg := engineConfig{
 		scale: *scale, z: *z, sampler: *sampler, seed: *seed, workers: *workers,
 		cache: *cache, maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
+		dataDir: *dataDir, ckptBatches: *ckptBatches, ckptBytes: *ckptBytes,
 	}
 	catalog, err := buildCatalog(*graph, *datasets, *dataset, cfg)
 	if err != nil {
@@ -156,10 +171,16 @@ type engineConfig struct {
 	cache         int
 	maxConcurrent int
 	queueDepth    int
+	dataDir       string
+	ckptBatches   int
+	ckptBytes     int64
 }
 
 // buildCatalog seeds a Catalog with the datasets named on the command
 // line; its defaults then govern every dataset created at runtime too.
+// With a data directory configured, datasets stored there are recovered
+// FIRST and win over same-named command-line seeds — a restart must serve
+// the committed, mutated state, not a fresh re-seed of it.
 func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*repro.Catalog, error) {
 	catalog := repro.NewCatalog(
 		repro.WithSamplerKind(cfg.sampler),
@@ -169,11 +190,37 @@ func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*re
 		repro.WithResultCache(cfg.cache),
 		repro.WithMaxConcurrent(cfg.maxConcurrent),
 		repro.WithQueueDepth(cfg.queueDepth),
+		repro.WithCheckpointEvery(cfg.ckptBatches, cfg.ckptBytes),
 	)
+	restored := make(map[string]bool)
+	if cfg.dataDir != "" {
+		if err := catalog.SetStorage(cfg.dataDir); err != nil {
+			return nil, err
+		}
+		names, err := catalog.StoredNames()
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			eng, err := catalog.Restore(name)
+			if err != nil {
+				// A dataset that cannot be recovered must not take the
+				// server (and every healthy dataset) down with it; its
+				// bytes are left in place for offline inspection.
+				log.Printf("relmaxd: dataset %q: recovery failed, skipping: %v", name, err)
+				continue
+			}
+			restored[name] = true
+			c := eng.Snapshot()
+			log.Printf("relmaxd: dataset %q restored (n=%d m=%d epoch=%d)", name, c.N(), c.M(), c.Epoch())
+		}
+	}
 	switch {
 	case graphPath != "":
-		if _, err := catalog.Load("graph", graphPath); err != nil {
-			return nil, err
+		if !restored["graph"] {
+			if _, err := catalog.Load("graph", graphPath); err != nil {
+				return nil, err
+			}
 		}
 	case datasetsCSV != "" || dataset != "":
 		names := strings.Split(datasetsCSV, ",")
@@ -182,7 +229,7 @@ func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*re
 		}
 		for _, name := range names {
 			name = strings.TrimSpace(name)
-			if name == "" {
+			if name == "" || restored[name] {
 				continue
 			}
 			g, err := repro.LoadDataset(name, cfg.scale, cfg.seed)
@@ -194,10 +241,14 @@ func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*re
 			}
 		}
 	default:
-		return nil, fmt.Errorf("one of -graph, -dataset or -datasets is required (datasets: %s)",
-			strings.Join(repro.DatasetNames(), ", "))
+		// With a data directory the server may legitimately boot empty and
+		// be populated via POST /v2/datasets.
+		if cfg.dataDir == "" {
+			return nil, fmt.Errorf("one of -graph, -dataset, -datasets or -data-dir is required (datasets: %s)",
+				strings.Join(repro.DatasetNames(), ", "))
+		}
 	}
-	if catalog.Len() == 0 {
+	if catalog.Len() == 0 && cfg.dataDir == "" {
 		return nil, fmt.Errorf("no datasets to serve")
 	}
 	return catalog, nil

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro"
 )
 
 func TestBuildCatalogFromDatasets(t *testing.T) {
@@ -44,6 +47,67 @@ func TestBuildCatalogFromGraphFile(t *testing.T) {
 	}
 	if n := eng.Snapshot().N(); n != 3 {
 		t.Fatalf("graph engine has n=%d, want 3", n)
+	}
+}
+
+// TestBuildCatalogRestartSurvival pins the -data-dir boot semantics: a
+// restart restores every stored dataset at its committed epoch, and the
+// command-line seed for an already-restored name is skipped — the mutated
+// state wins over a fresh re-seed.
+func TestBuildCatalogRestartSurvival(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, dataDir: dataDir}
+	catalog, err := buildCatalog("", "", "lastfm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := catalog.Open("lastfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := repro.LoadDataset("lastfm", cfg.scale, cfg.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	epoch, err := eng.Apply(context.Background(),
+		repro.SetProb(edges[0].U, edges[0].V, 0.123),
+		repro.RemoveEdge(edges[1].U, edges[1].V))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := catalog.Close("lastfm"); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": same flags, same data dir. The stored dataset must come
+	// back at the mutated epoch, not as a fresh seed.
+	catalog2, err := buildCatalog("", "", "lastfm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := catalog2.Open("lastfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Epoch() != epoch {
+		t.Fatalf("restored epoch %d, want %d", re.Epoch(), epoch)
+	}
+	if !re.Durable() {
+		t.Fatal("restored dataset is not durable")
+	}
+	if err := catalog2.Close("lastfm"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A data dir alone (no dataset flags) is a valid boot: the server
+	// starts empty or with whatever is stored.
+	catalog3, err := buildCatalog("", "", "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := catalog3.Open("lastfm"); err != nil {
+		t.Fatalf("data-dir-only boot lost the stored dataset: %v", err)
 	}
 }
 

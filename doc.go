@@ -137,6 +137,41 @@
 // or an uploaded edge list), list and close datasets, and
 // POST /v2/datasets/{name}/mutations to mutate — see examples/server.
 //
+// # Durability
+//
+// An engine is in-memory by default; WithStorage makes it durable on
+// plain append-only files:
+//
+//	eng, err := repro.NewEngine(g, repro.WithStorage("/data/social")) // initialize
+//	epoch, err := eng.Apply(ctx, repro.AddEdge(3, 42, 0.5))          // fsynced before return
+//	eng.Close()
+//	eng, err = repro.OpenEngine("/data/social")                      // recover, exact epoch
+//
+// Every Apply appends the committed batch — its post-batch epoch plus the
+// encoded mutations, CRC32C-framed — to a write-ahead log and fsyncs it
+// BEFORE the new snapshot rotates in: an acknowledged epoch survives any
+// crash. A checkpoint policy (WithCheckpointEvery, default every 64
+// batches or 4 MiB of WAL; Engine.Checkpoint forces one) serializes the
+// current epoch's edge set to a snapshot file — written to a temp file,
+// fsynced, atomically renamed — and truncates the WAL, bounding recovery
+// time. Recovery loads the newest valid checkpoint and replays the WAL
+// through the same mutation machinery Apply uses, arriving at the exact
+// committed epoch; because edges replay in edge-ID order, the recovered
+// CSR is bit-identical and every query kind answers exactly as the
+// pre-crash engine did. A torn or corrupt WAL tail (a crash mid-append)
+// is detected by CRC, truncated with a logged warning and never panics;
+// unacknowledged tail batches are the only thing lost.
+//
+// Catalogs scale this to many datasets: SetStorage(root) persists every
+// dataset under root/<name>, Restore recovers one by name, StoredNames
+// lists what a previous process left behind, and DropStorage deletes a
+// retired dataset's bytes. cmd/relmaxd wires these to -data-dir: stored
+// datasets are recovered on boot (winning over same-named command-line
+// seeds) and DELETE /v2/datasets/{name} drops the stored state. Stats
+// reports Durable, Checkpoints and CheckpointErrors; a failed checkpoint
+// never fails an Apply (the WAL already holds the batch) and is retried
+// on the next one.
+//
 // # Legacy compatibility
 //
 // The original free functions — Solve, SolveMulti, SolveTotalBudget,

@@ -1,0 +1,210 @@
+package repro
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// copyDir clones a flat dataset directory — the crash harness snapshots
+// the on-disk state once and replays every kill point against a fresh
+// copy, so recovery repairs never contaminate the next kill point.
+func copyDir(t testing.TB, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// durableHistory runs N random Apply batches against a durable engine and
+// records, per committed batch, the epoch and a bit-exact estimate — the
+// oracle every crash point is checked against. The returned directory
+// holds the final on-disk state; the engine is closed.
+func durableHistory(t testing.TB, batches int, opts ...EngineOption) (dir string, epochs []uint64, estimates []uint64) {
+	t.Helper()
+	dir = t.TempDir()
+	g := durTestGraph(t)
+	eng, err := NewEngine(g, append([]EngineOption{WithStorage(dir), WithSeed(7)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(99))
+	oracle := g.Clone()
+	for i := 0; i < batches; i++ {
+		ep, err := eng.Apply(ctx, randomMutationBatch(t, r, oracle)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, ep)
+		estimates = append(estimates, estimateBits(t, eng, 0, 12))
+	}
+	eng.Close()
+	return dir, epochs, estimates
+}
+
+// reopenQuietly recovers a copy of the dataset with store warnings routed
+// to the test log, returning the engine.
+func reopenQuietly(t testing.TB, dir string) *Engine {
+	t.Helper()
+	fs, err := store.OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetLogf(t.Logf)
+	eng, err := RecoverEngine(fs, WithSeed(7))
+	if err != nil {
+		fs.Close()
+		t.Fatalf("recover %s: %v", dir, err)
+	}
+	return eng
+}
+
+// assertRecoveredState reopens dir and checks the engine landed exactly on
+// the oracle state for batch index idx — same epoch, bit-identical
+// estimate. It reopens a second time to prove the recovery repair itself
+// was durable (recover must be idempotent, not a one-shot parse).
+func assertRecoveredState(t *testing.T, dir string, wantEpoch, wantBits uint64, label string) {
+	t.Helper()
+	for round := 0; round < 2; round++ {
+		eng := reopenQuietly(t, dir)
+		if eng.Epoch() != wantEpoch {
+			eng.Close()
+			t.Fatalf("%s (reopen %d): recovered epoch %d, want %d", label, round, eng.Epoch(), wantEpoch)
+		}
+		if got := estimateBits(t, eng, 0, 12); got != wantBits {
+			eng.Close()
+			t.Fatalf("%s (reopen %d): estimate %x, want %x (not bit-identical)", label, round, got, wantBits)
+		}
+		eng.Close()
+	}
+}
+
+// TestCrashEveryWALTailTruncation is the crash-injection suite's core: a
+// run of random committed batches, then a simulated crash at EVERY byte
+// boundary inside the final WAL record. Each kill point must recover the
+// last fully-committed epoch — never a torn one, never a panic — with
+// estimates bit-identical to the live engine at that epoch.
+func TestCrashEveryWALTailTruncation(t *testing.T) {
+	const batches = 6
+	// Huge checkpoint thresholds: every batch stays in the WAL, so the
+	// tail record is the last of `batches` records.
+	dir, epochs, estimates := durableHistory(t, batches, WithCheckpointEvery(1<<30, 1<<60))
+
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid := store.DecodeWAL(wal)
+	if len(recs) != batches || valid != len(wal) {
+		t.Fatalf("WAL holds %d records in %d/%d valid bytes, want %d", len(recs), valid, len(wal), batches)
+	}
+	lastStart := valid - store.EncodedBatchSize(recs[batches-1])
+
+	// Sanity: the untouched directory recovers the final state.
+	assertRecoveredState(t, copyDir(t, dir), epochs[batches-1], estimates[batches-1], "no truncation")
+
+	for cut := lastStart; cut < len(wal); cut++ {
+		crash := copyDir(t, dir)
+		if err := os.Truncate(filepath.Join(crash, "wal.log"), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		assertRecoveredState(t, crash, epochs[batches-2], estimates[batches-2],
+			"truncated at byte "+strconv.Itoa(cut))
+	}
+}
+
+// TestCrashWALTailWithCheckpoints is the same tail-kill harness with the
+// checkpoint policy live (every 2 batches): recovery must compose the
+// newest checkpoint with the surviving WAL suffix and still land on the
+// last fully-committed epoch.
+func TestCrashWALTailWithCheckpoints(t *testing.T) {
+	const batches = 5 // checkpoints after batch 2 and 4; batch 5 lives in the WAL
+	dir, epochs, estimates := durableHistory(t, batches, WithCheckpointEvery(2, 1<<60))
+
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid := store.DecodeWAL(wal)
+	if len(recs) != 1 || valid != len(wal) {
+		t.Fatalf("WAL holds %d records, want exactly the post-checkpoint batch", len(recs))
+	}
+
+	for cut := 0; cut < len(wal); cut++ {
+		crash := copyDir(t, dir)
+		if err := os.Truncate(filepath.Join(crash, "wal.log"), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		// Every cut tears the sole record, so recovery falls back to the
+		// batch-4 checkpoint exactly.
+		assertRecoveredState(t, crash, epochs[batches-2], estimates[batches-2],
+			"ckpt+tail truncated at byte "+strconv.Itoa(cut))
+	}
+}
+
+// TestCrashMidCheckpoint simulates dying inside a checkpoint write: a
+// partial .tmp file is on disk, the previous checkpoint and the full WAL
+// are intact. Recovery must ignore and remove the partial file and land on
+// the final committed epoch.
+func TestCrashMidCheckpoint(t *testing.T) {
+	const batches = 4
+	dir, epochs, estimates := durableHistory(t, batches, WithCheckpointEvery(1<<30, 1<<60))
+
+	crash := copyDir(t, dir)
+	tmp := filepath.Join(crash, "ckpt-00000000000000ff.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("partial checkpoint write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertRecoveredState(t, crash, epochs[batches-1], estimates[batches-1], "mid-checkpoint kill")
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("partial .tmp survived recovery: %v", err)
+	}
+}
+
+// TestCrashCorruptTailByte flips one byte inside the final record's
+// payload (a torn sector rather than a clean truncation): recovery must
+// detect it via CRC and fall back to the previous committed epoch.
+func TestCrashCorruptTailByte(t *testing.T) {
+	const batches = 4
+	dir, epochs, estimates := durableHistory(t, batches, WithCheckpointEvery(1<<30, 1<<60))
+
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid := store.DecodeWAL(wal)
+	if len(recs) != batches {
+		t.Fatalf("WAL holds %d records, want %d", len(recs), batches)
+	}
+	lastStart := valid - store.EncodedBatchSize(recs[batches-1])
+
+	crash := copyDir(t, dir)
+	path := filepath.Join(crash, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[lastStart+10] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertRecoveredState(t, crash, epochs[batches-2], estimates[batches-2], "corrupt tail byte")
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sampling"
+	"repro/internal/store"
 )
 
 // Engine is the context-first entry point for serving reliability
@@ -83,6 +84,19 @@ type Engine struct {
 	queuedJobs, runningJobs, inFlightJobs                                 atomic.Int64
 	submittedJobs, completedJobs, cancelledJobs, failedJobs, rejectedJobs atomic.Uint64
 	applies, mutationsApplied                                             atomic.Uint64
+
+	// Durable storage; nil for in-memory engines. store and the policy
+	// fields are fixed at construction; the pending counters are guarded by
+	// applyMu. See durability.go.
+	store          store.Store
+	storageDir     string
+	recoveredStore bool
+	ckptBatches    int
+	ckptBytes      int64
+	pendingBatches int
+	pendingBytes   int64
+
+	checkpoints, checkpointErrors atomic.Uint64
 }
 
 // engineSnapshot is one frozen graph epoch: the engine-private mutable
@@ -210,6 +224,12 @@ func NewEngine(g *Graph, opts ...EngineOption) (*Engine, error) {
 	e.snap.Store(&engineSnapshot{g: gc, csr: gc.Freeze()})
 	if e.cache != nil {
 		e.cache.setEpoch(gc.Version())
+	}
+	if err := e.initStorage(gc); err != nil {
+		if e.store != nil {
+			e.store.Close()
+		}
+		return nil, fmt.Errorf("repro: NewEngine: %w", err)
 	}
 	return e, nil
 }

@@ -27,6 +27,11 @@
 //	     localhost:8080/v2/datasets/demo/mutations  # mutate → new epoch
 //	curl -X DELETE localhost:8080/v2/datasets/demo  # close
 //	curl localhost:8080/metrics                 # incl. per-dataset breakdown
+//
+// Start the server with -data-dir to make datasets durable: mutations
+// are WAL-logged and fsynced before acknowledgment, and a restart (even
+// after kill -9) recovers every dataset at its exact committed epoch —
+// see the kill→restart walkthrough in README.md.
 package main
 
 import (

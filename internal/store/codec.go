@@ -1,0 +1,225 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// On-disk encodings. Everything is little-endian.
+//
+// WAL record frame:
+//
+//	[payloadLen u32][crc32c(payload) u32][payload]
+//	payload = [epoch u64][count u32] count × [op u8][u u32][v u32][pbits u64]
+//
+// Snapshot file:
+//
+//	[magic 8B][epoch u64][directed u8][n u32][m u32]
+//	m × [u u32][v u32][pbits u64]
+//	[crc32c(everything before) u32]
+//
+// Both decoders are strict: every field is range-checked, lengths must
+// match exactly, probabilities must be finite and in [0, 1], and a decoded
+// value always re-encodes to the identical bytes (the round-trip property
+// the fuzz targets pin). Strictness is what makes tail-tolerance safe: a
+// flipped bit becomes a detected-corrupt record, not a misparsed batch.
+
+const (
+	walFrameHeader = 8             // payloadLen u32 + crc u32
+	walBatchHeader = 12            // epoch u64 + count u32
+	walMutBytes    = 17            // op u8 + u u32 + v u32 + pbits u64
+	maxRecordBytes = 1 << 26       // 64 MiB: no sane batch is larger
+	snapMagicStr   = "reproSN1"    // 8 bytes
+	snapHeaderLen  = 8 + 8 + 1 + 8 // magic + epoch + directed + n + m
+	snapEdgeBytes  = 16
+	maxSnapNodes   = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodedBatchSize returns the framed on-disk size of b in bytes.
+func EncodedBatchSize(b Batch) int {
+	return walFrameHeader + walBatchHeader + walMutBytes*len(b.Muts)
+}
+
+// EncodeBatch renders one framed WAL record.
+func EncodeBatch(b Batch) []byte {
+	payload := make([]byte, walBatchHeader+walMutBytes*len(b.Muts))
+	binary.LittleEndian.PutUint64(payload[0:], b.Epoch)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(b.Muts)))
+	off := walBatchHeader
+	for _, m := range b.Muts {
+		payload[off] = byte(m.Op)
+		binary.LittleEndian.PutUint32(payload[off+1:], uint32(m.U))
+		binary.LittleEndian.PutUint32(payload[off+5:], uint32(m.V))
+		binary.LittleEndian.PutUint64(payload[off+9:], math.Float64bits(m.P))
+		off += walMutBytes
+	}
+	out := make([]byte, walFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(payload, crcTable))
+	copy(out[walFrameHeader:], payload)
+	return out
+}
+
+// checkProb validates an on-disk probability for the given op: add/set
+// carry a finite p in [0, 1]; remove must carry exactly zero bits (the
+// canonical form EncodeBatch writes), keeping the encoding bijective.
+func checkProb(op MutOp, bits uint64) (float64, error) {
+	p := math.Float64frombits(bits)
+	switch op {
+	case OpRemoveEdge:
+		if bits != 0 {
+			return 0, fmt.Errorf("remove-edge with non-zero probability bits %#x", bits)
+		}
+	default:
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return 0, fmt.Errorf("probability %v outside [0,1]", p)
+		}
+	}
+	return p, nil
+}
+
+// DecodeRecord decodes the WAL record at the head of data, returning the
+// batch and the number of bytes consumed. An error means the head of data
+// is not one whole valid record — torn (short) or corrupt (bad length,
+// CRC, or payload); the two are deliberately not distinguished, since both
+// end a WAL scan at this offset.
+func DecodeRecord(data []byte) (Batch, int, error) {
+	if len(data) < walFrameHeader {
+		return Batch{}, 0, fmt.Errorf("torn frame header: %d bytes", len(data))
+	}
+	plen := int(binary.LittleEndian.Uint32(data[0:]))
+	if plen < walBatchHeader || plen > maxRecordBytes {
+		return Batch{}, 0, fmt.Errorf("record length %d out of range", plen)
+	}
+	if len(data) < walFrameHeader+plen {
+		return Batch{}, 0, fmt.Errorf("torn record: have %d of %d payload bytes",
+			len(data)-walFrameHeader, plen)
+	}
+	payload := data[walFrameHeader : walFrameHeader+plen]
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(data[4:]) {
+		return Batch{}, 0, fmt.Errorf("record CRC mismatch")
+	}
+	epoch := binary.LittleEndian.Uint64(payload[0:])
+	count := int(binary.LittleEndian.Uint32(payload[8:]))
+	if count < 1 || walBatchHeader+count*walMutBytes != plen {
+		return Batch{}, 0, fmt.Errorf("mutation count %d inconsistent with record length %d", count, plen)
+	}
+	if epoch < uint64(count) {
+		return Batch{}, 0, fmt.Errorf("epoch %d below mutation count %d", epoch, count)
+	}
+	b := Batch{Epoch: epoch, Muts: make([]Mut, count)}
+	off := walBatchHeader
+	for i := range b.Muts {
+		op := MutOp(payload[off])
+		if op != OpAddEdge && op != OpSetProb && op != OpRemoveEdge {
+			return Batch{}, 0, fmt.Errorf("unknown mutation op %d", op)
+		}
+		p, err := checkProb(op, binary.LittleEndian.Uint64(payload[off+9:]))
+		if err != nil {
+			return Batch{}, 0, fmt.Errorf("mutation %d: %v", i, err)
+		}
+		b.Muts[i] = Mut{
+			Op: op,
+			U:  int32(binary.LittleEndian.Uint32(payload[off+1:])),
+			V:  int32(binary.LittleEndian.Uint32(payload[off+5:])),
+			P:  p,
+		}
+		off += walMutBytes
+	}
+	return b, walFrameHeader + plen, nil
+}
+
+// DecodeWAL scans a whole WAL image, returning every valid record from the
+// head and the byte length of that valid prefix. It never fails: the first
+// torn or corrupt record ends the scan (tail-tolerance; the caller logs
+// and truncates). Epoch chaining across records is the caller's check —
+// it needs the checkpoint epoch for its base case.
+func DecodeWAL(data []byte) ([]Batch, int) {
+	var batches []Batch
+	off := 0
+	for off < len(data) {
+		b, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			break
+		}
+		batches = append(batches, b)
+		off += n
+	}
+	return batches, off
+}
+
+// EncodeSnapshot renders a whole checkpoint file.
+func EncodeSnapshot(s *Snapshot) []byte {
+	out := make([]byte, snapHeaderLen+snapEdgeBytes*len(s.Edges)+4)
+	copy(out[0:8], snapMagicStr)
+	binary.LittleEndian.PutUint64(out[8:], s.Epoch)
+	if s.Directed {
+		out[16] = 1
+	}
+	binary.LittleEndian.PutUint32(out[17:], uint32(s.N))
+	binary.LittleEndian.PutUint32(out[21:], uint32(len(s.Edges)))
+	off := snapHeaderLen
+	for _, e := range s.Edges {
+		binary.LittleEndian.PutUint32(out[off:], uint32(e.U))
+		binary.LittleEndian.PutUint32(out[off+4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(out[off+8:], math.Float64bits(e.P))
+		off += snapEdgeBytes
+	}
+	binary.LittleEndian.PutUint32(out[off:], crc32.Checksum(out[:off], crcTable))
+	return out
+}
+
+// DecodeSnapshot parses a whole checkpoint file. It is strict: the file
+// must be exactly one snapshot (no trailing bytes), every endpoint must be
+// a valid non-loop node, and probabilities must be finite in [0, 1]. A
+// snapshot that decodes re-encodes to the identical bytes.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapHeaderLen+4 {
+		return nil, fmt.Errorf("snapshot too short: %d bytes", len(data))
+	}
+	if string(data[0:8]) != snapMagicStr {
+		return nil, fmt.Errorf("bad snapshot magic %q", data[0:8])
+	}
+	if got := crc32.Checksum(data[:len(data)-4], crcTable); got != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, fmt.Errorf("snapshot CRC mismatch")
+	}
+	if d := data[16]; d > 1 {
+		return nil, fmt.Errorf("bad directed flag %d", d)
+	}
+	n := binary.LittleEndian.Uint32(data[17:])
+	m := int(binary.LittleEndian.Uint32(data[21:]))
+	if n > maxSnapNodes {
+		return nil, fmt.Errorf("node count %d out of range", n)
+	}
+	if want := snapHeaderLen + snapEdgeBytes*m + 4; m > (len(data)/snapEdgeBytes)+1 || want != len(data) {
+		return nil, fmt.Errorf("edge count %d inconsistent with file length %d", m, len(data))
+	}
+	s := &Snapshot{
+		Epoch:    binary.LittleEndian.Uint64(data[8:]),
+		Directed: data[16] == 1,
+		N:        int32(n),
+		Edges:    make([]Edge, m),
+	}
+	off := snapHeaderLen
+	for i := range s.Edges {
+		u := binary.LittleEndian.Uint32(data[off:])
+		v := binary.LittleEndian.Uint32(data[off+4:])
+		if u >= n || v >= n {
+			return nil, fmt.Errorf("edge %d endpoint out of range [0,%d)", i, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("edge %d is a self-loop at node %d", i, u)
+		}
+		p, err := checkProb(OpAddEdge, binary.LittleEndian.Uint64(data[off+8:]))
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %v", i, err)
+		}
+		s.Edges[i] = Edge{U: int32(u), V: int32(v), P: p}
+		off += snapEdgeBytes
+	}
+	return s, nil
+}

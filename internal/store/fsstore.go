@@ -1,0 +1,470 @@
+package store
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FS is the file-backed Store: one directory per dataset holding
+//
+//	wal.log              — append-only framed mutation batches
+//	ckpt-<epoch16x>.snap — full-graph checkpoints (newest wins)
+//	*.tmp                — in-progress checkpoint writes (ignored/cleaned)
+//
+// Durability contract: AppendBatch writes and fsyncs the WAL before
+// returning, so the Engine only acknowledges an Apply whose batch is on
+// stable storage. Checkpoint writes to a temp file, fsyncs it, renames it
+// into place and fsyncs the directory BEFORE truncating the WAL — the
+// rename is the commit point, and a crash at any seam leaves either the
+// old state (checkpoint + full WAL) or the new one, never neither. WAL
+// records older than the recovered checkpoint (a crash between rename and
+// truncate) are skipped on replay by their epochs.
+//
+// Every syscall seam routes through a fault hook (SetFault) so tests can
+// inject an error or a simulated crash at each step and assert both the
+// clean-error path and the post-crash recovery.
+type FS struct {
+	mu      sync.Mutex
+	dir     string
+	wal     *os.File
+	walSize int64
+	logf    func(format string, args ...any)
+	fault   func(op string) error
+	// broken latches the first failure that leaves the on-disk state
+	// unknown (a failed fsync): every later operation fails fast, forcing
+	// a reopen + Recover, which re-validates from the bytes that actually
+	// made it to disk.
+	broken error
+	closed bool
+}
+
+const (
+	walName    = "wal.log"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".snap"
+)
+
+// The fault-hook seam names, in the order a Checkpoint visits them.
+// Exposed for tests that sweep "error at every seam".
+var FSSeams = []string{
+	"wal.write", "wal.sync", "wal.truncate",
+	"snap.create", "snap.write", "snap.sync", "snap.close", "snap.rename",
+	"dir.sync",
+}
+
+// OpenFS opens (creating if needed) the dataset directory at dir. It does
+// not read any state; call Recover (or Reset + Checkpoint for a fresh
+// dataset) next.
+func OpenFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &FS{dir: dir, wal: wal, walSize: st.Size(), logf: log.Printf}, nil
+}
+
+// Dir returns the dataset directory.
+func (s *FS) Dir() string { return s.dir }
+
+// SetLogf redirects the store's warnings (torn-tail truncations, skipped
+// corrupt checkpoints). The default is log.Printf; nil silences them.
+func (s *FS) SetLogf(logf func(format string, args ...any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// SetFault installs a test hook called before every filesystem seam (see
+// FSSeams plus "snap.remove" and recovery's reads); a non-nil return
+// aborts that seam with the given error, as if the syscall had failed.
+func (s *FS) SetFault(f func(op string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+func (s *FS) at(op string) error {
+	if s.fault == nil {
+		return nil
+	}
+	return s.fault(op)
+}
+
+func (s *FS) usable() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.broken
+}
+
+// breakWith latches err as the store's terminal condition.
+func (s *FS) breakWith(err error) error {
+	s.broken = fmt.Errorf("store: unusable after: %w", err)
+	return err
+}
+
+// AppendBatch appends one framed record to the WAL and fsyncs it before
+// returning — the durability point of Engine.Apply. On a write error the
+// partial record is truncated away so the live WAL never carries a torn
+// tail; if even that cannot be ensured the store latches broken.
+func (s *FS) AppendBatch(b Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	enc := EncodeBatch(b)
+	if err := s.at("wal.write"); err != nil {
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	n, err := s.wal.WriteAt(enc, s.walSize)
+	if err != nil {
+		// Remove whatever partially landed; failing that, the in-memory
+		// offset no longer matches the file and the store is unusable.
+		if n > 0 {
+			if terr := s.wal.Truncate(s.walSize); terr != nil {
+				return s.breakWith(fmt.Errorf("store: wal write: %v; truncate-back: %w", err, terr))
+			}
+		}
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	if err := s.at("wal.sync"); err != nil {
+		return s.rollbackAppend(err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return s.rollbackAppend(err)
+	}
+	s.walSize += int64(len(enc))
+	return nil
+}
+
+// rollbackAppend handles a failed WAL fsync: the record was written but
+// its durability is unknown, and the Apply that requested it will NOT be
+// acknowledged — so the record must not resurface after a restart. Roll
+// the file back to the last acknowledged offset and fsync that; only if
+// the rollback itself fails is the on-disk tail truly untrustworthy, and
+// the store latches broken (a reopen + Recover re-validates from disk).
+func (s *FS) rollbackAppend(cause error) error {
+	err := s.at("wal.rollback.truncate")
+	if err == nil {
+		err = s.wal.Truncate(s.walSize)
+	}
+	if err != nil {
+		return s.breakWith(fmt.Errorf("store: wal sync: %v; rollback truncate: %w", cause, err))
+	}
+	err = s.at("wal.rollback.sync")
+	if err == nil {
+		err = s.wal.Sync()
+	}
+	if err != nil {
+		return s.breakWith(fmt.Errorf("store: wal sync: %v; rollback sync: %w", cause, err))
+	}
+	return fmt.Errorf("store: wal sync: %w", cause)
+}
+
+func (s *FS) ckptPath(epoch uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", ckptPrefix, epoch, ckptSuffix))
+}
+
+// Checkpoint persists snap atomically (temp file → fsync → rename → dir
+// fsync) and then truncates the WAL. A failure before the rename leaves
+// the previous checkpoint + WAL untouched and the store usable; a failure
+// after it leaves the NEW checkpoint committed with stale WAL records that
+// recovery skips by epoch.
+func (s *FS) Checkpoint(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	final := s.ckptPath(snap.Epoch)
+	tmp := final + ".tmp"
+	if err := s.writeSnapFile(tmp, EncodeSnapshot(snap)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.at("snap.rename"); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint rename: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint rename: %w", err)
+	}
+	// The rename must be durable before the WAL shrinks, or a crash could
+	// surface the old directory entry next to a truncated WAL.
+	if err := s.at("dir.sync"); err != nil {
+		return fmt.Errorf("store: checkpoint dir sync: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: checkpoint dir sync: %w", err)
+	}
+	if err := s.truncateWAL(); err != nil {
+		// The checkpoint is committed; stale WAL records are skipped on
+		// recovery, so this is a degraded success turned into an error
+		// only so the caller can surface it.
+		return err
+	}
+	s.pruneCheckpoints(final)
+	return nil
+}
+
+// writeSnapFile writes data to path and fsyncs it, visiting the
+// snap.create/write/sync/close seams.
+func (s *FS) writeSnapFile(path string, data []byte) error {
+	if err := s.at("snap.create"); err != nil {
+		return fmt.Errorf("store: checkpoint create: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint create: %w", err)
+	}
+	err = s.at("snap.write")
+	if err == nil {
+		_, err = f.Write(data)
+	}
+	if err == nil {
+		if err = s.at("snap.sync"); err == nil {
+			err = f.Sync()
+		}
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: checkpoint write: %w", err)
+	}
+	if err := s.at("snap.close"); err != nil {
+		f.Close()
+		return fmt.Errorf("store: checkpoint close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: checkpoint close: %w", err)
+	}
+	return nil
+}
+
+// truncateWAL empties the live WAL (after a committed checkpoint).
+func (s *FS) truncateWAL() error {
+	if err := s.at("wal.truncate"); err != nil {
+		return fmt.Errorf("store: wal truncate: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal truncate: %w", err)
+	}
+	if err := s.at("wal.sync"); err != nil {
+		return s.breakWith(fmt.Errorf("store: wal sync: %w", err))
+	}
+	if err := s.wal.Sync(); err != nil {
+		return s.breakWith(fmt.Errorf("store: wal sync: %w", err))
+	}
+	s.walSize = 0
+	return nil
+}
+
+// pruneCheckpoints removes every checkpoint file except keep (best
+// effort — a leftover older checkpoint is shadowed by the newer epoch).
+func (s *FS) pruneCheckpoints(keep string) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.logf("store: %s: prune: %v", s.dir, err)
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !isCkptName(name) || filepath.Join(s.dir, name) == keep {
+			continue
+		}
+		if err := s.at("snap.remove"); err != nil {
+			s.logf("store: %s: prune %s: %v", s.dir, name, err)
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			s.logf("store: %s: prune %s: %v", s.dir, name, err)
+		}
+	}
+}
+
+func isCkptName(name string) bool {
+	return strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ckptSuffix)
+}
+
+// ckptEpochOf parses the epoch out of a checkpoint file name; ok=false for
+// names that merely look like checkpoints.
+func ckptEpochOf(name string) (uint64, bool) {
+	hexa := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	if len(hexa) != 16 {
+		return 0, false
+	}
+	epoch, err := strconv.ParseUint(hexa, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// Recover loads the newest checkpoint that decodes, truncates any torn or
+// non-chaining WAL tail with a logged warning, and returns the batches
+// committed after the checkpoint in replay order. Stray .tmp files (a
+// crash mid-checkpoint) are removed; WAL records at or before the
+// checkpoint epoch (a crash between checkpoint rename and WAL truncate)
+// are skipped.
+func (s *FS) Recover() (*Snapshot, []Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: recover %s: %w", s.dir, err)
+	}
+	type ckpt struct {
+		name  string
+		epoch uint64
+	}
+	var ckpts []ckpt
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A checkpoint that never reached its rename: dead weight.
+			s.logf("store: %s: removing partial checkpoint %s", s.dir, name)
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				s.logf("store: %s: remove %s: %v", s.dir, name, err)
+			}
+			continue
+		}
+		if isCkptName(name) {
+			epoch, ok := ckptEpochOf(name)
+			if !ok {
+				s.logf("store: %s: ignoring unparseable checkpoint name %s", s.dir, name)
+				continue
+			}
+			ckpts = append(ckpts, ckpt{name: name, epoch: epoch})
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].epoch > ckpts[j].epoch })
+	var snap *Snapshot
+	for _, c := range ckpts {
+		data, err := os.ReadFile(filepath.Join(s.dir, c.name))
+		if err != nil {
+			s.logf("store: %s: skipping checkpoint %s: %v", s.dir, c.name, err)
+			continue
+		}
+		dec, err := DecodeSnapshot(data)
+		if err != nil {
+			s.logf("store: %s: skipping corrupt checkpoint %s: %v", s.dir, c.name, err)
+			continue
+		}
+		snap = dec
+		break
+	}
+	if snap == nil {
+		if len(ckpts) == 0 && s.walSize == 0 {
+			return nil, nil, ErrNoState
+		}
+		return nil, nil, fmt.Errorf("store: recover %s: no valid checkpoint: %w", s.dir, ErrCorrupt)
+	}
+
+	wal := make([]byte, s.walSize)
+	if _, err := s.wal.ReadAt(wal, 0); err != nil {
+		return nil, nil, fmt.Errorf("store: recover %s: read wal: %w", s.dir, err)
+	}
+	var batches []Batch
+	cur := snap.Epoch
+	off := 0
+	for off < len(wal) {
+		b, n, derr := DecodeRecord(wal[off:])
+		if derr != nil {
+			s.logf("store: %s: truncating torn wal tail at offset %d (%d bytes dropped): %v",
+				s.dir, off, len(wal)-off, derr)
+			break
+		}
+		if b.Epoch <= snap.Epoch {
+			off += n // pre-checkpoint record: superseded, skip
+			continue
+		}
+		if b.PrevEpoch() != cur {
+			s.logf("store: %s: truncating non-chaining wal tail at offset %d (batch epoch %d on top of %d, have %d)",
+				s.dir, off, b.Epoch, b.PrevEpoch(), cur)
+			break
+		}
+		batches = append(batches, b)
+		cur = b.Epoch
+		off += n
+	}
+	if int64(off) < s.walSize {
+		if err := s.wal.Truncate(int64(off)); err != nil {
+			return nil, nil, s.breakWith(fmt.Errorf("store: recover %s: truncate wal: %w", s.dir, err))
+		}
+		if err := s.wal.Sync(); err != nil {
+			return nil, nil, s.breakWith(fmt.Errorf("store: recover %s: sync wal: %w", s.dir, err))
+		}
+		s.walSize = int64(off)
+	}
+	return snap, batches, nil
+}
+
+// Reset discards all persisted state: the WAL is truncated and every
+// checkpoint (and temp file) removed, returning the directory to the
+// ErrNoState condition of a fresh dataset.
+func (s *FS) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if err := s.truncateWAL(); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: reset %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if isCkptName(name) || strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("store: reset %s: %w", s.dir, err)
+			}
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// Close releases the WAL handle; persisted state stays on disk.
+func (s *FS) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// syncDir fsyncs a directory so renames and removals within it are
+// durable (the temp-file-then-move pattern's second half).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,405 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// openQuiet opens an FS on dir with warnings captured into the returned
+// slice pointer instead of the process log.
+func openQuiet(t *testing.T, dir string) (*FS, *[]string) {
+	t.Helper()
+	fs, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := &[]string{}
+	fs.SetLogf(func(format string, args ...any) {
+		*warnings = append(*warnings, fmt.Sprintf(format, args...))
+	})
+	t.Cleanup(func() { fs.Close() })
+	return fs, warnings
+}
+
+// seedFS initializes dir with a checkpoint and the test batches appended.
+func seedFS(t *testing.T, dir string) (*Snapshot, []Batch) {
+	t.Helper()
+	fs, _ := openQuiet(t, dir)
+	snap, batches := testSnapshot(), testBatches()
+	if err := fs.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := fs.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return snap, batches
+}
+
+func TestFSRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := openQuiet(t, dir)
+	if _, _, err := fs.Recover(); !errors.Is(err, ErrNoState) {
+		t.Fatalf("fresh Recover: %v, want ErrNoState", err)
+	}
+	fs.Close()
+
+	snap, batches := seedFS(t, dir)
+	fs2, warns := openQuiet(t, dir)
+	gotSnap, gotBatches, err := fs2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSnap, snap) || !reflect.DeepEqual(gotBatches, batches) {
+		t.Fatalf("recover mismatch:\nsnap %+v vs %+v\nbatches %+v vs %+v",
+			gotSnap, snap, gotBatches, batches)
+	}
+	if len(*warns) != 0 {
+		t.Fatalf("clean recover logged warnings: %v", *warns)
+	}
+	// The store stays appendable after Recover.
+	next := Batch{Epoch: 11, Muts: []Mut{{Op: OpAddEdge, U: 5, V: 6, P: 0.5}, {Op: OpRemoveEdge, U: 5, V: 6}}}
+	if err := fs2.AppendBatch(next); err != nil {
+		t.Fatal(err)
+	}
+	fs2.Close()
+	fs3, _ := openQuiet(t, dir)
+	_, gotBatches, err = fs3.Recover()
+	if err != nil || len(gotBatches) != len(batches)+1 {
+		t.Fatalf("after append-post-recover: %d batches, err %v", len(gotBatches), err)
+	}
+}
+
+func TestFSCheckpointTruncatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	seedFS(t, dir)
+	fs, _ := openQuiet(t, dir)
+	if _, _, err := fs.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := testSnapshot()
+	snap2.Epoch = 9 // after the last test batch
+	if err := fs.Checkpoint(snap2); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(filepath.Join(dir, walName)); err != nil || st.Size() != 0 {
+		t.Fatalf("wal not truncated after checkpoint: %v / %d bytes", err, st.Size())
+	}
+	entries, _ := os.ReadDir(dir)
+	var ckpts []string
+	for _, e := range entries {
+		if isCkptName(e.Name()) {
+			ckpts = append(ckpts, e.Name())
+		}
+	}
+	if len(ckpts) != 1 || !strings.Contains(ckpts[0], fmt.Sprintf("%016x", uint64(9))) {
+		t.Fatalf("checkpoints after prune: %v, want exactly the epoch-9 one", ckpts)
+	}
+	gotSnap, gotBatches, err := fs.Recover()
+	if err != nil || gotSnap.Epoch != 9 || len(gotBatches) != 0 {
+		t.Fatalf("post-checkpoint recover: epoch %d, %d batches, err %v", gotSnap.Epoch, len(gotBatches), err)
+	}
+}
+
+// TestFSTornTailEveryOffset is the store-level crash harness: for every
+// truncation point inside the final WAL record, recovery must surface
+// exactly the fully-committed prefix, repair the file, and log a warning —
+// never error, never misparse.
+func TestFSTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	snap, batches := seedFS(t, master)
+	walBytes, err := os.ReadFile(filepath.Join(master, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(walBytes) - EncodedBatchSize(batches[len(batches)-1])
+	for cut := lastStart; cut < len(walBytes); cut++ {
+		dir := t.TempDir()
+		copyDir(t, master, dir)
+		if err := os.WriteFile(filepath.Join(dir, walName), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fs, warns := openQuiet(t, dir)
+		gotSnap, gotBatches, err := fs.Recover()
+		if err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if gotSnap.Epoch != snap.Epoch || !reflect.DeepEqual(gotBatches, batches[:len(batches)-1]) {
+			t.Fatalf("cut %d: recovered %d batches at epoch %d", cut, len(gotBatches), gotSnap.Epoch)
+		}
+		if cut > lastStart && len(*warns) == 0 {
+			t.Fatalf("cut %d: torn tail repaired silently", cut)
+		}
+		// The repair must be durable: a second recover is clean.
+		*warns = (*warns)[:0]
+		if _, reBatches, err := fs.Recover(); err != nil || len(reBatches) != len(batches)-1 || len(*warns) != 0 {
+			t.Fatalf("cut %d: re-recover not clean: %d batches, err %v, warns %v", cut, len(reBatches), err, *warns)
+		}
+		fs.Close()
+	}
+}
+
+// TestFSPartialTmpCheckpointIgnored simulates a crash mid-checkpoint: a
+// partial .tmp file (even one claiming a newer epoch) must be cleaned up
+// and never consulted.
+func TestFSPartialTmpCheckpointIgnored(t *testing.T) {
+	dir := t.TempDir()
+	snap, batches := seedFS(t, dir)
+	full := EncodeSnapshot(&Snapshot{Epoch: 99, N: 3, Edges: []Edge{{U: 0, V: 1, P: 0.5}}})
+	tmp := filepath.Join(dir, fmt.Sprintf("%s%016x%s.tmp", ckptPrefix, uint64(99), ckptSuffix))
+	if err := os.WriteFile(tmp, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, warns := openQuiet(t, dir)
+	gotSnap, gotBatches, err := fs.Recover()
+	if err != nil || gotSnap.Epoch != snap.Epoch || len(gotBatches) != len(batches) {
+		t.Fatalf("recover with tmp present: epoch %d, %d batches, err %v", gotSnap.Epoch, len(gotBatches), err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("partial .tmp checkpoint not removed")
+	}
+	if len(*warns) == 0 {
+		t.Fatal("partial .tmp checkpoint removed silently")
+	}
+}
+
+// TestFSCorruptNewestCheckpointFallsBack: a corrupt (renamed) newest
+// checkpoint is skipped for the older valid one; WAL records that only
+// chain from the newer epoch are then truncated as unreachable.
+func TestFSCorruptNewestCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := openQuiet(t, dir)
+	old := testSnapshot()
+	if err := fs.Checkpoint(old); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a corrupt newer checkpoint next to it.
+	bad := EncodeSnapshot(&Snapshot{Epoch: 50, N: 3})
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(fs.ckptPath(50), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, gotBatches, err := fs.Recover()
+	if err != nil || gotSnap.Epoch != old.Epoch || len(gotBatches) != 0 {
+		t.Fatalf("fallback recover: snap %+v, %d batches, err %v", gotSnap, len(gotBatches), err)
+	}
+}
+
+// TestFSStaleWALRecordsSkipped simulates a crash between checkpoint
+// rename and WAL truncation: records at or before the checkpoint epoch
+// are skipped, later ones still replay.
+func TestFSStaleWALRecordsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	snap, batches := seedFS(t, dir)
+	// Checkpoint at the second batch's epoch, but resurrect the full WAL
+	// afterwards as if the truncate never happened.
+	walBytes, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := openQuiet(t, dir)
+	mid := snap.Clone()
+	mid.Epoch = batches[1].Epoch
+	if err := fs.Checkpoint(mid); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	if err := os.WriteFile(filepath.Join(dir, walName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _ := openQuiet(t, dir)
+	gotSnap, gotBatches, err := fs2.Recover()
+	if err != nil || gotSnap.Epoch != mid.Epoch {
+		t.Fatalf("recover: epoch %d, err %v", gotSnap.Epoch, err)
+	}
+	if !reflect.DeepEqual(gotBatches, batches[2:]) {
+		t.Fatalf("stale-skip replay: got %+v, want %+v", gotBatches, batches[2:])
+	}
+}
+
+// TestFSFaultAtEverySeam injects an error at each filesystem seam in turn
+// and asserts (a) the mutating call fails cleanly, and (b) a fresh open
+// of the directory still recovers a consistent committed state — the
+// acknowledged prefix, never a torn or half-applied one.
+func TestFSFaultAtEverySeam(t *testing.T) {
+	injected := errors.New("injected fault")
+	for _, seam := range FSSeams {
+		t.Run(seam, func(t *testing.T) {
+			dir := t.TempDir()
+			snap, batches := seedFS(t, dir)
+			fs, _ := openQuiet(t, dir)
+			if _, _, err := fs.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			fs.SetFault(func(op string) error {
+				if op == seam {
+					return injected
+				}
+				return nil
+			})
+			next := Batch{Epoch: 10, Muts: []Mut{{Op: OpAddEdge, U: 6, V: 7, P: 0.5}}}
+			appendErr := fs.AppendBatch(next)
+			ck := snap.Clone()
+			ck.Epoch = batches[len(batches)-1].Epoch
+			ckptErr := fs.Checkpoint(ck)
+			if appendErr == nil && ckptErr == nil {
+				t.Fatalf("seam %s: neither append nor checkpoint surfaced the fault", seam)
+			}
+			for _, err := range []error{appendErr, ckptErr} {
+				if err != nil && !errors.Is(err, injected) && !errors.Is(err, fs.broken) && !strings.Contains(err.Error(), "injected fault") {
+					t.Fatalf("seam %s: unexpected error %v", seam, err)
+				}
+			}
+			fs.Close()
+
+			// Whatever happened, a reopen recovers a consistent epoch:
+			// either the pre-fault committed state or a later acknowledged
+			// one, with batches chaining from the checkpoint.
+			fs2, _ := openQuiet(t, dir)
+			gotSnap, gotBatches, err := fs2.Recover()
+			if err != nil {
+				t.Fatalf("seam %s: post-fault recover: %v", seam, err)
+			}
+			epoch := gotSnap.Epoch
+			for _, b := range gotBatches {
+				if b.PrevEpoch() != epoch {
+					t.Fatalf("seam %s: non-chaining recovered batch %d on %d", seam, b.Epoch, epoch)
+				}
+				epoch = b.Epoch
+			}
+			lastCommitted := batches[len(batches)-1].Epoch
+			if appendErr == nil {
+				lastCommitted = next.Epoch
+			}
+			if epoch != lastCommitted {
+				t.Fatalf("seam %s: recovered epoch %d, want %d", seam, epoch, lastCommitted)
+			}
+		})
+	}
+}
+
+// TestFSFaultSeamOrdering records the seam sequence of an append and a
+// checkpoint, pinning the durability ordering: WAL write+fsync completes
+// before AppendBatch returns, and a checkpoint fsyncs and renames the
+// snapshot (then fsyncs the directory) before touching the WAL.
+func TestFSFaultSeamOrdering(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := openQuiet(t, dir)
+	var ops []string
+	fs.SetFault(func(op string) error {
+		ops = append(ops, op)
+		return nil
+	})
+	if err := fs.Checkpoint(testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	wantCkpt := []string{"snap.create", "snap.write", "snap.sync", "snap.close", "snap.rename", "dir.sync", "wal.truncate", "wal.sync"}
+	if !reflect.DeepEqual(ops, wantCkpt) {
+		t.Fatalf("checkpoint seam order:\n got %v\nwant %v", ops, wantCkpt)
+	}
+	ops = nil
+	if err := fs.AppendBatch(testBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"wal.write", "wal.sync"}; !reflect.DeepEqual(ops, want) {
+		t.Fatalf("append seam order:\n got %v\nwant %v", ops, want)
+	}
+}
+
+// TestFSSyncFaultRollsBack: a failed WAL fsync rolls the file back to the
+// acknowledged offset — the unacknowledged record must not resurface on
+// recovery — and the store stays usable when the rollback lands.
+func TestFSSyncFaultRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	snap, batches := testSnapshot(), testBatches()
+	fs, _ := openQuiet(t, dir)
+	if err := fs.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendBatch(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("disk on fire")
+	fs.SetFault(func(op string) error {
+		if op == "wal.sync" {
+			return injected
+		}
+		return nil
+	})
+	if err := fs.AppendBatch(batches[1]); !errors.Is(err, injected) {
+		t.Fatalf("append with failing sync: %v", err)
+	}
+	fs.SetFault(nil)
+	// The rolled-back store keeps serving; the failed batch is gone and a
+	// retry of the same epoch range commits cleanly.
+	if err := fs.AppendBatch(batches[1]); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	fs.Close()
+	fs2, _ := openQuiet(t, dir)
+	_, got, err := fs2.Recover()
+	if err != nil || len(got) != 2 {
+		t.Fatalf("recover after rollback: %d batches, err %v", len(got), err)
+	}
+}
+
+// TestFSBrokenWhenRollbackFails: when BOTH the fsync and its rollback
+// fail, the tail is untrustworthy and the store latches broken until a
+// reopen re-validates from disk.
+func TestFSBrokenWhenRollbackFails(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := openQuiet(t, dir)
+	if err := fs.Checkpoint(testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("disk on fire")
+	fs.SetFault(func(op string) error {
+		if op == "wal.sync" || op == "wal.rollback.sync" {
+			return injected
+		}
+		return nil
+	})
+	if err := fs.AppendBatch(testBatches()[0]); !errors.Is(err, injected) {
+		t.Fatalf("append with failing sync+rollback: %v", err)
+	}
+	fs.SetFault(nil)
+	if err := fs.AppendBatch(testBatches()[0]); err == nil {
+		t.Fatal("store not latched broken after failed fsync+rollback")
+	}
+	if _, _, err := fs.Recover(); err == nil {
+		t.Fatal("broken store allowed Recover without reopen")
+	}
+	fs.Close()
+	// The reopen path is the escape hatch: state on disk is still the
+	// acknowledged prefix (the rollback's truncate did land here).
+	fs2, _ := openQuiet(t, dir)
+	if _, got, err := fs2.Recover(); err != nil || len(got) != 0 {
+		t.Fatalf("reopen after broken: %d batches, err %v", len(got), err)
+	}
+}
+
+func copyDir(t *testing.T, from, to string) {
+	t.Helper()
+	entries, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(from, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(to, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package store implements per-dataset durability for the serving tier: a
+// write-ahead log of committed mutation batches plus periodic full-graph
+// snapshot checkpoints, behind a small pluggable Store interface.
+//
+// The protocol is the classic WAL + checkpoint pair:
+//
+//   - Every committed Engine.Apply batch is appended to the WAL as one
+//     length-prefixed, CRC32C-framed record carrying the post-batch epoch
+//     and the encoded mutations — and fsynced — BEFORE the new snapshot is
+//     rotated in. An acknowledged mutation therefore survives a crash.
+//   - A checkpoint serializes the whole frozen graph (the CSR epoch is
+//     already an immutable flat array — the snapshot file is just its
+//     portable form) to a temp file, fsyncs, renames it into place, fsyncs
+//     the directory, and only then truncates the WAL. The rename is the
+//     commit point; a crash at any earlier step leaves the previous
+//     checkpoint + full WAL intact.
+//   - Recover loads the newest valid checkpoint and returns the WAL
+//     batches committed after it, in order, for replay through the same
+//     mutation machinery that produced them — arriving at the exact
+//     committed epoch, bit-identical to the engine that crashed.
+//
+// Recovery is tail-tolerant by construction: a torn or corrupt final WAL
+// record (short frame, length out of range, CRC mismatch, or an epoch that
+// does not chain) is truncated with a logged warning — never a panic, an
+// over-read, or a silently misparsed batch. Anything before the torn tail
+// was fsynced by an acknowledged Apply and is replayed exactly.
+//
+// Two implementations ship: FS persists to plain append-only files in one
+// directory per dataset (the default production backend), and Mem keeps
+// everything in process memory (tests, and the seam a future replicated
+// backend plugs into).
+package store
+
+import "errors"
+
+// ErrNoState reports a Recover against a store that holds no persisted
+// state at all — a fresh directory. Callers initialize with Checkpoint.
+var ErrNoState = errors.New("store: no persisted state")
+
+// ErrCorrupt reports persisted state that cannot be recovered even with
+// tail truncation: no checkpoint decodes, or a WAL batch fails to replay.
+var ErrCorrupt = errors.New("store: corrupt state")
+
+// ErrClosed reports an operation against a Close()d store.
+var ErrClosed = errors.New("store: closed")
+
+// MutOp is the on-disk mutation kind tag. Values are part of the WAL
+// format and must never be renumbered.
+type MutOp uint8
+
+const (
+	// OpAddEdge inserts edge (U, V) with probability P.
+	OpAddEdge MutOp = 1
+	// OpSetProb re-estimates edge (U, V)'s probability to P.
+	OpSetProb MutOp = 2
+	// OpRemoveEdge deletes edge (U, V). P must be zero.
+	OpRemoveEdge MutOp = 3
+)
+
+// Mut is one edge mutation as persisted in a WAL record.
+type Mut struct {
+	Op   MutOp
+	U, V int32
+	P    float64
+}
+
+// Batch is one committed mutation batch: Epoch is the graph epoch AFTER
+// the batch applied (each mutation advances the epoch by exactly one, so
+// the pre-batch epoch is Epoch - len(Muts)).
+type Batch struct {
+	Epoch uint64
+	Muts  []Mut
+}
+
+// PrevEpoch returns the epoch the batch applies on top of.
+func (b Batch) PrevEpoch() uint64 { return b.Epoch - uint64(len(b.Muts)) }
+
+// Edge is one edge of a checkpointed graph, in edge-ID order.
+type Edge struct {
+	U, V int32
+	P    float64
+}
+
+// Snapshot is a full frozen graph state: everything needed to rebuild the
+// mutable graph (and its CSR) bit-identically, including the epoch the
+// rebuilt graph must report.
+type Snapshot struct {
+	Epoch    uint64
+	Directed bool
+	N        int32
+	Edges    []Edge
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Edges = append([]Edge(nil), s.Edges...)
+	return &c
+}
+
+// Store is the per-dataset durability backend. Implementations must make
+// AppendBatch durable before returning (a crash after an acknowledged
+// append must not lose the batch) and must make Checkpoint atomic (a crash
+// mid-checkpoint must leave the previous recoverable state intact).
+//
+// A Store instance belongs to one dataset and one Engine; the Engine
+// serializes calls (under its Apply lock), so implementations need only be
+// safe for sequential use plus a concurrent Close.
+type Store interface {
+	// AppendBatch durably appends one committed mutation batch.
+	AppendBatch(b Batch) error
+	// Checkpoint atomically persists a full snapshot and truncates the
+	// WAL: recovery afterwards starts from this snapshot.
+	Checkpoint(s *Snapshot) error
+	// Recover returns the newest valid checkpoint and the WAL batches
+	// committed after it, in commit order, ready for replay. It returns
+	// ErrNoState when nothing has ever been persisted. Implementations
+	// repair a torn WAL tail in place (truncating it) rather than failing.
+	Recover() (*Snapshot, []Batch, error)
+	// Reset discards all persisted state, returning the store to the
+	// ErrNoState condition. Used when (re)initializing a dataset.
+	Reset() error
+	// Close releases the backend's resources. The persisted state stays.
+	Close() error
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testBatches() []Batch {
+	return []Batch{
+		{Epoch: 5, Muts: []Mut{{Op: OpAddEdge, U: 0, V: 1, P: 0.5}}},
+		{Epoch: 8, Muts: []Mut{
+			{Op: OpSetProb, U: 0, V: 1, P: 1},
+			{Op: OpAddEdge, U: 2, V: 3, P: 0},
+			{Op: OpRemoveEdge, U: 0, V: 1},
+		}},
+		{Epoch: 9, Muts: []Mut{{Op: OpAddEdge, U: 7, V: 4, P: 1e-9}}},
+	}
+}
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Epoch:    4,
+		Directed: true,
+		N:        9,
+		Edges: []Edge{
+			{U: 0, V: 1, P: 0.25},
+			{U: 8, V: 0, P: 1},
+			{U: 3, V: 4, P: 0.9999999999999999},
+		},
+	}
+}
+
+func encodeAll(batches []Batch) []byte {
+	var out []byte
+	for _, b := range batches {
+		out = append(out, EncodeBatch(b)...)
+	}
+	return out
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, b := range testBatches() {
+		enc := EncodeBatch(b)
+		if len(enc) != EncodedBatchSize(b) {
+			t.Fatalf("EncodedBatchSize=%d, encoded %d bytes", EncodedBatchSize(b), len(enc))
+		}
+		dec, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if !reflect.DeepEqual(dec, b) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", dec, b)
+		}
+	}
+}
+
+func TestDecodeWALPrefix(t *testing.T) {
+	batches := testBatches()
+	wal := encodeAll(batches)
+	dec, n := DecodeWAL(wal)
+	if n != len(wal) || !reflect.DeepEqual(dec, batches) {
+		t.Fatalf("clean WAL: consumed %d/%d, %d batches", n, len(wal), len(dec))
+	}
+	// Every truncation of the last record must surface exactly the first
+	// two batches and a valid prefix ending where the last record starts.
+	lastStart := len(wal) - len(EncodeBatch(batches[2]))
+	for cut := lastStart; cut < len(wal); cut++ {
+		dec, n := DecodeWAL(wal[:cut])
+		if n != lastStart {
+			t.Fatalf("cut %d: valid prefix %d, want %d", cut, n, lastStart)
+		}
+		if !reflect.DeepEqual(dec, batches[:2]) {
+			t.Fatalf("cut %d: decoded %d batches, want 2", cut, len(dec))
+		}
+	}
+	// A flipped payload byte in the middle record kills it and everything
+	// after (the scan cannot trust the framing past a bad CRC).
+	corrupt := append([]byte(nil), wal...)
+	mid := len(EncodeBatch(batches[0])) + walFrameHeader + 3
+	corrupt[mid] ^= 0x40
+	dec, n = DecodeWAL(corrupt)
+	if len(dec) != 1 || n != len(EncodeBatch(batches[0])) {
+		t.Fatalf("corrupt middle: got %d batches, prefix %d", len(dec), n)
+	}
+}
+
+func TestDecodeRecordRejects(t *testing.T) {
+	good := EncodeBatch(testBatches()[0])
+	flip := func(i int) []byte {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		return bad
+	}
+	cases := map[string][]byte{
+		"short header":  good[:4],
+		"torn payload":  good[:len(good)-1],
+		"bad length":    flip(0),
+		"bad crc":       flip(4),
+		"bad op":        flip(walFrameHeader + walBatchHeader),
+		"empty":         {},
+		"zero-count":    EncodeBatch(Batch{Epoch: 1, Muts: nil}),
+		"epoch<count":   EncodeBatch(Batch{Epoch: 0, Muts: []Mut{{Op: OpAddEdge, U: 0, V: 1, P: 0.5}}}),
+		"nan p":         EncodeBatch(Batch{Epoch: 1, Muts: []Mut{{Op: OpAddEdge, U: 0, V: 1, P: math.NaN()}}}),
+		"p>1":           EncodeBatch(Batch{Epoch: 1, Muts: []Mut{{Op: OpSetProb, U: 0, V: 1, P: 1.5}}}),
+		"remove with p": EncodeBatch(Batch{Epoch: 1, Muts: []Mut{{Op: OpRemoveEdge, U: 0, V: 1, P: 0.5}}}),
+		"unknown op":    EncodeBatch(Batch{Epoch: 1, Muts: []Mut{{Op: 9, U: 0, V: 1, P: 0.5}}}),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeRecord(data); err == nil {
+			t.Errorf("%s: decode accepted invalid record", name)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, s := range []*Snapshot{
+		testSnapshot(),
+		{Epoch: 0, Directed: false, N: 0, Edges: nil},
+		{Epoch: 1 << 40, Directed: false, N: 2, Edges: []Edge{{U: 1, V: 0, P: 0.5}}},
+	} {
+		enc := EncodeSnapshot(s)
+		dec, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		want := s.Clone()
+		if want.Edges == nil {
+			want.Edges = []Edge{}
+		}
+		if !reflect.DeepEqual(dec, want) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", dec, want)
+		}
+		if re := EncodeSnapshot(dec); !reflect.DeepEqual(re, enc) {
+			t.Fatalf("re-encode not byte-identical")
+		}
+	}
+}
+
+func TestSnapshotDecodeRejects(t *testing.T) {
+	good := EncodeSnapshot(testSnapshot())
+	flip := func(i int) []byte {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x01
+		return bad
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         good[:10],
+		"bad magic":     flip(0),
+		"bad directed":  flip(16),
+		"bad crc":       flip(len(good) - 1),
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte(nil), good...), 0),
+		"self loop":     EncodeSnapshot(&Snapshot{N: 3, Edges: []Edge{{U: 1, V: 1, P: 0.5}}}),
+		"range":         EncodeSnapshot(&Snapshot{N: 3, Edges: []Edge{{U: 1, V: 5, P: 0.5}}}),
+		"bad p":         EncodeSnapshot(&Snapshot{N: 3, Edges: []Edge{{U: 1, V: 2, P: 2}}}),
+		"negative node": EncodeSnapshot(&Snapshot{N: 3, Edges: []Edge{{U: -1, V: 2, P: 0.5}}}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSnapshot(data); err == nil {
+			t.Errorf("%s: decode accepted invalid snapshot", name)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem()
+	if _, _, err := m.Recover(); !errors.Is(err, ErrNoState) {
+		t.Fatalf("fresh Recover: %v, want ErrNoState", err)
+	}
+	snap := testSnapshot()
+	if err := m.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches()
+	for _, b := range batches {
+		if err := m.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotSnap, gotBatches, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSnap, snap) || !reflect.DeepEqual(gotBatches, batches) {
+		t.Fatalf("recover mismatch")
+	}
+	// Mutating the recovered values must not alias the store.
+	gotSnap.Edges[0].P = 0.123
+	gotBatches[0].Muts[0].P = 0.456
+	again, againBatches, _ := m.Recover()
+	if again.Edges[0].P != snap.Edges[0].P || againBatches[0].Muts[0].P != batches[0].Muts[0].P {
+		t.Fatal("recovered state aliases store internals")
+	}
+	// Checkpoint truncates the log; stale batches are gone.
+	if err := m.Checkpoint(&Snapshot{Epoch: batches[len(batches)-1].Epoch, N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	_, gotBatches, err = m.Recover()
+	if err != nil || len(gotBatches) != 0 {
+		t.Fatalf("post-checkpoint recover: %d batches, err %v", len(gotBatches), err)
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Recover(); !errors.Is(err, ErrNoState) {
+		t.Fatalf("post-Reset Recover: %v, want ErrNoState", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendBatch(batches[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}

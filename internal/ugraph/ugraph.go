@@ -92,6 +92,16 @@ func (g *Graph) Directed() bool { return g.directed }
 // snapshot as CSR.Epoch.
 func (g *Graph) Version() uint64 { return g.version }
 
+// RestoreVersion overrides the mutation counter. It exists for durable
+// recovery: a graph rebuilt from a checkpoint plus WAL replay must freeze
+// to the exact epoch the committed state had, not to however many
+// constructor calls the rebuild used. Any cached frozen snapshot is
+// invalidated, so the next Freeze stamps v as the epoch.
+func (g *Graph) RestoreVersion(v uint64) {
+	g.version = v
+	g.frozen.Store(nil)
+}
+
 // mutate records one mutation: the version advances and the cached frozen
 // snapshot is invalidated (snapshots already handed out stay valid).
 func (g *Graph) mutate() {

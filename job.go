@@ -427,6 +427,12 @@ type EngineStats struct {
 	CacheHits, CacheMisses uint64
 	CacheLen, CacheCap     int
 	CacheInvalidated       uint64
+	// Durable reports whether the engine persists its graph (WithStorage);
+	// Checkpoints counts checkpoints cut (including the initial one) and
+	// CheckpointErrors the checkpoint attempts that failed (the batches stay
+	// safe in the WAL; the next Apply retries).
+	Durable                       bool
+	Checkpoints, CheckpointErrors uint64
 	// Closed reports that the engine was retired (Engine.Close).
 	Closed bool
 }
@@ -446,6 +452,9 @@ func (e *Engine) Stats() EngineStats {
 		Epoch:            e.Epoch(),
 		Applies:          e.applies.Load(),
 		MutationsApplied: e.mutationsApplied.Load(),
+		Durable:          e.store != nil,
+		Checkpoints:      e.checkpoints.Load(),
+		CheckpointErrors: e.checkpointErrors.Load(),
 		Closed:           e.closed.Load(),
 	}
 	if e.cache != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/store"
 )
 
 // ErrBadMutation marks a mutation batch the engine rejected: adding an
@@ -94,25 +96,23 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", i, len(muts), err)
 		}
-		var err error
-		switch m.Op {
-		case MutAddEdge:
-			_, err = g.AddEdge(m.U, m.V, m.P)
-		case MutSetProb:
-			if eid, ok := g.EdgeID(m.U, m.V); ok {
-				err = g.SetProb(eid, m.P)
-			} else {
-				err = fmt.Errorf("no edge (%d,%d)", m.U, m.V)
-			}
-		case MutRemoveEdge:
-			err = g.RemoveEdge(m.U, m.V)
-		default:
-			err = fmt.Errorf("unknown op %q", m.Op)
-		}
-		if err != nil {
+		if err := applyMutationTo(g, m); err != nil {
 			return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
 				i, m.Op, m.U, m.V, err, ErrBadMutation)
 		}
+	}
+	// Durability barrier: the validated batch goes to the WAL — and is
+	// fsynced — before the snapshot rotates. If the append fails the epoch
+	// does not advance and the caller may retry; recovery can therefore
+	// never see an epoch the log does not carry, and every epoch Apply
+	// acknowledged survives a crash.
+	var appended store.Batch
+	if e.store != nil {
+		b, err := e.appendToWAL(g, muts)
+		if err != nil {
+			return 0, fmt.Errorf("repro: Apply: durable append: %w", err)
+		}
+		appended = b
 	}
 	next := &engineSnapshot{g: g, csr: g.Freeze()}
 	// Rotate the cache epoch BEFORE publishing the snapshot: a query that
@@ -127,7 +127,37 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	e.snap.Store(next)
 	e.applies.Add(1)
 	e.mutationsApplied.Add(uint64(len(muts)))
+	if e.store != nil {
+		e.pendingBatches++
+		e.pendingBytes += int64(store.EncodedBatchSize(appended))
+		if e.pendingBatches >= e.ckptBatches || e.pendingBytes >= e.ckptBytes {
+			// Best-effort: the batch is already durable in the WAL, so a
+			// failed checkpoint does not fail the Apply — it shows up in
+			// Stats.CheckpointErrors and the next Apply retries.
+			_ = e.checkpointLocked(g)
+		}
+	}
 	return next.csr.Epoch(), nil
+}
+
+// applyMutationTo executes one mutation against g — the single switch both
+// Apply and durable WAL replay (RecoverEngine) go through, so a recovered
+// graph is rebuilt by exactly the operations that built the original.
+func applyMutationTo(g *Graph, m Mutation) error {
+	switch m.Op {
+	case MutAddEdge:
+		_, err := g.AddEdge(m.U, m.V, m.P)
+		return err
+	case MutSetProb:
+		if eid, ok := g.EdgeID(m.U, m.V); ok {
+			return g.SetProb(eid, m.P)
+		}
+		return fmt.Errorf("no edge (%d,%d)", m.U, m.V)
+	case MutRemoveEdge:
+		return g.RemoveEdge(m.U, m.V)
+	default:
+		return fmt.Errorf("unknown op %q", m.Op)
+	}
 }
 
 // Close retires the engine: new Submits and Applies fail with ErrClosed
@@ -138,6 +168,11 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 func (e *Engine) Close() {
 	e.applyMu.Lock()
 	already := e.closed.Swap(true)
+	if !already && e.store != nil {
+		// The WAL is fsynced on every Apply, so closing loses nothing;
+		// recovery replays whatever the last checkpoint missed.
+		_ = e.store.Close()
+	}
 	e.applyMu.Unlock()
 	if already {
 		return

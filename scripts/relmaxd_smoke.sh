@@ -14,6 +14,10 @@
 #          hits) and the per-dataset breakdown exists;
 # then restart with -queue-depth 1 -max-concurrent 1 and fire a submit
 # storm, asserting load shedding answers 503/ErrOverloaded end to end;
+# then run the durability walkthrough: start with -data-dir, mutate the
+# dataset, SIGTERM the server, relaunch with the same -data-dir and
+# assert the dataset comes back at the committed epoch with a
+# bit-identical estimate (restored, not re-seeded);
 # and finally check SIGINT triggers a clean graceful shutdown (exit 0).
 set -euo pipefail
 
@@ -213,6 +217,53 @@ curl -fsS "$OBASE/metrics" | jq -e '.jobs.rejected >= 1' >/dev/null \
 kill -INT "$PID"
 if ! wait "$PID"; then
   echo "FAIL: overload relmaxd exited non-zero on SIGINT"
+  exit 1
+fi
+
+echo "== durability: create -> mutate -> SIGTERM -> restart -> state survives"
+DADDR="127.0.0.1:18082"
+DBASE="http://$DADDR"
+DATA_DIR=$(mktemp -d)
+"$BIN" -addr "$DADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -workers 2 \
+  -data-dir "$DATA_DIR" &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$DBASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "FAIL: durable relmaxd died during startup"; exit 1; }
+  sleep 0.1
+done
+EPOCH0=$(curl -fsS "$DBASE/healthz" | jq -re '.datasets.lastfm.epoch')
+# Mutate: the acknowledged epoch is fsynced to the WAL before the 200.
+MUT=$(curl -fsS -X POST -d '{"mutations":[{"op":"set-prob","u":0,"v":2,"p":0.123}]}' \
+  "$DBASE/v2/datasets/lastfm/mutations")
+EPOCH1=$(echo "$MUT" | jq -re .epoch)
+[ "$EPOCH1" -gt "$EPOCH0" ] || { echo "FAIL: mutation did not advance the epoch"; exit 1; }
+EST_BEFORE=$(curl -fsS -X POST -d '{"pairs":[[0,9],[1,22]]}' "$DBASE/v1/estimate")
+kill -TERM "$PID"
+wait "$PID" || { echo "FAIL: durable relmaxd exited non-zero on SIGTERM"; exit 1; }
+# Relaunch with the same flags and data dir: the stored dataset must be
+# restored at the committed epoch (winning over the -dataset seed), and
+# the estimate must be bit-identical — same graph bytes, same seed.
+"$BIN" -addr "$DADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -workers 2 \
+  -data-dir "$DATA_DIR" &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$DBASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "FAIL: durable relmaxd died during restart"; exit 1; }
+  sleep 0.1
+done
+EPOCH2=$(curl -fsS "$DBASE/healthz" | jq -re '.datasets.lastfm.epoch')
+[ "$EPOCH2" = "$EPOCH1" ] || { echo "FAIL: restart lost the epoch ($EPOCH2, want $EPOCH1)"; exit 1; }
+EST_AFTER=$(curl -fsS -X POST -d '{"pairs":[[0,9],[1,22]]}' "$DBASE/v1/estimate")
+[ "$EST_AFTER" = "$EST_BEFORE" ] || {
+  echo "FAIL: estimate diverged across restart"; echo "before: $EST_BEFORE"; echo "after:  $EST_AFTER"; exit 1; }
+echo "restart: epoch $EPOCH1 and estimate survived"
+# DELETE drops the stored bytes: the next restart must NOT resurrect it.
+curl -fsS -X DELETE "$DBASE/v2/datasets/lastfm" >/dev/null
+[ -z "$(ls -A "$DATA_DIR")" ] || { echo "FAIL: DELETE left durable state behind: $(ls "$DATA_DIR")"; exit 1; }
+kill -INT "$PID"
+if ! wait "$PID"; then
+  echo "FAIL: durable relmaxd exited non-zero on SIGINT"
   exit 1
 fi
 trap - EXIT
