@@ -15,9 +15,10 @@ test:
 
 # Race-check the concurrency-bearing packages: parallel sampler, solvers,
 # the root package (Engine's concurrent-use contract, including the
-# durability tests), the persistence layer and the HTTP server.
+# durability tests), the persistence layer, the replication subsystem and
+# the HTTP server.
 race:
-	$(GO) test -race . ./internal/sampling/... ./internal/core/... ./internal/store ./cmd/relmaxd
+	$(GO) test -race . ./internal/sampling/... ./internal/core/... ./internal/store ./internal/replication ./cmd/relmaxd
 
 # Full benchmark run with stable settings for recording numbers.
 bench:

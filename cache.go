@@ -125,6 +125,18 @@ func (c *resultCache) removeLocked(el *list.Element) {
 	}
 }
 
+// purge drops every entry unconditionally. Replica re-bootstrap uses it:
+// ResetToSnapshot may move the epoch to an arbitrary value (including
+// backwards), and an old entry whose epoch happened to collide with the new
+// one would serve a result from a graph that no longer exists.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for back := c.ll.Back(); back != nil; back = c.ll.Back() {
+		c.removeLocked(back)
+	}
+}
+
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

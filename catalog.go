@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // ErrDatasetExists reports a Catalog.Create/Load against a name already
@@ -51,6 +53,10 @@ type Catalog struct {
 	// from it, DropStorage deletes it. Dataset names are slash- and
 	// space-free (checkName), so they are safe directory names.
 	storageRoot string
+	// storeWrapper, when non-nil (SetStoreWrapper), interposes on every
+	// durable dataset's store — the replication seam: a primary wraps each
+	// store in a feed tap that publishes committed batches to subscribers.
+	storeWrapper func(name string, s store.Store) store.Store
 }
 
 // DatasetInfo describes one registered dataset: its current graph epoch
@@ -109,14 +115,27 @@ func (c *Catalog) Create(name string, g *Graph, opts ...EngineOption) (*Engine, 
 			name, len(c.engines)+len(c.pending), c.limit, ErrCatalogFull)
 	}
 	c.pending[name] = true
-	root := c.storageRoot
+	root, wrap := c.storageRoot, c.storeWrapper
 	c.mu.Unlock()
 
 	all := append([]EngineOption(nil), c.defaults...)
+	var wrapped store.Store
 	if root != "" {
 		// Injected between defaults and per-dataset options, so a caller
-		// can still override the store (e.g. WithStore in tests).
-		all = append(all, WithStorage(filepath.Join(root, name)))
+		// can still override the store (e.g. WithStore in tests). With a
+		// store wrapper configured the catalog opens the filesystem store
+		// itself so the wrapper can interpose on it.
+		if wrap != nil {
+			fs, err := store.OpenFS(filepath.Join(root, name))
+			if err != nil {
+				c.release(name)
+				return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
+			}
+			wrapped = wrap(name, fs)
+			all = append(all, WithStore(wrapped))
+		} else {
+			all = append(all, WithStorage(filepath.Join(root, name)))
+		}
 	}
 	eng, err := NewEngine(g, append(all, opts...)...)
 
@@ -127,9 +146,23 @@ func (c *Catalog) Create(name string, g *Graph, opts ...EngineOption) (*Engine, 
 	}
 	c.mu.Unlock()
 	if err != nil {
+		if wrapped != nil {
+			// NewEngine only closes the store when initStorage itself fails;
+			// earlier construction errors leave it open. Both FS.Close and
+			// any sane wrapper are idempotent, so double-close is safe.
+			wrapped.Close()
+		}
 		return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
 	}
 	return eng, nil
+}
+
+// release drops a pending-name reservation after a build failed before
+// NewEngine ran.
+func (c *Catalog) release(name string) {
+	c.mu.Lock()
+	delete(c.pending, name)
+	c.mu.Unlock()
 }
 
 // Load registers a new dataset read from an edge-list file at path (the
@@ -246,6 +279,63 @@ func (c *Catalog) SetStorage(root string) error {
 	return nil
 }
 
+// SetStoreWrapper interposes wrap on the store of every dataset
+// subsequently Created or Restored under a storage root: the catalog opens
+// the dataset's filesystem store, passes it through wrap, and hands the
+// result to the engine (which owns it from then on — Engine.Close closes
+// the wrapper, which must close the inner store and be idempotent). This is
+// the replication seam: a primary wraps each dataset store in a feed tap
+// (internal/replication) that publishes committed batches to subscribed
+// replicas. Like WithStore, the signature names an internal type, so the
+// hook is usable from inside the module only. A nil wrap removes the hook.
+func (c *Catalog) SetStoreWrapper(wrap func(name string, s store.Store) store.Store) {
+	c.mu.Lock()
+	c.storeWrapper = wrap
+	c.mu.Unlock()
+}
+
+// CreateFromSnapshot registers a dataset bootstrapped from a shipped
+// primary checkpoint (see GraphFromSnapshot): the engine starts at the
+// snapshot's exact epoch and answers bit-identically to the primary's
+// pinned snapshot of that epoch. The dataset is deliberately NOT durable
+// even under a storage root — a replica's state is a cache of the
+// primary's log, rebuilt over the feed on restart, never a second source
+// of truth. Registration semantics match Create.
+func (c *Catalog) CreateFromSnapshot(name string, s *store.Snapshot, opts ...EngineOption) (*Engine, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.engines[name]; ok || c.pending[name] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, ErrDatasetExists)
+	}
+	if c.limit > 0 && len(c.engines)+len(c.pending) >= c.limit {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("repro: dataset %q: %d datasets served or building (limit %d): %w",
+			name, len(c.engines)+len(c.pending), c.limit, ErrCatalogFull)
+	}
+	c.pending[name] = true
+	c.mu.Unlock()
+
+	g, err := GraphFromSnapshot(s)
+	var eng *Engine
+	if err == nil {
+		eng, err = NewEngine(g, append(append([]EngineOption(nil), c.defaults...), opts...)...)
+	}
+
+	c.mu.Lock()
+	delete(c.pending, name)
+	if err == nil {
+		c.engines[name] = eng
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("repro: dataset %q: %w", name, err)
+	}
+	return eng, nil
+}
+
 // Restore registers a dataset recovered from the catalog's storage root:
 // the newest valid checkpoint under root/<name> plus its WAL replayed to
 // the exact committed epoch (see OpenEngine). Registration semantics match
@@ -273,10 +363,25 @@ func (c *Catalog) Restore(name string, opts ...EngineOption) (*Engine, error) {
 			name, len(c.engines)+len(c.pending), c.limit, ErrCatalogFull)
 	}
 	c.pending[name] = true
+	wrap := c.storeWrapper
 	c.mu.Unlock()
 
-	eng, err := OpenEngine(filepath.Join(root, name),
-		append(append([]EngineOption(nil), c.defaults...), opts...)...)
+	var eng *Engine
+	var err error
+	recoverOpts := append(append([]EngineOption(nil), c.defaults...), opts...)
+	if wrap != nil {
+		var fs *store.FS
+		fs, err = store.OpenFS(filepath.Join(root, name))
+		if err == nil {
+			wrapped := wrap(name, fs)
+			eng, err = RecoverEngine(wrapped, recoverOpts...)
+			if err != nil {
+				wrapped.Close()
+			}
+		}
+	} else {
+		eng, err = OpenEngine(filepath.Join(root, name), recoverOpts...)
+	}
 
 	c.mu.Lock()
 	delete(c.pending, name)

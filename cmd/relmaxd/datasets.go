@@ -155,6 +155,11 @@ func (s *server) handleDatasetClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	evicted, cancelled := s.jobs.closeDataset(name)
+	// The feed tap died with the engine's store; drop the registry entry so
+	// followers get a clean 404 (dataset gone) instead of 410 (closing).
+	if s.taps != nil {
+		s.taps.remove(name)
+	}
 	// A deleted dataset's durable state goes with it: the engine was
 	// already retired above, so the bytes are cold. Best-effort — a failed
 	// removal is logged and the worst case is an orphan directory that the

@@ -212,9 +212,13 @@ type progressJSON struct {
 // only for successfully finished jobs; its shape depends on the kind
 // (solve → the /v1 solve payload, estimate → {"reliability": x}, ...).
 type jobJSON struct {
-	ID       string        `json:"id"`
-	Dataset  string        `json:"dataset"`
-	Kind     string        `json:"kind"`
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	Kind    string `json:"kind"`
+	// Epoch is the graph epoch the job pinned at submit; every status
+	// response repeats it (and the X-Repro-Epoch header) so clients can
+	// bound staleness behind the router.
+	Epoch    uint64        `json:"epoch"`
 	Status   string        `json:"status"`
 	CacheHit bool          `json:"cache_hit"`
 	Key      string        `json:"key"`
@@ -229,6 +233,7 @@ func jobJSONOf(sj *storedJob) jobJSON {
 		ID:       st.ID,
 		Dataset:  sj.dataset,
 		Kind:     string(st.Kind),
+		Epoch:    sj.job.Epoch(),
 		Status:   string(st.State),
 		CacheHit: st.CacheHit,
 		Key:      st.Key,
@@ -246,20 +251,25 @@ func jobJSONOf(sj *storedJob) jobJSON {
 		if err != nil {
 			jj.Error = err.Error()
 		} else {
-			jj.Result = resultJSONOf(res)
+			jj.Result = resultJSONOf(res, jj.Epoch)
 		}
 	}
 	return jj
 }
 
-// resultJSONOf renders a query result in the kind's wire shape.
-func resultJSONOf(res repro.Result) any {
+// resultJSONOf renders a query result in the kind's wire shape. Every kind
+// carries the job's pinned epoch so /v1 and /v2 payloads for the same query
+// are identical field for field.
+func resultJSONOf(res repro.Result, epoch uint64) any {
 	switch res.Kind {
 	case repro.QuerySolve:
-		return solveResponseOf(res.Solution)
+		sr := solveResponseOf(res.Solution)
+		sr.Epoch = epoch
+		return sr
 	case repro.QueryMulti:
 		m := res.Multi
 		return map[string]any{
+			"epoch":     epoch,
 			"method":    string(m.Method),
 			"aggregate": string(m.Aggregate),
 			"edges":     toEdgeJSON(m.Edges),
@@ -270,6 +280,7 @@ func resultJSONOf(res repro.Result) any {
 	case repro.QueryTotalBudget:
 		tb := res.TotalBudget
 		return map[string]any{
+			"epoch": epoch,
 			"edges": toEdgeJSON(tb.Edges),
 			"spent": tb.Spent,
 			"base":  tb.Base,
@@ -277,9 +288,9 @@ func resultJSONOf(res repro.Result) any {
 			"gain":  tb.Gain,
 		}
 	case repro.QueryEstimate:
-		return map[string]any{"reliability": res.Reliability}
+		return map[string]any{"epoch": epoch, "reliability": res.Reliability}
 	case repro.QueryEstimateMany:
-		return estimateResponse{Reliabilities: res.Reliabilities}
+		return estimateResponse{Epoch: epoch, Reliabilities: res.Reliabilities}
 	}
 	return nil
 }
@@ -317,6 +328,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	sj := s.jobs.add(dataset, job)
+	setEpochHeader(w, job.Epoch())
 	writeJSON(w, http.StatusAccepted, jobJSONOf(sj))
 }
 
@@ -326,6 +338,7 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
 		return
 	}
+	setEpochHeader(w, sj.job.Epoch())
 	writeJSON(w, http.StatusOK, jobJSONOf(sj))
 }
 
@@ -339,6 +352,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	// Cancellation is cooperative; report the current state and let the
 	// client poll GET /v2/jobs/{id} until it lands (within one sample
 	// block).
+	setEpochHeader(w, sj.job.Epoch())
 	writeJSON(w, http.StatusAccepted, jobJSONOf(sj))
 }
 

@@ -16,10 +16,29 @@
 // state, not a re-seeded copy; DELETE /v2/datasets/{name} also removes the
 // dataset's durable state.
 //
+// With -role the same binary forms a replication group. A primary (the
+// default role) with -data-dir additionally serves each dataset's
+// committed batches as a streaming feed. A replica (-role replica -follow
+// <primary>) starts empty, discovers the primary's datasets, bootstraps
+// each from a shipped checkpoint and applies the batch stream through the
+// same machinery crash recovery uses — serving reads at its own epoch,
+// bit-identically to the primary's same-epoch snapshot, with writes
+// rejected (403). Replicas take no -data-dir: their state is a cache of
+// the primary's log, rebuilt over the feed on restart or gap. A router
+// (-role router -follow <primary> -replicas <urls>) serves the same API
+// with no catalog of its own: reads round-robin across replicas, writes
+// and dataset lifecycle go to the primary, job IDs gain a backend prefix
+// so status polls route back to the backend that ran them, and /metrics
+// reports per-replica epoch lag. Every query-serving node must run
+// identical engine flags (-sampler, -z, -seed, -workers) — replicas
+// stream the primary's data, not its configuration.
+//
 //	relmaxd -addr :8080 -dataset lastfm -scale 0.05 -workers -1
 //	relmaxd -addr :8080 -datasets lastfm,astopo -z 1000 -cache 512
 //	relmaxd -addr :8080 -graph g.txt -max-concurrent 8 -queue-depth 128
 //	relmaxd -addr :8080 -dataset lastfm -data-dir /var/lib/relmaxd
+//	relmaxd -addr :8081 -role replica -follow http://primary:8080 -z 1000 -seed 1
+//	relmaxd -addr :8082 -role router -follow http://primary:8080 -replicas http://r1:8081,http://r2:8083
 //
 // Endpoints:
 //
@@ -40,8 +59,20 @@
 //	                               {"mutations":[{"op":"add-edge","u":0,"v":5,"p":0.4},
 //	                                             {"op":"set-prob","u":1,"v":2,"p":0.9},
 //	                                             {"op":"remove-edge","u":3,"v":4}]}
+//	GET    /v2/replication/feed/{name}
+//	                             — streaming feed of a dataset's committed batches
+//	                               (snapshot + tail + heartbeats; ?from= resumes)
 //	GET    /metrics              — qps, latency quantiles, queue depth, cache hits,
 //	                               plus a per-dataset breakdown (epoch, qps, jobs, cache)
+//	                               and the node's replication state (feeds or follower
+//	                               lag); ?format=prometheus (or an Accept header
+//	                               preferring text/plain) switches to Prometheus
+//	                               text exposition
+//
+// Every query response — /v1 payloads, job status and every job result
+// kind — carries the serving epoch, both as an "epoch" field and an
+// X-Repro-Epoch header, so callers can correlate answers across a
+// replication group.
 //
 // The /v1 endpoints are synchronous shims over the same job runner, so
 // both surfaces share one concurrency bound and one result cache. In-
@@ -84,6 +115,11 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request / per-job timeout (0 = none)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 
+		role         = flag.String("role", "primary", "serving role: primary, replica (read-only follower of -follow) or router")
+		follow       = flag.String("follow", "", "primary base URL, e.g. http://127.0.0.1:8080 (required for -role replica and router)")
+		replicasCSV  = flag.String("replicas", "", "comma-separated replica base URLs the router spreads reads across")
+		syncInterval = flag.Duration("sync-interval", 2*time.Second, "replica: how often to reconcile the dataset set against the primary")
+
 		dataDir     = flag.String("data-dir", "", "durable storage root: per-dataset WAL + checkpoints, datasets recovered on boot")
 		ckptBatches = flag.Int("checkpoint-batches", 0, "checkpoint after this many mutation batches (0 = default 64; needs -data-dir)")
 		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this much WAL growth in bytes (0 = default 4MiB; needs -data-dir)")
@@ -102,16 +138,72 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The router holds no catalog at all: build it and serve.
+	if *role == roleRouter {
+		if *follow == "" {
+			log.Fatalf("relmaxd: -role router requires -follow <primary URL>")
+		}
+		var replicaURLs []string
+		for _, u := range strings.Split(*replicasCSV, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaURLs = append(replicaURLs, u)
+			}
+		}
+		rt := newRouter(*follow, replicaURLs)
+		log.Printf("relmaxd: routing reads across %d replica(s), writes to %s, on %s",
+			len(replicaURLs), *follow, *addr)
+		serve(ctx, *addr, rt.handler(), *grace)
+		return
+	}
+
 	cfg := engineConfig{
 		scale: *scale, z: *z, sampler: *sampler, seed: *seed, workers: *workers,
 		cache: *cache, maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
 		dataDir: *dataDir, ckptBatches: *ckptBatches, ckptBytes: *ckptBytes,
 	}
-	catalog, err := buildCatalog(*graph, *datasets, *dataset, cfg)
+
+	var catalog *repro.Catalog
+	var taps *tapRegistry
+	var err error
+	switch *role {
+	case rolePrimary:
+		// A durable primary taps every dataset store for replication; the
+		// wrapper must be installed before buildCatalog restores anything,
+		// or restored datasets would serve without feeds.
+		if cfg.dataDir != "" {
+			taps = newTapRegistry()
+		}
+		catalog, err = buildCatalog(*graph, *datasets, *dataset, cfg, taps)
+	case roleReplica:
+		if *follow == "" {
+			log.Fatalf("relmaxd: -role replica requires -follow <primary URL>")
+		}
+		if cfg.dataDir != "" {
+			// Durability is the primary's job; a replica's local WAL would
+			// diverge from the primary's the moment it re-bootstrapped.
+			log.Fatalf("relmaxd: -data-dir is not supported with -role replica (replicas re-bootstrap from the feed)")
+		}
+		// The replica's catalog starts empty — the follower set populates it
+		// from the primary's feed — but inherits the same engine defaults,
+		// which MUST match the primary's flags for bit-identical answers.
+		catalog = newCatalogWithDefaults(cfg)
+	default:
+		log.Fatalf("relmaxd: unknown -role %q (primary, replica or router)", *role)
+	}
 	if err != nil {
 		log.Fatalf("relmaxd: %v", err)
 	}
 	srv := newServer(catalog, *timeout)
+	srv.role = *role
+	srv.taps = taps
+	if *role == roleReplica {
+		srv.replicas = newReplicaManager(srv, *follow, *syncInterval)
+		go srv.replicas.run(ctx)
+		log.Printf("relmaxd: replica following %s (sync every %v)", *follow, *syncInterval)
+	}
 	srv.defaultScale, srv.defaultSeed = *scale, *seed
 	catalog.SetMaxDatasets(*maxDatasets)
 	srv.limits = limits{
@@ -119,35 +211,34 @@ func main() {
 		MaxPairs: *maxPairs, MaxMutations: *maxMutations, MaxDatasets: *maxDatasets,
 		MaxBodyBytes: *maxBody,
 	}
+	log.Printf("relmaxd: serving %v on %s as %s (workers=%d, z=%d, sampler=%s, timeout=%v, cache=%d, max-concurrent=%d, queue-depth=%d)",
+		srv.names(), *addr, *role, *workers, *z, *sampler, *timeout, *cache, *maxConcurrent, *queueDepth)
+	serve(ctx, *addr, srv.handler(), *grace)
+}
+
+// serve runs one HTTP server until ctx fires, then shuts down gracefully:
+// stop accepting, let in-flight requests finish within the grace period
+// (their contexts also fire when the client goes away), then exit cleanly.
+func serve(ctx context.Context, addr string, handler http.Handler, grace time.Duration) {
 	// Read timeouts bound the request *transport* (slow-loris headers and
 	// bodies), complementing the per-request solve timeout which only
 	// starts once the body is decoded. The write timeout stays unset: the
-	// /v2 events endpoint streams for a job's whole lifetime.
+	// /v2 events endpoint and the replication feed stream indefinitely.
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.handler(),
+		Addr:              addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("relmaxd: serving %v on %s (workers=%d, z=%d, sampler=%s, timeout=%v, cache=%d, max-concurrent=%d, queue-depth=%d)",
-			srv.names(), *addr, *workers, *z, *sampler, *timeout, *cache, *maxConcurrent, *queueDepth)
-		errCh <- httpSrv.ListenAndServe()
-	}()
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:
 		log.Fatalf("relmaxd: %v", err)
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting, let in-flight requests
-		// finish within the grace period (their contexts also fire when
-		// the client goes away), then exit cleanly.
-		log.Printf("relmaxd: shutting down (grace %v)", *grace)
-		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		log.Printf("relmaxd: shutting down (grace %v)", grace)
+		shutCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("relmaxd: shutdown: %v", err)
@@ -181,21 +272,17 @@ type engineConfig struct {
 // With a data directory configured, datasets stored there are recovered
 // FIRST and win over same-named command-line seeds — a restart must serve
 // the committed, mutated state, not a fresh re-seed of it.
-func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*repro.Catalog, error) {
-	catalog := repro.NewCatalog(
-		repro.WithSamplerKind(cfg.sampler),
-		repro.WithSampleSize(cfg.z),
-		repro.WithSeed(cfg.seed),
-		repro.WithWorkers(cfg.workers),
-		repro.WithResultCache(cfg.cache),
-		repro.WithMaxConcurrent(cfg.maxConcurrent),
-		repro.WithQueueDepth(cfg.queueDepth),
-		repro.WithCheckpointEvery(cfg.ckptBatches, cfg.ckptBytes),
-	)
+func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig, taps *tapRegistry) (*repro.Catalog, error) {
+	catalog := newCatalogWithDefaults(cfg)
 	restored := make(map[string]bool)
 	if cfg.dataDir != "" {
 		if err := catalog.SetStorage(cfg.dataDir); err != nil {
 			return nil, err
+		}
+		if taps != nil {
+			// Interpose a replication tap on every dataset store the catalog
+			// opens from here on — restores below included.
+			catalog.SetStoreWrapper(taps.wrap)
 		}
 		names, err := catalog.StoredNames()
 		if err != nil {
@@ -252,4 +339,20 @@ func buildCatalog(graphPath, datasetsCSV, dataset string, cfg engineConfig) (*re
 		return nil, fmt.Errorf("no datasets to serve")
 	}
 	return catalog, nil
+}
+
+// newCatalogWithDefaults builds a catalog whose engine defaults mirror the
+// command-line flags — shared by every role that runs engines, so a replica
+// started with the primary's flags produces bit-identical query payloads.
+func newCatalogWithDefaults(cfg engineConfig) *repro.Catalog {
+	return repro.NewCatalog(
+		repro.WithSamplerKind(cfg.sampler),
+		repro.WithSampleSize(cfg.z),
+		repro.WithSeed(cfg.seed),
+		repro.WithWorkers(cfg.workers),
+		repro.WithResultCache(cfg.cache),
+		repro.WithMaxConcurrent(cfg.maxConcurrent),
+		repro.WithQueueDepth(cfg.queueDepth),
+		repro.WithCheckpointEvery(cfg.ckptBatches, cfg.ckptBytes),
+	)
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestBuildCatalogFromDatasets(t *testing.T) {
-	catalog, err := buildCatalog("", "lastfm, astopo", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, workers: 2})
+	catalog, err := buildCatalog("", "lastfm, astopo", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, workers: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestBuildCatalogFromDatasets(t *testing.T) {
 		t.Fatalf("datasets = %v", names)
 	}
 	// Single -dataset alias.
-	catalog, err = buildCatalog("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "mc", seed: 1})
+	catalog, err = buildCatalog("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "mc", seed: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestBuildCatalogFromGraphFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	catalog, err := buildCatalog(path, "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1})
+	catalog, err := buildCatalog(path, "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestBuildCatalogFromGraphFile(t *testing.T) {
 func TestBuildCatalogRestartSurvival(t *testing.T) {
 	dataDir := t.TempDir()
 	cfg := engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1, dataDir: dataDir}
-	catalog, err := buildCatalog("", "", "lastfm", cfg)
+	catalog, err := buildCatalog("", "", "lastfm", cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestBuildCatalogRestartSurvival(t *testing.T) {
 
 	// "Restart": same flags, same data dir. The stored dataset must come
 	// back at the mutated epoch, not as a fresh seed.
-	catalog2, err := buildCatalog("", "", "lastfm", cfg)
+	catalog2, err := buildCatalog("", "", "lastfm", cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestBuildCatalogRestartSurvival(t *testing.T) {
 
 	// A data dir alone (no dataset flags) is a valid boot: the server
 	// starts empty or with whatever is stored.
-	catalog3, err := buildCatalog("", "", "", cfg)
+	catalog3, err := buildCatalog("", "", "", cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,16 +112,16 @@ func TestBuildCatalogRestartSurvival(t *testing.T) {
 }
 
 func TestBuildCatalogErrors(t *testing.T) {
-	if _, err := buildCatalog("", "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
+	if _, err := buildCatalog("", "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}, nil); err == nil {
 		t.Fatal("no source accepted")
 	}
-	if _, err := buildCatalog("", "", "nope", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
+	if _, err := buildCatalog("", "", "nope", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}, nil); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if _, err := buildCatalog("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "bogus", seed: 1}); err == nil {
+	if _, err := buildCatalog("", "", "lastfm", engineConfig{scale: 0.03, z: 100, sampler: "bogus", seed: 1}, nil); err == nil {
 		t.Fatal("unknown sampler kind accepted")
 	}
-	if _, err := buildCatalog(filepath.Join(t.TempDir(), "missing.txt"), "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}); err == nil {
+	if _, err := buildCatalog(filepath.Join(t.TempDir(), "missing.txt"), "", "", engineConfig{scale: 0.03, z: 100, sampler: "rss", seed: 1}, nil); err == nil {
 		t.Fatal("missing graph file accepted")
 	}
 }

@@ -213,6 +213,37 @@ type metricsResponse struct {
 	// datasets come and go at runtime: request volume from the collector,
 	// epoch/job/cache numbers live from each engine.
 	Datasets map[string]datasetMetrics `json:"datasets"`
+	// Replication reports the server's role and, per dataset, either the
+	// primary's feed fan-out or the replica's follower progress. Nil when
+	// the process serves standalone (no taps, no followers).
+	Replication *replicationMetrics `json:"replication,omitempty"`
+}
+
+// replicationMetrics is the replication block of /metrics.
+type replicationMetrics struct {
+	Role string `json:"role"`
+	// Feeds is per-dataset feed state on a primary: the committed epoch the
+	// feed advertises, live subscriber count, and subscribers dropped for
+	// falling behind.
+	Feeds map[string]feedMetrics `json:"feeds,omitempty"`
+	// Followers is per-dataset progress on a replica; Lag is the epoch
+	// distance behind the primary as of the last frame seen.
+	Followers map[string]followerMetrics `json:"followers,omitempty"`
+}
+
+type feedMetrics struct {
+	Epoch       uint64 `json:"epoch"`
+	Subscribers int    `json:"subscribers"`
+	Drops       uint64 `json:"drops"`
+}
+
+type followerMetrics struct {
+	LastAppliedEpoch uint64 `json:"last_applied_epoch"`
+	PrimaryEpoch     uint64 `json:"primary_epoch"`
+	Lag              uint64 `json:"lag"`
+	Reconnects       uint64 `json:"reconnects"`
+	Bootstraps       uint64 `json:"bootstraps"`
+	BatchesApplied   uint64 `json:"batches_applied"`
 }
 
 // datasetMetrics is the per-dataset block of the /metrics payload.
@@ -240,6 +271,12 @@ type datasetMetrics struct {
 	Mutations struct {
 		Applies uint64 `json:"applies"`
 		Applied uint64 `json:"applied"`
+		// ReplicatedApplies/ReplicatedApplied count batches and mutations
+		// that arrived through the replication feed (ApplyReplicated plus
+		// snapshot resets) — zero on a primary, where Applies counts local
+		// writes instead.
+		ReplicatedApplies uint64 `json:"replicated_applies"`
+		ReplicatedApplied uint64 `json:"replicated_applied"`
 	} `json:"mutations"`
 }
 
@@ -367,13 +404,58 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 		dm.Cache.Hits, dm.Cache.Misses = st.CacheHits, st.CacheMisses
 		dm.Cache.Len, dm.Cache.Invalidated = st.CacheLen, st.CacheInvalidated
 		dm.Mutations.Applies, dm.Mutations.Applied = st.Applies, st.MutationsApplied
+		dm.Mutations.ReplicatedApplies, dm.Mutations.ReplicatedApplied = st.ReplicatedApplies, st.ReplicatedMutations
 		resp.Datasets[info.Name] = dm
 	}
 	return resp
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.catalog))
+// replicationSnapshot assembles the replication block, or nil for a
+// standalone server.
+func (s *server) replicationSnapshot() *replicationMetrics {
+	switch {
+	case s.taps != nil:
+		rm := &replicationMetrics{Role: s.role, Feeds: make(map[string]feedMetrics)}
+		for _, name := range s.taps.names() {
+			tap := s.taps.get(name)
+			if tap == nil {
+				continue
+			}
+			rm.Feeds[name] = feedMetrics{
+				Epoch:       tap.Epoch(),
+				Subscribers: tap.Subscribers(),
+				Drops:       tap.Drops(),
+			}
+		}
+		return rm
+	case s.replicas != nil:
+		rm := &replicationMetrics{Role: s.role, Followers: make(map[string]followerMetrics)}
+		for name, st := range s.replicas.stats() {
+			rm.Followers[name] = followerMetrics{
+				LastAppliedEpoch: st.LastAppliedEpoch,
+				PrimaryEpoch:     st.PrimaryEpoch,
+				Lag:              st.Lag,
+				Reconnects:       st.Reconnects,
+				Bootstraps:       st.Bootstraps,
+				BatchesApplied:   st.BatchesApplied,
+			}
+		}
+		return rm
+	}
+	return nil
+}
+
+// handleMetrics is GET /metrics. The default rendering is the JSON payload
+// above; ?format=prometheus (or an Accept header preferring text/plain)
+// selects Prometheus text exposition for scrapers.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := s.metrics.snapshot(s.catalog)
+	resp.Replication = s.replicationSnapshot()
+	if wantsPrometheus(r) {
+		writePrometheus(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusWriter captures the response status for the metrics middleware,

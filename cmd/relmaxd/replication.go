@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/replication"
+	"repro/internal/store"
+)
+
+// The serving roles -role selects. A primary serves queries and writes and
+// (with -data-dir) replication feeds; a replica follows a primary and
+// serves reads only; a router holds no data and spreads reads across
+// replicas while routing writes to the primary.
+const (
+	rolePrimary = "primary"
+	roleReplica = "replica"
+	roleRouter  = "router"
+)
+
+// tapRegistry tracks the replication tap of every durable dataset a primary
+// serves. Catalog.SetStoreWrapper calls wrap for each dataset store it
+// opens (seed, restore or runtime create), and the feed endpoint resolves
+// dataset names back to taps here. Re-creating a name overwrites the old
+// (closed) tap; DELETE /v2/datasets removes the entry.
+type tapRegistry struct {
+	mu   sync.Mutex
+	taps map[string]*replication.Tap
+}
+
+func newTapRegistry() *tapRegistry {
+	return &tapRegistry{taps: make(map[string]*replication.Tap)}
+}
+
+// wrap is the Catalog.SetStoreWrapper hook: interpose a tap between the
+// engine and its filesystem store, and remember it under the dataset name.
+func (tr *tapRegistry) wrap(name string, s store.Store) store.Store {
+	tap := replication.NewTap(s)
+	tr.mu.Lock()
+	tr.taps[name] = tap
+	tr.mu.Unlock()
+	return tap
+}
+
+func (tr *tapRegistry) get(name string) *replication.Tap {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.taps[name]
+}
+
+func (tr *tapRegistry) remove(name string) {
+	tr.mu.Lock()
+	delete(tr.taps, name)
+	tr.mu.Unlock()
+}
+
+// names returns the registered dataset names (for /metrics).
+func (tr *tapRegistry) names() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]string, 0, len(tr.taps))
+	for name := range tr.taps {
+		out = append(out, name)
+	}
+	return out
+}
+
+// handleFeed is GET /v2/replication/feed/{name}: the long-lived frame
+// stream a replica follows. 404 when the dataset has no tap — replication
+// requires the primary to run with -data-dir (the feed is cut from the
+// WAL), and the name must be a served dataset.
+func (s *server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var tap *replication.Tap
+	if s.taps != nil {
+		tap = s.taps.get(name)
+	}
+	if tap == nil {
+		http.Error(w, fmt.Sprintf("no replication feed for dataset %q (feeds require -role primary with -data-dir)", name),
+			http.StatusNotFound)
+		return
+	}
+	s.logf("relmaxd: replication: feed %q subscribed from %s", name, r.RemoteAddr)
+	replication.ServeFeed(w, r, tap, 0)
+}
+
+// replicaManager runs the replica role: it polls the primary's dataset
+// list, keeps one replication.Follower per dataset (bootstrapping each into
+// the local catalog via CreateFromSnapshot), and retires local datasets the
+// primary has dropped. The replica's engines are plain in-memory engines —
+// durability stays the primary's job; a restarted replica re-bootstraps
+// from the feed.
+type replicaManager struct {
+	srv      *server
+	primary  string
+	interval time.Duration
+	client   *http.Client
+
+	mu        sync.Mutex
+	followers map[string]*followerHandle
+}
+
+type followerHandle struct {
+	f      *replication.Follower
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newReplicaManager(srv *server, primary string, interval time.Duration) *replicaManager {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &replicaManager{
+		srv:       srv,
+		primary:   primary,
+		interval:  interval,
+		client:    &http.Client{Timeout: 10 * time.Second},
+		followers: make(map[string]*followerHandle),
+	}
+}
+
+// run polls until ctx fires, then stops every follower.
+func (m *replicaManager) run(ctx context.Context) {
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	m.sync(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			handles := make([]*followerHandle, 0, len(m.followers))
+			for _, h := range m.followers {
+				handles = append(handles, h)
+			}
+			m.mu.Unlock()
+			for _, h := range handles {
+				h.cancel()
+				<-h.done
+			}
+			return
+		case <-ticker.C:
+			m.sync(ctx)
+		}
+	}
+}
+
+// sync reconciles the follower set against the primary's dataset list. An
+// unreachable primary is not an error state: existing followers keep their
+// own reconnect loops, and the next poll retries the listing.
+func (m *replicaManager) sync(ctx context.Context) {
+	names, err := m.listPrimary(ctx)
+	if err != nil {
+		m.srv.logf("relmaxd: replication: primary list failed: %v", err)
+		return
+	}
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		want[name] = true
+	}
+	m.mu.Lock()
+	var stale []string
+	for name := range m.followers {
+		if !want[name] {
+			stale = append(stale, name)
+		}
+	}
+	for _, name := range names {
+		if _, ok := m.followers[name]; ok {
+			continue
+		}
+		m.followers[name] = m.startFollower(ctx, name)
+	}
+	m.mu.Unlock()
+	for _, name := range stale {
+		m.stopFollower(name)
+	}
+}
+
+// startFollower launches one dataset's follower goroutine. Callers hold m.mu.
+func (m *replicaManager) startFollower(ctx context.Context, name string) *followerHandle {
+	fctx, cancel := context.WithCancel(ctx)
+	f := replication.NewFollower(replication.FollowerConfig{
+		Name:    name,
+		Primary: m.primary,
+		Bootstrap: func(s *store.Snapshot) (*repro.Engine, error) {
+			return m.srv.catalog.CreateFromSnapshot(name, s)
+		},
+		Logf: m.srv.logf,
+	})
+	h := &followerHandle{f: f, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		m.srv.logf("relmaxd: replication: following dataset %q from %s", name, m.primary)
+		if err := f.Run(fctx); err != nil && fctx.Err() == nil {
+			m.srv.logf("relmaxd: replication: follower %q terminated: %v", name, err)
+		}
+	}()
+	return h
+}
+
+// stopFollower cancels a dataset's follower and retires the local replica
+// of a dataset the primary no longer serves.
+func (m *replicaManager) stopFollower(name string) {
+	m.mu.Lock()
+	h, ok := m.followers[name]
+	if ok {
+		delete(m.followers, name)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	h.cancel()
+	<-h.done
+	if h.f.Engine() == nil {
+		return // never bootstrapped; nothing registered locally
+	}
+	if err := m.srv.metrics.retireDataset(m.srv.catalog, name); err != nil {
+		m.srv.logf("relmaxd: replication: retire %q: %v", name, err)
+		return
+	}
+	evicted, cancelled := m.srv.jobs.closeDataset(name)
+	m.srv.logf("relmaxd: replication: dataset %q dropped by primary, retired locally (%d jobs evicted, %d cancelled)",
+		name, evicted, cancelled)
+}
+
+// listPrimary fetches the primary's served dataset names.
+func (m *replicaManager) listPrimary(ctx context.Context) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, m.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.primary+"/v2/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v2/datasets: HTTP %d", resp.StatusCode)
+	}
+	var body struct {
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(body.Datasets))
+	for i, d := range body.Datasets {
+		names[i] = d.Name
+	}
+	return names, nil
+}
+
+// stats returns every follower's replication progress (for /metrics).
+func (m *replicaManager) stats() map[string]replication.FollowerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]replication.FollowerStats, len(m.followers))
+	for name, h := range m.followers {
+		out[name] = h.f.Stats()
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// router is the -role router mode: a thin, stateless proxy that spreads
+// read queries round-robin across the read replicas (falling back to the
+// primary when none are configured or a replica is down) and routes every
+// write — mutations and dataset lifecycle — to the primary. It holds no
+// catalog and runs no engines.
+//
+// Job IDs are engine-local ("e1-j3"), so the same ID exists independently
+// on every backend. The router namespaces them: a job submitted to backend
+// b comes back as "<b.name>-e1-j3", and job status/cancel/events routes on
+// (and strips) that prefix. Clients therefore see one coherent job space.
+//
+// Reads through the router are bit-identical across backends at equal
+// epochs as long as every backend runs identical engine parameters
+// (sampler, z, seed, workers) — replicas replicate data, not flags. The
+// X-Repro-Epoch header every proxied response carries is how clients (and
+// the smoke test) check which epoch served them.
+type router struct {
+	primary  backend
+	replicas []backend
+	client   *http.Client
+	next     atomic.Uint64 // round-robin cursor over replicas
+	logf     func(format string, args ...any)
+	start    time.Time
+}
+
+// backend is one proxied relmaxd instance.
+type backend struct {
+	name string // job-ID prefix: "p" for the primary, "r0", "r1", ... replicas
+	url  string // base URL without trailing slash
+}
+
+func newRouter(primary string, replicas []string) *router {
+	rt := &router{
+		primary: backend{name: "p", url: strings.TrimRight(primary, "/")},
+		// The feed connections replicas hold against the primary are
+		// long-lived, but router-proxied requests are bounded per-request
+		// contexts; no overall client timeout so /v2 events can stream.
+		client: &http.Client{},
+		logf:   log.Printf,
+		start:  time.Now(),
+	}
+	for i, u := range replicas {
+		rt.replicas = append(rt.replicas, backend{name: fmt.Sprintf("r%d", i), url: strings.TrimRight(u, "/")})
+	}
+	return rt
+}
+
+func (rt *router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	// Reads spread across replicas.
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.pickRead(), r.URL.Path, nil)
+	})
+	mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.pickRead(), r.URL.Path, nil)
+	})
+	mux.HandleFunc("POST /v2/jobs", rt.handleJobSubmit)
+	mux.HandleFunc("GET /v2/jobs/{id}", rt.handleJob(""))
+	mux.HandleFunc("DELETE /v2/jobs/{id}", rt.handleJob(""))
+	mux.HandleFunc("GET /v2/jobs/{id}/events", rt.handleJob("/events"))
+	// Dataset reads list the primary — the authority on what exists; writes
+	// go there too. Replicas converge via their own list polling.
+	mux.HandleFunc("GET /v2/datasets", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.primary, r.URL.Path, nil)
+	})
+	mux.HandleFunc("POST /v2/datasets", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.primary, r.URL.Path, nil)
+	})
+	mux.HandleFunc("DELETE /v2/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.primary, r.URL.Path, nil)
+	})
+	mux.HandleFunc("POST /v2/datasets/{name}/mutations", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, rt.primary, r.URL.Path, nil)
+	})
+	return mux
+}
+
+// pickRead chooses the next read backend round-robin over the replicas,
+// with the primary serving reads when no replicas are configured.
+func (rt *router) pickRead() backend {
+	if len(rt.replicas) == 0 {
+		return rt.primary
+	}
+	n := rt.next.Add(1)
+	return rt.replicas[int((n-1)%uint64(len(rt.replicas)))]
+}
+
+// backendFor resolves a namespaced job ID to its backend and the backend-
+// local ID.
+func (rt *router) backendFor(id string) (backend, string, bool) {
+	prefix, rest, ok := strings.Cut(id, "-")
+	if !ok {
+		return backend{}, "", false
+	}
+	if prefix == rt.primary.name {
+		return rt.primary, rest, true
+	}
+	for _, b := range rt.replicas {
+		if b.name == prefix {
+			return b, rest, true
+		}
+	}
+	return backend{}, "", false
+}
+
+// handleJobSubmit proxies POST /v2/jobs to a read backend and namespaces
+// the returned job ID with the backend's name.
+func (rt *router) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	b := rt.pickRead()
+	rt.proxy(w, r, b, r.URL.Path, func(status int, body []byte) []byte {
+		return prefixJobID(body, b.name)
+	})
+}
+
+// handleJob proxies the per-job endpoints, routing on the ID's backend
+// prefix and re-namespacing the ID in the response (events streams carry
+// no IDs and pass through untouched via the nil rewrite).
+func (rt *router) handleJob(suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		b, localID, ok := rt.backendFor(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				errorResponse{Error: "unknown job " + r.PathValue("id") + " (router job IDs carry a backend prefix)"})
+			return
+		}
+		var rewrite func(int, []byte) []byte
+		if suffix == "" {
+			rewrite = func(status int, body []byte) []byte { return prefixJobID(body, b.name) }
+		}
+		rt.proxy(w, r, b, "/v2/jobs/"+localID+suffix, rewrite)
+	}
+}
+
+// prefixJobID namespaces the top-level "id" field of a JSON object. The
+// rest of the payload passes through byte-for-byte (RawMessage values), so
+// proxied results stay bit-identical to the backend's.
+func prefixJobID(body []byte, name string) []byte {
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(body, &obj); err != nil {
+		return body
+	}
+	var id string
+	if err := json.Unmarshal(obj["id"], &id); err != nil || id == "" {
+		return body
+	}
+	raw, err := json.Marshal(name + "-" + id)
+	if err != nil {
+		return body
+	}
+	obj["id"] = raw
+	out, err := json.Marshal(obj)
+	if err != nil {
+		return body
+	}
+	return append(out, '\n')
+}
+
+// proxy forwards the request to a backend, streaming the response through.
+// A non-nil rewrite buffers the body and transforms it (job-ID
+// namespacing); streaming endpoints must pass nil.
+func (rt *router) proxy(w http.ResponseWriter, r *http.Request, b backend, path string, rewrite func(status int, body []byte) []byte) {
+	u := b.url + path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: "router: " + err.Error()})
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.logf("relmaxd: router: %s %s via %s: %v", r.Method, path, b.url, err)
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: fmt.Sprintf("router: backend %s unreachable", b.name)})
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Repro-Epoch"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Repro-Backend", b.name)
+	if rewrite != nil {
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, errorResponse{Error: "router: backend read: " + err.Error()})
+			return
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(rewrite(resp.StatusCode, body))
+		return
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush() // NDJSON event streams must not sit in a buffer
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// backendHealth is one backend's view in the router's /healthz and
+// /metrics: reachability plus per-dataset epochs, from which the router
+// derives replica lag without any backend-side coordination.
+type backendHealth struct {
+	Name    string            `json:"name"`
+	URL     string            `json:"url"`
+	Healthy bool              `json:"healthy"`
+	Epochs  map[string]uint64 `json:"epochs,omitempty"`
+}
+
+// scrape collects every backend's /healthz dataset epochs.
+func (rt *router) scrape(r *http.Request) []backendHealth {
+	backends := append([]backend{rt.primary}, rt.replicas...)
+	out := make([]backendHealth, len(backends))
+	for i, b := range backends {
+		bh := backendHealth{Name: b.name, URL: b.url}
+		func() {
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var body struct {
+				Datasets map[string]struct {
+					Epoch uint64 `json:"epoch"`
+				} `json:"datasets"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&body) != nil {
+				return
+			}
+			bh.Healthy = true
+			bh.Epochs = make(map[string]uint64, len(body.Datasets))
+			for name, d := range body.Datasets {
+				bh.Epochs[name] = d.Epoch
+			}
+		}()
+		out[i] = bh
+	}
+	return out
+}
+
+// lagOf derives per-dataset, per-replica epoch lag from a scrape: how many
+// epochs each replica trails the primary. A dataset a replica has not
+// bootstrapped yet reports the primary's full epoch as lag.
+func lagOf(backends []backendHealth) map[string]map[string]uint64 {
+	lag := make(map[string]map[string]uint64)
+	if len(backends) == 0 || !backends[0].Healthy {
+		return lag
+	}
+	primary := backends[0]
+	for name, pe := range primary.Epochs {
+		lag[name] = make(map[string]uint64)
+		for _, b := range backends[1:] {
+			if !b.Healthy {
+				continue
+			}
+			if re, ok := b.Epochs[name]; ok && re <= pe {
+				lag[name][b.Name] = pe - re
+			} else if !ok {
+				lag[name][b.Name] = pe
+			} else {
+				lag[name][b.Name] = 0 // replica ahead of a stale primary scrape
+			}
+		}
+	}
+	return lag
+}
+
+func (rt *router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	backends := rt.scrape(r)
+	status := "ok"
+	if !backends[0].Healthy {
+		status = "degraded: primary unreachable"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status, "role": roleRouter, "backends": backends,
+	})
+}
+
+// handleMetrics reports the router's backend topology and per-replica
+// epoch lag, in JSON or Prometheus exposition like the server's /metrics.
+func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	backends := rt.scrape(r)
+	lag := lagOf(backends)
+	if !wantsPrometheus(r) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"role":     roleRouter,
+			"uptime_s": time.Since(rt.start).Seconds(),
+			"backends": backends,
+			"lag":      lag,
+		})
+		return
+	}
+	p := &promWriter{typed: make(map[string]bool)}
+	p.sample("relmaxd_role", "gauge", map[string]string{"role": roleRouter}, 1)
+	p.sample("relmaxd_uptime_seconds", "gauge", nil, time.Since(rt.start).Seconds())
+	for _, b := range backends {
+		healthy := 0.0
+		if b.Healthy {
+			healthy = 1
+		}
+		p.sample("relmaxd_router_backend_up", "gauge", map[string]string{"backend": b.Name}, healthy)
+		for _, name := range sortedKeys(b.Epochs) {
+			p.sample("relmaxd_router_backend_epoch", "gauge",
+				map[string]string{"backend": b.Name, "dataset": name}, float64(b.Epochs[name]))
+		}
+	}
+	datasets := make([]string, 0, len(lag))
+	for name := range lag {
+		datasets = append(datasets, name)
+	}
+	sort.Strings(datasets)
+	for _, name := range datasets {
+		for _, bname := range sortedKeys(lag[name]) {
+			p.sample("relmaxd_replication_lag", "gauge",
+				map[string]string{"backend": bname, "dataset": name}, float64(lag[name][bname]))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(p.b.String()))
+}

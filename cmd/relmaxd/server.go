@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro"
@@ -37,6 +38,13 @@ type server struct {
 	jobs    *jobStore
 	metrics *metrics
 	logf    func(format string, args ...any)
+	// role is "primary" (default) or "replica"; the router role never
+	// constructs a server. A primary with -data-dir registers a replication
+	// tap per dataset in taps and serves the feed endpoint; a replica is
+	// read-only and keeps its follower set in replicas.
+	role     string
+	taps     *tapRegistry
+	replicas *replicaManager
 }
 
 // limits are the per-request parameter ceilings. The body cap bounds
@@ -92,6 +100,7 @@ func newServer(catalog *repro.Catalog, timeout time.Duration) *server {
 		jobs:         newJobStore(retainedJobs),
 		metrics:      newMetrics(),
 		logf:         log.Printf,
+		role:         rolePrimary,
 	}
 }
 
@@ -107,11 +116,27 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v2/jobs/{id}", s.instrument("v2.cancel", false, s.handleJobCancel))
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.instrument("v2.events", false, s.handleJobEvents))
 	mux.HandleFunc("GET /v2/datasets", s.instrument("v2.datasets.list", false, s.handleDatasetList))
-	mux.HandleFunc("POST /v2/datasets", s.instrument("v2.datasets.create", false, s.handleDatasetCreate))
-	mux.HandleFunc("DELETE /v2/datasets/{name}", s.instrument("v2.datasets.close", false, s.handleDatasetClose))
-	mux.HandleFunc("POST /v2/datasets/{name}/mutations", s.instrument("v2.datasets.mutate", false, s.handleDatasetMutate))
+	// Writes — dataset lifecycle and mutations — exist only on the primary;
+	// a replica's state is the primary's, streamed, so local writes would
+	// fork it (and the next batch would be detected as a gap).
+	mux.HandleFunc("POST /v2/datasets", s.instrument("v2.datasets.create", false, s.gateWrite(s.handleDatasetCreate)))
+	mux.HandleFunc("DELETE /v2/datasets/{name}", s.instrument("v2.datasets.close", false, s.gateWrite(s.handleDatasetClose)))
+	mux.HandleFunc("POST /v2/datasets/{name}/mutations", s.instrument("v2.datasets.mutate", false, s.gateWrite(s.handleDatasetMutate)))
+	mux.HandleFunc("GET /v2/replication/feed/{name}", s.handleFeed)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// gateWrite rejects mutating endpoints on read replicas with 403.
+func (s *server) gateWrite(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.role == roleReplica {
+			writeJSON(w, http.StatusForbidden,
+				errorResponse{Error: "replica is read-only: route writes to the primary"})
+			return
+		}
+		h(w, r)
+	}
 }
 
 type edgeJSON struct {
@@ -124,6 +149,10 @@ type edgeJSON struct {
 // non-deterministic part of the payload; everything else is a pure
 // function of the request for a fixed dataset and seed.
 type solveResponse struct {
+	// Epoch is the graph epoch the query ran on (also the X-Repro-Epoch
+	// response header): clients behind a replica-routing tier use it to
+	// detect and bound staleness.
+	Epoch      uint64     `json:"epoch"`
 	Method     string     `json:"method"`
 	Edges      []edgeJSON `json:"edges"`
 	Base       float64    `json:"base"`
@@ -153,6 +182,7 @@ func solveResponseOf(sol repro.Solution) solveResponse {
 }
 
 type estimateResponse struct {
+	Epoch         uint64    `json:"epoch"`
 	Reliabilities []float64 `json:"reliabilities"`
 }
 
@@ -252,12 +282,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.recordDataset(dataset)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	res, err := s.runJob(ctx, eng, req.query())
+	res, epoch, err := s.runJob(ctx, eng, req.query())
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, solveResponseOf(res.Solution))
+	resp := solveResponseOf(res.Solution)
+	resp.Epoch = epoch
+	setEpochHeader(w, epoch)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleEstimate is POST /v1/estimate: a kind="estimate-many" query served
@@ -284,23 +317,33 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.recordDataset(dataset)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	res, err := s.runJob(ctx, eng, req.query())
+	res, epoch, err := s.runJob(ctx, eng, req.query())
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateResponse{Reliabilities: res.Reliabilities})
+	setEpochHeader(w, epoch)
+	writeJSON(w, http.StatusOK, estimateResponse{Epoch: epoch, Reliabilities: res.Reliabilities})
 }
 
 // runJob is the synchronous /v1 shim over the job runner: submit, then
 // Job.Wait under the request context (which cancels the job on client
-// disconnect and keeps a request-deadline expiry mapped to 504).
-func (s *server) runJob(ctx context.Context, eng *repro.Engine, q repro.Query) (repro.Result, error) {
+// disconnect and keeps a request-deadline expiry mapped to 504). The
+// returned epoch is the one the job pinned at submit — what the response
+// advertises as the serving epoch.
+func (s *server) runJob(ctx context.Context, eng *repro.Engine, q repro.Query) (repro.Result, uint64, error) {
 	job, err := eng.Submit(ctx, q)
 	if err != nil {
-		return repro.Result{}, err
+		return repro.Result{}, 0, err
 	}
-	return job.Wait(ctx)
+	res, err := job.Wait(ctx)
+	return res, job.Epoch(), err
+}
+
+// setEpochHeader advertises the serving epoch on a query response; clients
+// behind the router compare it across backends to bound replica staleness.
+func setEpochHeader(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set("X-Repro-Epoch", strconv.FormatUint(epoch, 10))
 }
 
 // writeError maps the library's typed error taxonomy to HTTP statuses:

@@ -172,6 +172,39 @@
 // never fails an Apply (the WAL already holds the batch) and is retried
 // on the next one.
 //
+// # Replication
+//
+// The durability primitives double as a replication substrate: the
+// store.Batch records a primary fsyncs to its WAL are exactly what a read
+// replica needs to mirror it. Engine.ApplyReplicated commits one such
+// batch through the same clone → mutate → freeze pipeline Apply and crash
+// recovery use — validated against the replica's current epoch
+// (b.PrevEpoch() must match, else ErrReplicaGap), never re-appended to a
+// local WAL, and counted in Stats as ReplicatedApplies/ReplicatedMutations
+// distinct from local traffic. Because the batch replays the same
+// operations in the same order, a replica at epoch E answers every query
+// bit-identically to the primary's pinned-epoch-E snapshot.
+//
+// Bootstrap and gap repair ship a full checkpoint instead:
+// GraphFromSnapshot rebuilds a graph from a store.Snapshot (edge-ID order
+// reproduces the primary's CSR byte for byte), Catalog.CreateFromSnapshot
+// registers it as a served dataset at the snapshot's exact epoch, and
+// Engine.ResetToSnapshot adopts one wholesale on a live engine, purging
+// the result cache (a re-bootstrap may move the epoch backwards).
+// Replica datasets are deliberately never durable: a replica's state is a
+// cache of the primary's log, rebuilt over the feed on restart, not a
+// second source of truth.
+//
+// Catalog.SetStoreWrapper is the primary-side seam: a configured wrapper
+// interposes on every durable store the catalog opens, which is how
+// internal/replication taps AppendBatch (post-fsync, pre-rotation) to
+// stream committed batches to subscribers. cmd/relmaxd wires the whole
+// loop: -role primary serves a per-dataset feed (checkpoint ship + WAL
+// tail + heartbeats over long-lived HTTP), -role replica follows a
+// primary read-only and re-bootstraps on any gap, and -role router
+// spreads reads across replicas while routing writes to the primary,
+// surfacing per-replica epoch lag in /metrics.
+//
 // # Legacy compatibility
 //
 // The original free functions — Solve, SolveMulti, SolveTotalBudget,

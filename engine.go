@@ -84,6 +84,7 @@ type Engine struct {
 	queuedJobs, runningJobs, inFlightJobs                                 atomic.Int64
 	submittedJobs, completedJobs, cancelledJobs, failedJobs, rejectedJobs atomic.Uint64
 	applies, mutationsApplied                                             atomic.Uint64
+	replicatedApplies, replicatedMutations                                atomic.Uint64
 
 	// Durable storage; nil for in-memory engines. store and the policy
 	// fields are fixed at construction; the pending counters are guarded by

@@ -1,0 +1,114 @@
+package replication
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+)
+
+// DefaultHeartbeat is the feed's idle heartbeat cadence when the caller
+// passes 0.
+const DefaultHeartbeat = time.Second
+
+// ServeFeed streams the tap's feed over one long-lived HTTP response —
+// the handler behind GET /v2/replication/feed/{name}. The ?from query
+// parameter is the subscriber's last applied epoch (absent or 0 forces a
+// bootstrap): the response is a frame stream of an optional snapshot, the
+// backlog, then live batches as the primary commits them, with heartbeats
+// carrying the primary's epoch while idle. The stream ends when the client
+// disconnects, the dataset closes, or the subscriber falls too far behind;
+// the follower reconnects and resumes.
+func ServeFeed(w http.ResponseWriter, r *http.Request, tap *Tap, heartbeat time.Duration) {
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
+	var from uint64
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad from epoch", http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	sub, err := tap.Subscribe(from)
+	if err != nil {
+		if errors.Is(err, store.ErrClosed) {
+			http.Error(w, "dataset closed", http.StatusGone)
+		} else {
+			http.Error(w, "feed unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		}
+		return
+	}
+	defer sub.Close()
+
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-repro-feed")
+	w.Header().Set("X-Repro-Epoch", strconv.FormatUint(tap.Epoch(), 10))
+	w.WriteHeader(http.StatusOK)
+
+	if sub.Snapshot != nil {
+		if err := WriteSnapshot(w, sub.Snapshot); err != nil {
+			return
+		}
+	}
+	for _, b := range sub.Backlog {
+		if err := WriteBatch(w, b); err != nil {
+			return
+		}
+	}
+	// One heartbeat right after the backlog: the follower learns the
+	// primary epoch (and that it is caught up) without waiting a tick.
+	if err := WriteHeartbeat(w, tap.Epoch()); err != nil {
+		return
+	}
+	flush()
+
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case b, ok := <-sub.C:
+			if !ok {
+				// Dropped (slow subscriber) or dataset closed: end the
+				// stream so the follower reconnects and resumes.
+				return
+			}
+			if err := WriteBatch(w, b); err != nil {
+				return
+			}
+			// Drain whatever else is queued before flushing once.
+			for drained := false; !drained; {
+				select {
+				case nb, ok := <-sub.C:
+					if !ok {
+						flush()
+						return
+					}
+					if err := WriteBatch(w, nb); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			flush()
+		case <-ticker.C:
+			if err := WriteHeartbeat(w, tap.Epoch()); err != nil {
+				return
+			}
+			flush()
+		}
+	}
+}

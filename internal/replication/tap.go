@@ -1,0 +1,218 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// subBuffer is how many committed batches a slow subscriber may fall
+// behind before the tap drops it. A dropped subscriber's feed ends; the
+// follower reconnects and resumes from its last applied epoch (or
+// re-bootstraps if the WAL has moved on) — backpressure must never reach
+// the primary's Apply path.
+const subBuffer = 256
+
+// Tap wraps a dataset's durable store and publishes every committed batch
+// to subscribers — the primary half of replication. It implements
+// store.Store, so it slots between the engine and its filesystem store via
+// Catalog.SetStoreWrapper: AppendBatch delegates to the inner store first
+// (the batch is fsynced and durable) and only then offers the batch to
+// each subscriber. The engine's acknowledgement ordering is therefore
+// unchanged, and a replica can never observe a batch the primary could
+// lose in a crash.
+//
+// The engine serializes its store calls, but Subscribe arrives from feed
+// handlers concurrently, so the tap carries its own mutex. Holding it
+// across Subscribe's inner Recover AND the subscriber registration is the
+// crux: the backlog and the live stream are cut at the same epoch, so a
+// subscriber sees every batch exactly once — no gap, no duplicate.
+type Tap struct {
+	mu     sync.Mutex
+	inner  store.Store
+	subs   map[*Subscription]struct{}
+	closed bool
+
+	epoch atomic.Uint64 // last committed epoch the tap has observed
+	drops atomic.Uint64 // subscribers dropped for falling behind
+}
+
+// NewTap wraps inner. The tap owns it: Close closes it.
+func NewTap(inner store.Store) *Tap {
+	return &Tap{inner: inner, subs: make(map[*Subscription]struct{})}
+}
+
+// AppendBatch durably appends b through the inner store, then publishes it
+// to every subscriber. A subscriber whose buffer is full is dropped (its
+// channel closes; the follower reconnects) rather than ever blocking the
+// append path.
+func (t *Tap) AppendBatch(b store.Batch) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.inner.AppendBatch(b); err != nil {
+		return err
+	}
+	t.epoch.Store(b.Epoch)
+	for sub := range t.subs {
+		select {
+		case sub.c <- b:
+		default:
+			t.dropLocked(sub)
+		}
+	}
+	return nil
+}
+
+// Checkpoint delegates; subscribers are unaffected (their live stream is
+// the channel, not the WAL file the checkpoint truncates).
+func (t *Tap) Checkpoint(s *store.Snapshot) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.inner.Checkpoint(s); err != nil {
+		return err
+	}
+	t.epoch.Store(s.Epoch)
+	return nil
+}
+
+// Recover delegates. The engine calls it during construction, which is
+// also how the tap learns the recovered epoch before any Append.
+func (t *Tap) Recover() (*store.Snapshot, []store.Batch, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap, batches, err := t.inner.Recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	t.epoch.Store(tailEpoch(snap, batches))
+	return snap, batches, err
+}
+
+// Reset delegates (fresh dataset initialization).
+func (t *Tap) Reset() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inner.Reset()
+}
+
+// Close closes every subscription and the inner store. Idempotent.
+func (t *Tap) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for sub := range t.subs {
+		delete(t.subs, sub)
+		close(sub.c)
+	}
+	return t.inner.Close()
+}
+
+// Epoch returns the last committed epoch the tap has observed — what feed
+// heartbeats advertise.
+func (t *Tap) Epoch() uint64 { return t.epoch.Load() }
+
+// Subscribers returns the current live subscription count.
+func (t *Tap) Subscribers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
+}
+
+// Drops returns how many subscribers were dropped for falling behind.
+func (t *Tap) Drops() uint64 { return t.drops.Load() }
+
+func (t *Tap) dropLocked(sub *Subscription) {
+	if _, ok := t.subs[sub]; !ok {
+		return
+	}
+	delete(t.subs, sub)
+	close(sub.c)
+	t.drops.Add(1)
+}
+
+// tailEpoch is the epoch of recovered state: the last WAL batch, or the
+// checkpoint when the WAL is empty.
+func tailEpoch(snap *store.Snapshot, batches []store.Batch) uint64 {
+	if len(batches) > 0 {
+		return batches[len(batches)-1].Epoch
+	}
+	return snap.Epoch
+}
+
+// Subscription is one replica's view of the feed: an optional bootstrap
+// snapshot, the batch backlog committed before the subscription, and a
+// live channel of batches committed after it — cut at one epoch with no
+// gap or overlap between them.
+type Subscription struct {
+	// Snapshot is non-nil when the subscriber must (re-)bootstrap: its
+	// requested epoch was not found in the primary's recoverable chain.
+	Snapshot *store.Snapshot
+	// Backlog holds the already-committed batches to replay after the
+	// snapshot (or directly, for a tail resume), in commit order.
+	Backlog []store.Batch
+	// C streams batches committed after Subscribe. It closes when the
+	// subscriber falls too far behind or the tap closes; the follower
+	// reconnects.
+	C <-chan store.Batch
+
+	c chan store.Batch
+	t *Tap
+}
+
+// Subscribe registers a feed subscription resuming from epoch `from` (the
+// subscriber's last applied epoch; 0 forces a bootstrap). If `from` is in
+// the primary's recoverable chain — the checkpoint epoch or any WAL batch
+// epoch — the subscription is a tail resume: no snapshot, backlog =
+// batches after `from`. Anywhere else is a gap (the WAL was checkpointed
+// past it, or the subscriber diverged): the subscription ships the full
+// checkpoint + WAL backlog for a re-bootstrap.
+func (t *Tap) Subscribe(from uint64) (*Subscription, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("replication: subscribe: %w", store.ErrClosed)
+	}
+	snap, batches, err := t.inner.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("replication: subscribe: %w", err)
+	}
+	t.epoch.Store(tailEpoch(snap, batches))
+	sub := &Subscription{c: make(chan store.Batch, subBuffer), t: t}
+	sub.C = sub.c
+	switch {
+	case from != 0 && from == snap.Epoch:
+		sub.Backlog = batches
+	case from != 0 && indexOfEpoch(batches, from) >= 0:
+		sub.Backlog = batches[indexOfEpoch(batches, from)+1:]
+	default:
+		sub.Snapshot = snap
+		sub.Backlog = batches
+	}
+	t.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+func indexOfEpoch(batches []store.Batch, epoch uint64) int {
+	for i, b := range batches {
+		if b.Epoch == epoch {
+			return i
+		}
+	}
+	return -1
+}
+
+// Close unregisters the subscription; safe to call concurrently with the
+// tap dropping it.
+func (s *Subscription) Close() {
+	s.t.mu.Lock()
+	if _, ok := s.t.subs[s]; ok {
+		delete(s.t.subs, s)
+		close(s.c)
+	}
+	s.t.mu.Unlock()
+}

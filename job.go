@@ -420,6 +420,11 @@ type EngineStats struct {
 	// them.
 	Epoch                     uint64
 	Applies, MutationsApplied uint64
+	// ReplicatedApplies and ReplicatedMutations count batches committed via
+	// ApplyReplicated (plus re-bootstraps via ResetToSnapshot) and the
+	// mutations in them — replica-side traffic, disjoint from Applies /
+	// MutationsApplied which count only local Apply calls.
+	ReplicatedApplies, ReplicatedMutations uint64
 	// CacheHits/CacheMisses count result-cache lookups (zero when the
 	// cache is disabled); CacheLen/CacheCap its current and maximum size.
 	// CacheInvalidated counts stale-epoch entries reclaimed by the lazy
@@ -440,22 +445,24 @@ type EngineStats struct {
 // Stats returns the engine's current serving counters.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		QueuedJobs:       int(e.queuedJobs.Load()),
-		RunningJobs:      int(e.runningJobs.Load()),
-		MaxConcurrent:    e.maxConcurrent,
-		QueueDepth:       e.queueDepth,
-		SubmittedJobs:    e.submittedJobs.Load(),
-		CompletedJobs:    e.completedJobs.Load(),
-		CancelledJobs:    e.cancelledJobs.Load(),
-		FailedJobs:       e.failedJobs.Load(),
-		RejectedJobs:     e.rejectedJobs.Load(),
-		Epoch:            e.Epoch(),
-		Applies:          e.applies.Load(),
-		MutationsApplied: e.mutationsApplied.Load(),
-		Durable:          e.store != nil,
-		Checkpoints:      e.checkpoints.Load(),
-		CheckpointErrors: e.checkpointErrors.Load(),
-		Closed:           e.closed.Load(),
+		QueuedJobs:          int(e.queuedJobs.Load()),
+		RunningJobs:         int(e.runningJobs.Load()),
+		MaxConcurrent:       e.maxConcurrent,
+		QueueDepth:          e.queueDepth,
+		SubmittedJobs:       e.submittedJobs.Load(),
+		CompletedJobs:       e.completedJobs.Load(),
+		CancelledJobs:       e.cancelledJobs.Load(),
+		FailedJobs:          e.failedJobs.Load(),
+		RejectedJobs:        e.rejectedJobs.Load(),
+		Epoch:               e.Epoch(),
+		Applies:             e.applies.Load(),
+		MutationsApplied:    e.mutationsApplied.Load(),
+		ReplicatedApplies:   e.replicatedApplies.Load(),
+		ReplicatedMutations: e.replicatedMutations.Load(),
+		Durable:             e.store != nil,
+		Checkpoints:         e.checkpoints.Load(),
+		CheckpointErrors:    e.checkpointErrors.Load(),
+		Closed:              e.closed.Load(),
 	}
 	if e.cache != nil {
 		st.CacheHits = e.cache.hits.Load()

@@ -18,6 +18,11 @@
 # dataset, SIGTERM the server, relaunch with the same -data-dir and
 # assert the dataset comes back at the committed epoch with a
 # bit-identical estimate (restored, not re-seeded);
+# then the replication walkthrough: a durable primary, two -role replica
+# followers and a -role router spreading reads, asserting converged
+# epochs, bit-identical estimates through the router, X-Repro-Epoch
+# surfacing, Prometheus /metrics exposition, SIGKILL-and-rejoin catch-up
+# and read-only gating on replicas;
 # and finally check SIGINT triggers a clean graceful shutdown (exit 0).
 set -euo pipefail
 
@@ -266,5 +271,121 @@ if ! wait "$PID"; then
   echo "FAIL: durable relmaxd exited non-zero on SIGINT"
   exit 1
 fi
+
+echo "== replication: primary + 2 replicas + router"
+PADDR="127.0.0.1:18083"; PBASE="http://$PADDR"
+R1ADDR="127.0.0.1:18084"; R1BASE="http://$R1ADDR"
+R2ADDR="127.0.0.1:18085"; R2BASE="http://$R2ADDR"
+RTADDR="127.0.0.1:18086"; RTBASE="http://$RTADDR"
+REPL_DIR=$(mktemp -d)
+# Replication requires identical engine flags everywhere: replicas stream
+# the primary's data, not its configuration, and bit-identical answers
+# need the same sampler, z, seed and worker count.
+ENGINE_FLAGS=(-z 200 -seed 7 -workers 2 -sampler rss)
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true' EXIT
+
+wait_up() { # wait_up BASE PID NAME
+  local base=$1 pid=$2 name=$3
+  for _ in $(seq 1 100); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$pid" 2>/dev/null || { echo "FAIL: $name died during startup"; exit 1; }
+    sleep 0.1
+  done
+  echo "FAIL: $name never came up"; exit 1
+}
+wait_epoch() { # wait_epoch BASE EPOCH NAME
+  local base=$1 want=$2 name=$3 got=""
+  for _ in $(seq 1 150); do
+    got=$(curl -fsS "$base/healthz" 2>/dev/null | jq -r '.datasets.lastfm.epoch // empty')
+    [ "$got" = "$want" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $name never reached epoch $want (at: $got)"; exit 1
+}
+
+"$BIN" -addr "$PADDR" -dataset lastfm -scale 0.03 "${ENGINE_FLAGS[@]}" -data-dir "$REPL_DIR" &
+PPID_=$!; PIDS+=("$PPID_")
+wait_up "$PBASE" "$PPID_" "primary"
+curl -fsS -X POST -d '{"mutations":[{"op":"set-prob","u":0,"v":2,"p":0.2}]}'   "$PBASE/v2/datasets/lastfm/mutations" >/dev/null
+EPOCH=$(curl -fsS "$PBASE/healthz" | jq -re '.datasets.lastfm.epoch')
+
+"$BIN" -addr "$R1ADDR" -role replica -follow "$PBASE" -sync-interval 200ms "${ENGINE_FLAGS[@]}" &
+R1PID=$!; PIDS+=("$R1PID")
+"$BIN" -addr "$R2ADDR" -role replica -follow "$PBASE" -sync-interval 200ms "${ENGINE_FLAGS[@]}" &
+R2PID=$!; PIDS+=("$R2PID")
+wait_up "$R1BASE" "$R1PID" "replica 1"
+wait_up "$R2BASE" "$R2PID" "replica 2"
+wait_epoch "$R1BASE" "$EPOCH" "replica 1"
+wait_epoch "$R2BASE" "$EPOCH" "replica 2"
+
+"$BIN" -addr "$RTADDR" -role router -follow "$PBASE" -replicas "$R1BASE,$R2BASE" &
+RTPID=$!; PIDS+=("$RTPID")
+wait_up "$RTBASE" "$RTPID" "router"
+
+# A write through the router lands on the primary and fans out.
+MUT=$(curl -fsS -X POST -d '{"mutations":[{"op":"set-prob","u":0,"v":2,"p":0.7}]}'   "$RTBASE/v2/datasets/lastfm/mutations")
+EPOCH=$(echo "$MUT" | jq -re .epoch)
+wait_epoch "$PBASE" "$EPOCH" "primary"
+wait_epoch "$R1BASE" "$EPOCH" "replica 1"
+wait_epoch "$R2BASE" "$EPOCH" "replica 2"
+
+# Reads through the router are bit-identical to the primary's at the same
+# epoch, from both replicas (two calls round-robin across both backends).
+REPL_EST='{"pairs":[[0,9],[1,22]]}'
+P_EST=$(curl -fsS -X POST -d "$REPL_EST" "$PBASE/v1/estimate")
+RT_EST1=$(curl -fsS -X POST -d "$REPL_EST" "$RTBASE/v1/estimate")
+RT_EST2=$(curl -fsS -X POST -d "$REPL_EST" "$RTBASE/v1/estimate")
+[ "$RT_EST1" = "$P_EST" ] && [ "$RT_EST2" = "$P_EST" ] || {
+  echo "FAIL: routed estimates diverged from primary";
+  echo "primary: $P_EST"; echo "router:  $RT_EST1 / $RT_EST2"; exit 1; }
+echo "$P_EST" | jq -e ".epoch == $EPOCH" >/dev/null   || { echo "FAIL: estimate payload does not carry the serving epoch"; exit 1; }
+
+# The serving epoch is surfaced as a header on every query path.
+HDR=$(curl -fsS -D - -o /dev/null -X POST -d "$REPL_EST" "$RTBASE/v1/estimate" | tr -d '\r')
+echo "$HDR" | grep -qi "^x-repro-epoch: $EPOCH$"   || { echo "FAIL: X-Repro-Epoch header missing via router"; echo "$HDR"; exit 1; }
+
+# Router job IDs are backend-namespaced and resolvable through the router.
+RJOB=$(curl -fsS -X POST -d '{"kind":"solve","s":0,"t":39,"method":"be","k":2,"r":8,"l":8}' "$RTBASE/v2/jobs")
+RID=$(echo "$RJOB" | jq -re .id)
+case "$RID" in r0-*|r1-*) ;; *) echo "FAIL: router job ID $RID lacks backend prefix"; exit 1 ;; esac
+for _ in $(seq 1 200); do
+  RSTAT=$(curl -fsS "$RTBASE/v2/jobs/$RID" | jq -r .status)
+  [ "$RSTAT" = "done" ] && break
+  sleep 0.05
+done
+[ "$RSTAT" = "done" ] || { echo "FAIL: routed job never finished ($RSTAT)"; exit 1; }
+
+# Replicas are read-only.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST   -d '{"mutations":[{"op":"set-prob","u":0,"v":2,"p":0.9}]}' "$R1BASE/v2/datasets/lastfm/mutations")
+[ "$CODE" = "403" ] || { echo "FAIL: replica accepted a mutation ($CODE, want 403)"; exit 1; }
+
+# Prometheus exposition on every tier: feed fan-out on the primary,
+# follower lag on a replica, backend lag on the router.
+curl -fsS "$PBASE/metrics?format=prometheus" | grep -q 'relmaxd_replication_feed_subscribers{dataset="lastfm"} 2'   || { echo "FAIL: primary prometheus metrics missing feed subscribers"; exit 1; }
+curl -fsS "$R1BASE/metrics?format=prometheus" | grep -q 'relmaxd_replication_lag{dataset="lastfm"} 0'   || { echo "FAIL: replica prometheus metrics missing lag"; exit 1; }
+curl -fsS "$RTBASE/metrics?format=prometheus" | grep -Eq 'relmaxd_replication_lag\{backend="r0",dataset="lastfm"\} 0'   || { echo "FAIL: router prometheus metrics missing per-replica lag"; exit 1; }
+
+# Kill a replica without ceremony, advance the primary, and assert the
+# rejoin catches up and serves the same bits again.
+kill -9 "$R1PID"
+wait "$R1PID" 2>/dev/null || true
+curl -fsS -X POST -d '{"mutations":[{"op":"set-prob","u":0,"v":2,"p":0.35}]}'   "$RTBASE/v2/datasets/lastfm/mutations" >/dev/null
+MUT=$(curl -fsS -X POST -d '{"mutations":[{"op":"set-prob","u":0,"v":2,"p":0.55}]}'   "$RTBASE/v2/datasets/lastfm/mutations")
+EPOCH=$(echo "$MUT" | jq -re .epoch)
+"$BIN" -addr "$R1ADDR" -role replica -follow "$PBASE" -sync-interval 200ms "${ENGINE_FLAGS[@]}" &
+R1PID=$!; PIDS+=("$R1PID")
+wait_up "$R1BASE" "$R1PID" "rejoined replica"
+wait_epoch "$R1BASE" "$EPOCH" "rejoined replica"
+P_EST=$(curl -fsS -X POST -d "$REPL_EST" "$PBASE/v1/estimate")
+R1_EST=$(curl -fsS -X POST -d "$REPL_EST" "$R1BASE/v1/estimate")
+[ "$R1_EST" = "$P_EST" ] || {
+  echo "FAIL: rejoined replica diverged"; echo "primary: $P_EST"; echo "replica: $R1_EST"; exit 1; }
+echo "replication: converged at epoch $EPOCH, kill-and-rejoin caught up"
+
+for p in "$RTPID" "$R1PID" "$R2PID" "$PPID_"; do
+  kill -INT "$p"
+  wait "$p" || { echo "FAIL: node $p exited non-zero on SIGINT"; exit 1; }
+done
 trap - EXIT
 echo "relmaxd smoke: OK"
