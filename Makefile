@@ -3,7 +3,7 @@
 
 GO ?= go
 BENCH_COUNT ?= 6
-BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval|BenchmarkVectorMC
+BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval|BenchmarkVectorMC|BenchmarkAnytimeEstimate
 
 .PHONY: build test race bench bench-smoke bench-baseline bench-compare bench-gate fuzz-smoke smoke-relmaxd cover lint fmt ci
 
@@ -53,9 +53,10 @@ bench-compare:
 
 # Machine gate over the bench-baseline/bench-compare pair: fail on >10%
 # median regressions, require parallel speedup (w4 beats w1 for both the
-# scalar and vector parallel samplers), and emit the BENCH_mcvec.json
-# speedup artifact plus a markdown summary (bench-summary.md; CI appends
-# it to the job summary).
+# scalar and vector parallel samplers), require adaptive stopping to beat
+# the fixed budget it is capped at, and emit the BENCH_mcvec.json speedup
+# artifact, the BENCH_anytime.json adaptive-vs-fixed artifact, and a
+# markdown summary (bench-summary.md; CI appends it to the job summary).
 bench-gate:
 	@test -f bench-baseline.txt || { echo "no bench-baseline.txt; run 'make bench-baseline' on the old tree first"; exit 1; }
 	@test -f bench-new.txt || { echo "no bench-new.txt; run 'make bench-compare' first"; exit 1; }
@@ -63,7 +64,9 @@ bench-gate:
 		-old bench-baseline.txt -new bench-new.txt -threshold 0.10 \
 		-faster 'BenchmarkParallelReliability/mc/w4<BenchmarkParallelReliability/mc/w1' \
 		-faster 'BenchmarkParallelReliability/mcvec/w4<BenchmarkParallelReliability/mcvec/w1' \
-		-speedup-json BENCH_mcvec.json -markdown bench-summary.md
+		-faster 'BenchmarkAnytimeEstimate/adaptive/p0.02<BenchmarkAnytimeEstimate/fixed/p0.02' \
+		-speedup-json BENCH_mcvec.json -anytime-json BENCH_anytime.json \
+		-markdown bench-summary.md
 
 # End-to-end serving smoke: build cmd/relmaxd, start it on a tiny dataset,
 # issue one Solve and one EstimateMany over real HTTP, assert 200s and

@@ -1,0 +1,260 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// anytimeQuery builds a precision-mode estimate query.
+func anytimeQuery(s, t NodeID, precision float64, seed int64) Query {
+	return Query{
+		Kind: QueryEstimate, S: s, T: t,
+		Options: &Options{Sampler: "mcvec", Precision: precision, Seed: seed},
+	}
+}
+
+// TestAnytimeEstimateEndToEnd: a precision-bounded estimate through the
+// engine returns a confidence interval containing the point, stops before
+// the budget on an easy query, moves the anytime counters, and is
+// reproducible across engines.
+func TestAnytimeEstimateEndToEnd(t *testing.T) {
+	g := engineTestGraph(t)
+	build := func() *Engine {
+		eng, err := NewEngine(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := build()
+	res, err := eng.Run(context.Background(), anytimeQuery(0, 17, 0.02, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Anytime
+	if a == nil {
+		t.Fatal("precision query returned no anytime block")
+	}
+	if res.Reliability != a.Point {
+		t.Fatalf("Reliability %v != Anytime.Point %v", res.Reliability, a.Point)
+	}
+	if !(a.Lo <= a.Point && a.Point <= a.Hi) || a.Lo < 0 || a.Hi > 1 {
+		t.Fatalf("malformed interval: [%v, %v] point %v", a.Lo, a.Hi, a.Point)
+	}
+	if a.StopReason != StopPrecision {
+		t.Fatalf("stop reason %q, want %q", a.StopReason, StopPrecision)
+	}
+	if (a.Hi-a.Lo)/2 > 0.02 {
+		t.Fatalf("half-width %v exceeds requested precision", (a.Hi-a.Lo)/2)
+	}
+	if a.SamplesUsed <= 0 || a.SamplesUsed >= a.MaxZ {
+		t.Fatalf("easy query used %d of %d samples — no adaptive saving", a.SamplesUsed, a.MaxZ)
+	}
+	st := eng.Stats()
+	if st.AnytimeEstimates != 1 || st.AnytimeSamplesUsed != uint64(a.SamplesUsed) ||
+		st.AnytimeSamplesSaved != uint64(a.MaxZ-a.SamplesUsed) {
+		t.Fatalf("anytime counters off: %+v vs %+v", st, a)
+	}
+
+	// A second cold engine reproduces the run bit for bit.
+	again, err := build().Run(context.Background(), anytimeQuery(0, 17, 0.02, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again.Anytime != *a {
+		t.Fatalf("anytime run not reproducible:\n%+v\n%+v", *again.Anytime, *a)
+	}
+}
+
+// TestAnytimeProgressNarrows: a precision estimate streams StageEstimate
+// events whose sample counts grow and whose interval never widens.
+func TestAnytimeProgressNarrows(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ProgressEvent
+	q := anytimeQuery(0, 17, 0.01, 3)
+	q.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	res, err := eng.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events from an anytime estimate")
+	}
+	for i, ev := range events {
+		if ev.Stage != StageEstimate {
+			t.Fatalf("event %d has stage %q", i, ev.Stage)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := events[i-1]
+		if ev.Samples <= prev.Samples {
+			t.Fatalf("samples did not grow: %d then %d", prev.Samples, ev.Samples)
+		}
+		if ev.Hi-ev.Lo > prev.Hi-prev.Lo+1e-12 {
+			t.Fatalf("interval widened: [%v,%v] after [%v,%v]", ev.Lo, ev.Hi, prev.Lo, prev.Hi)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Samples != res.Anytime.SamplesUsed {
+		t.Fatalf("final event at %d samples, result used %d", last.Samples, res.Anytime.SamplesUsed)
+	}
+
+	// The same interval surfaces through the job API for pollers.
+	job, err := eng.Submit(context.Background(), anytimeQuery(1, 22, 0.01, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("anytime job did not finish")
+	}
+	jres, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := job.Status().Progress
+	if p.Events == 0 || p.Samples != jres.Anytime.SamplesUsed || p.Hi < p.Lo {
+		t.Fatalf("job progress did not carry the interval: %+v vs %+v", p, jres.Anytime)
+	}
+}
+
+// TestPrecisionCacheMatrix pins the upgrade semantics of the
+// precision-keyed result cache: a cached tight interval serves any looser
+// request, a looser entry never serves a tighter one (it recomputes and the
+// tighter result replaces the entry), and fixed-budget estimates live under
+// a different key entirely.
+func TestPrecisionCacheMatrix(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g, WithResultCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	hits := func() uint64 { return eng.Stats().CacheHits }
+	run := func(precision float64) Result {
+		t.Helper()
+		res, err := eng.Run(ctx, anytimeQuery(0, 17, precision, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	mid := run(0.05) // cold: miss, fills the cache at precision 0.05
+	if got := hits(); got != 0 {
+		t.Fatalf("cold run hit the cache: %d", got)
+	}
+	same := run(0.05) // exact precision: hit
+	if got := hits(); got != 1 {
+		t.Fatalf("repeat at same precision: hits=%d, want 1", got)
+	}
+	loose := run(0.10) // looser than cached: the tight entry serves it
+	if got := hits(); got != 2 {
+		t.Fatalf("looser request: hits=%d, want 2", got)
+	}
+	if *same.Anytime != *mid.Anytime || *loose.Anytime != *mid.Anytime {
+		t.Fatalf("served entries diverged:\n%+v\n%+v\n%+v", *mid.Anytime, *same.Anytime, *loose.Anytime)
+	}
+	tight := run(0.01) // tighter than cached: must recompute
+	if got := hits(); got != 2 {
+		t.Fatalf("tighter request was served stale: hits=%d, want 2", got)
+	}
+	if tight.Anytime.SamplesUsed <= mid.Anytime.SamplesUsed {
+		t.Fatalf("tighter run used %d samples, cached %d", tight.Anytime.SamplesUsed, mid.Anytime.SamplesUsed)
+	}
+	// The tighter result replaced the entry; every precision now hits.
+	for _, p := range []float64{0.01, 0.05, 0.10} {
+		if got := run(p); *got.Anytime != *tight.Anytime {
+			t.Fatalf("precision %v not served from the upgraded entry", p)
+		}
+	}
+	if got := hits(); got != 5 {
+		t.Fatalf("post-upgrade hits=%d, want 5", got)
+	}
+
+	// Fixed-budget estimates are a different query class: same (s,t) and
+	// sampler, no precision — never served from (and never serving) the
+	// anytime entry.
+	fixed, err := eng.Run(ctx, Query{
+		Kind: QueryEstimate, S: 0, T: 17,
+		Options: &Options{Sampler: "mcvec", Z: 400, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Anytime != nil {
+		t.Fatalf("fixed-budget estimate carries an anytime block: %+v", fixed.Anytime)
+	}
+	if got := hits(); got != 5 {
+		t.Fatalf("fixed-budget estimate hit the anytime entry: hits=%d", got)
+	}
+	if _, err := eng.Run(ctx, Query{
+		Kind: QueryEstimate, S: 0, T: 17,
+		Options: &Options{Sampler: "mcvec", Z: 400, Seed: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits(); got != 6 {
+		t.Fatalf("repeat fixed-budget estimate missed: hits=%d", got)
+	}
+}
+
+// TestAnytimeEstimateMany: precision mode on a pair batch returns one
+// interval per pair, deterministic per-pair seeds, and aggregates the
+// samples into the engine counters.
+func TestAnytimeEstimateMany(t *testing.T) {
+	g := engineTestGraph(t)
+	eng, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []PairQuery{{S: 0, T: 17}, {S: 1, T: 22}, {S: 0, T: 9}}
+	q := Query{
+		Kind: QueryEstimateMany, Pairs: pairs,
+		Options: &Options{Sampler: "mcvec", Precision: 0.05, Seed: 11},
+	}
+	res, err := eng.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AnytimeMany) != len(pairs) || len(res.Reliabilities) != len(pairs) {
+		t.Fatalf("got %d intervals / %d points for %d pairs",
+			len(res.AnytimeMany), len(res.Reliabilities), len(pairs))
+	}
+	var used uint64
+	for i, a := range res.AnytimeMany {
+		if res.Reliabilities[i] != a.Point || !(a.Lo <= a.Point && a.Point <= a.Hi) {
+			t.Fatalf("pair %d: point %v interval [%v, %v]", i, a.Point, a.Lo, a.Hi)
+		}
+		if a.StopReason != StopPrecision {
+			t.Fatalf("pair %d stopped on %q", i, a.StopReason)
+		}
+		used += uint64(a.SamplesUsed)
+	}
+	st := eng.Stats()
+	if st.AnytimeEstimates != uint64(len(pairs)) || st.AnytimeSamplesUsed != used {
+		t.Fatalf("batch counters: %+v, want %d estimates / %d samples", st, len(pairs), used)
+	}
+
+	// Reproducible: a fresh engine returns the identical batch.
+	eng2, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng2.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if again.AnytimeMany[i] != res.AnytimeMany[i] {
+			t.Fatalf("pair %d not reproducible: %+v vs %+v", i, again.AnytimeMany[i], res.AnytimeMany[i])
+		}
+	}
+}

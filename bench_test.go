@@ -325,6 +325,56 @@ func BenchmarkEstimateEdges(b *testing.B) {
 	}
 }
 
+// BenchmarkAnytimeEstimate runs the same (s, t) estimate twice per
+// precision target: adaptive (stops once the 95% interval's half-width
+// reaches the precision) and fixed (burns the full budget the adaptive run
+// is capped at). Both report samples/op, so the bench gate can publish the
+// fraction of the budget adaptive stopping saved (BENCH_anytime.json) and
+// assert adaptive beats fixed on wall-clock.
+func BenchmarkAnytimeEstimate(b *testing.B) {
+	g, err := LoadDataset("astopo", 0.08, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := Queries(g, 1, 3, 5, 4)
+	if len(qs) == 0 {
+		b.Fatal("no query")
+	}
+	s, t := qs[0].S, qs[0].T
+	const maxZ = 65536 // the shared budget cap (anytime.DefaultMaxZ)
+	run := func(b *testing.B, opt Options) {
+		eng, err := NewEngine(g) // no result cache: every iteration samples
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := Query{Kind: QueryEstimate, S: s, T: t, Options: &opt}
+		b.ReportAllocs()
+		b.ResetTimer()
+		samples := 0
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Anytime != nil {
+				samples += res.Anytime.SamplesUsed
+			} else {
+				samples += opt.Z
+			}
+		}
+		b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+	}
+	for _, prec := range []float64{0.02, 0.005} {
+		name := fmt.Sprintf("p%g", prec)
+		b.Run("adaptive/"+name, func(b *testing.B) {
+			run(b, Options{Sampler: "mcvec", Precision: prec, MaxZ: maxZ, Seed: 7})
+		})
+		b.Run("fixed/"+name, func(b *testing.B) {
+			run(b, Options{Sampler: "mcvec", Z: maxZ, Seed: 7})
+		})
+	}
+}
+
 // BenchmarkSolveWorkers measures the end-to-end solver with the pool
 // threaded through elimination, path scoring and held-out evaluation.
 func BenchmarkSolveWorkers(b *testing.B) {

@@ -36,7 +36,14 @@ type resultCache struct {
 type cacheEntry struct {
 	key   string
 	epoch uint64
-	res   Result
+	// prec is the interval half-width the stored anytime result was
+	// computed for (0 = fixed-budget). The fingerprint deliberately
+	// excludes Precision (see Query.Key), so one key can be asked for at
+	// many precisions; lookup only serves an entry at least as tight as
+	// the request, and put only tightens — a tighter request never gets a
+	// looser cached answer.
+	prec float64
+	res  Result
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -50,8 +57,8 @@ func (c *resultCache) setEpoch(epoch uint64) {
 	c.epoch.Store(epoch)
 }
 
-func (c *resultCache) get(key string) (Result, bool) {
-	return c.lookup(key, true)
+func (c *resultCache) get(key string, prec float64) (Result, bool) {
+	return c.lookup(key, prec, true)
 }
 
 // lookup is get with control over miss accounting: Engine.Submit's
@@ -59,9 +66,12 @@ func (c *resultCache) get(key string) (Result, bool) {
 // the cache when it actually runs (it may have been filled while queued) —
 // counting both probes would report ~2x the real lookups on the job path
 // and skew any hit ratio derived from Stats.
-func (c *resultCache) lookup(key string, countMiss bool) (Result, bool) {
+func (c *resultCache) lookup(key string, prec float64, countMiss bool) (Result, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
+	if ok && !servable(el.Value.(*cacheEntry).prec, prec) {
+		ok = false
+	}
 	if !ok {
 		if countMiss {
 			c.trimStaleLocked()
@@ -79,7 +89,20 @@ func (c *resultCache) lookup(key string, countMiss bool) (Result, bool) {
 	return res, true
 }
 
-func (c *resultCache) put(key string, epoch uint64, res Result) {
+// servable reports whether a cached entry computed at entryPrec may answer
+// a request at reqPrec: exact match for fixed-budget results (both zero),
+// and equal-or-tighter for anytime results — a 0.005-half-width answer
+// upgrades a 0.01 request, never the reverse. (The anytime-vs-fixed class
+// is also part of the fingerprint, so the cross terms cannot collide in
+// practice; checked anyway for defense in depth.)
+func servable(entryPrec, reqPrec float64) bool {
+	if reqPrec == 0 {
+		return entryPrec == 0
+	}
+	return entryPrec > 0 && entryPrec <= reqPrec
+}
+
+func (c *resultCache) put(key string, epoch uint64, prec float64, res Result) {
 	if epoch != c.epoch.Load() {
 		// The result belongs to an epoch that rotated away while it
 		// computed (a job pinned before an Apply, finishing after).
@@ -92,13 +115,18 @@ func (c *resultCache) put(key string, epoch uint64, res Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		// A concurrent identical query raced us here; both computed the
-		// same deterministic result, so either copy is fine.
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		// Keep the tightest answer per fingerprint: a looser anytime
+		// result never overwrites a tighter stored one (the tighter entry
+		// can serve both requests — see servable). At equal precision the
+		// results are deterministic duplicates, so either copy is fine.
+		if prec == 0 || prec <= ent.prec {
+			ent.prec, ent.res = prec, res
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, prec: prec, res: res})
 	c.trimStaleLocked()
 	for c.ll.Len() > c.cap {
 		c.removeLocked(c.ll.Back())
@@ -150,5 +178,10 @@ func cloneResult(res Result) Result {
 	res.Multi.Edges = append([]Edge(nil), res.Multi.Edges...)
 	res.TotalBudget.Edges = append([]Edge(nil), res.TotalBudget.Edges...)
 	res.Reliabilities = append([]float64(nil), res.Reliabilities...)
+	if res.Anytime != nil {
+		a := *res.Anytime
+		res.Anytime = &a
+	}
+	res.AnytimeMany = append([]AnytimeEstimate(nil), res.AnytimeMany...)
 	return res
 }

@@ -12,6 +12,10 @@
 //     every vector-MC benchmark to its ns/op, allocs/op and speedup over
 //     the scalar twin (the same benchmark name with the "mcvec" path
 //     segment replaced by "mc"),
+//   - writes an anytime artifact (-anytime-json) mapping every adaptive
+//     estimate benchmark to its fixed-budget twin (the "adaptive" path
+//     segment replaced by "fixed"), including the samples/op custom metric
+//     both report and the fraction of the budget adaptive stopping saved,
 //   - renders a markdown summary (-markdown) suitable for
 //     $GITHUB_STEP_SUMMARY.
 //
@@ -35,8 +39,9 @@ import (
 
 // result accumulates the repeated runs (-count N) of one benchmark.
 type result struct {
-	nsOp     []float64
-	allocsOp []float64
+	nsOp      []float64
+	allocsOp  []float64
+	samplesOp []float64 // the anytime benchmarks' b.ReportMetric output
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -73,6 +78,8 @@ func parseBench(r io.Reader) (map[string]*result, error) {
 				res.nsOp = append(res.nsOp, v)
 			case "allocs/op":
 				res.allocsOp = append(res.allocsOp, v)
+			case "samples/op":
+				res.samplesOp = append(res.samplesOp, v)
 			}
 		}
 	}
@@ -165,15 +172,14 @@ type speedup struct {
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
 }
 
-// scalarTwin maps a vector benchmark name to its scalar counterpart by
-// replacing the exact "mcvec" path segment with "mc"; empty when the name
-// has no such segment.
-func scalarTwin(name string) string {
+// twinName rewrites every exact "from" path segment of a benchmark name to
+// "to"; empty when the name has no such segment (so substrings never match).
+func twinName(name, from, to string) string {
 	segs := strings.Split(name, "/")
 	hit := false
 	for i, s := range segs {
-		if s == "mcvec" {
-			segs[i] = "mc"
+		if s == from {
+			segs[i] = to
 			hit = true
 		}
 	}
@@ -182,6 +188,10 @@ func scalarTwin(name string) string {
 	}
 	return strings.Join(segs, "/")
 }
+
+// scalarTwin maps a vector benchmark name to its scalar counterpart by
+// replacing the exact "mcvec" path segment with "mc".
+func scalarTwin(name string) string { return twinName(name, "mcvec", "mc") }
 
 // buildSpeedups extracts every mcvec benchmark that has a scalar twin in
 // the same result set, sorted by name for a stable artifact.
@@ -213,9 +223,60 @@ func buildSpeedups(results map[string]*result) []speedup {
 	return out
 }
 
+// anytime is one adaptive estimate benchmark's comparison against its
+// fixed-budget twin: same sampler and budget cap, but the adaptive run
+// stops at the requested precision instead of spending the whole budget.
+type anytime struct {
+	Name              string  `json:"name"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	SamplesPerOp      float64 `json:"samples_per_op"`
+	Fixed             string  `json:"fixed"`
+	FixedNsPerOp      float64 `json:"fixed_ns_per_op"`
+	FixedSamplesPerOp float64 `json:"fixed_samples_per_op"`
+	SpeedupVsFixed    float64 `json:"speedup_vs_fixed"`
+	SamplesSavedFrac  float64 `json:"samples_saved_frac"`
+}
+
+// fixedTwin maps an adaptive benchmark name to its fixed-budget
+// counterpart by replacing the exact "adaptive" path segment with "fixed".
+func fixedTwin(name string) string { return twinName(name, "adaptive", "fixed") }
+
+// buildAnytimes extracts every adaptive benchmark that has a fixed twin
+// reporting the samples/op metric, sorted by name for a stable artifact.
+func buildAnytimes(results map[string]*result) []anytime {
+	var out []anytime
+	for name, res := range results {
+		twin := fixedTwin(name)
+		if twin == "" {
+			continue
+		}
+		tr, ok := results[twin]
+		if !ok {
+			continue
+		}
+		am, fm := median(res.nsOp), median(tr.nsOp)
+		as, fs := median(res.samplesOp), median(tr.samplesOp)
+		if math.IsNaN(am) || math.IsNaN(fm) || math.IsNaN(as) || math.IsNaN(fs) || am == 0 || fs == 0 {
+			continue
+		}
+		out = append(out, anytime{
+			Name:              name,
+			NsPerOp:           am,
+			SamplesPerOp:      as,
+			Fixed:             twin,
+			FixedNsPerOp:      fm,
+			FixedSamplesPerOp: fs,
+			SpeedupVsFixed:    fm / am,
+			SamplesSavedFrac:  1 - as/fs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // renderMarkdown formats the gate verdict, the regression table and the
-// speedup table for a CI job summary.
-func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, fasterErrs []string, threshold float64) {
+// speedup tables for a CI job summary.
+func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, anytimes []anytime, fasterErrs []string, threshold float64) {
 	failed := len(fasterErrs)
 	for _, d := range deltas {
 		if d.regessed {
@@ -246,6 +307,13 @@ func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, fasterErrs 
 			fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2fx |\n", s.Name, s.NsPerOp, s.AllocsPerOp, s.ScalarNsPerOp, s.SpeedupVsScalar)
 		}
 	}
+	if len(anytimes) > 0 {
+		fmt.Fprintf(w, "\n| adaptive benchmark | ns/op | samples/op | fixed ns/op | speedup | budget saved |\n|---|---:|---:|---:|---:|---:|\n")
+		for _, a := range anytimes {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2fx | %.0f%% |\n",
+				a.Name, a.NsPerOp, a.SamplesPerOp, a.FixedNsPerOp, a.SpeedupVsFixed, a.SamplesSavedFrac*100)
+		}
+	}
 }
 
 // multiFlag collects repeated -faster flags.
@@ -261,6 +329,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	newPath := fs.String("new", "", "bench output under test (required)")
 	threshold := fs.Float64("threshold", 0.10, "fail when a benchmark's median ns/op regresses by more than this fraction")
 	jsonPath := fs.String("speedup-json", "", "write the mcvec-vs-mc speedup artifact to this path")
+	anytimePath := fs.String("anytime-json", "", "write the adaptive-vs-fixed anytime artifact to this path")
 	mdPath := fs.String("markdown", "", "write a markdown summary to this path ('-' for stdout)")
 	var fasters multiFlag
 	fs.Var(&fasters, "faster", "assert benchmark A is faster than B on the new results, as 'A<B' (repeatable)")
@@ -325,6 +394,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	anytimes := buildAnytimes(newRes)
+	if *anytimePath != "" {
+		buf, err := json.MarshalIndent(struct {
+			Benchmarks []anytime `json:"benchmarks"`
+		}{anytimes}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*anytimePath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: writing %s: %v\n", *anytimePath, err)
+			return 2
+		}
+	}
+
 	if *mdPath != "" {
 		out := stdout
 		if *mdPath != "-" {
@@ -336,7 +419,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			out = f
 		}
-		renderMarkdown(out, deltas, speedups, fasterErrs, *threshold)
+		renderMarkdown(out, deltas, speedups, anytimes, fasterErrs, *threshold)
 	}
 
 	failed := false

@@ -19,6 +19,8 @@ BenchmarkVectorMC/st/mc/n256-4      	    1000	     98000 ns/op	       0 B/op	   
 BenchmarkVectorMC/st/mcvec/n256-4   	    5000	     20000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkParallelReliability/mc/w1-4	     100	   4000000 ns/op
 BenchmarkParallelReliability/mc/w4-4	     400	   1500000 ns/op
+BenchmarkAnytimeEstimate/adaptive/p0.02-4	      10	   2000000 ns/op	      1280 samples/op	       9 allocs/op
+BenchmarkAnytimeEstimate/fixed/p0.02-4  	       1	 130000000 ns/op	     65536 samples/op	       8 allocs/op
 PASS
 `
 
@@ -27,6 +29,8 @@ BenchmarkVectorMC/st/mc/n256-8      	    1000	    101000 ns/op	       0 B/op	   
 BenchmarkVectorMC/st/mcvec/n256-8   	    5000	     19000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkParallelReliability/mc/w1-8	     100	   4100000 ns/op
 BenchmarkParallelReliability/mc/w4-8	     400	   1400000 ns/op
+BenchmarkAnytimeEstimate/adaptive/p0.02-8	      10	   2100000 ns/op	      1280 samples/op	       9 allocs/op
+BenchmarkAnytimeEstimate/fixed/p0.02-8  	       1	 131000000 ns/op	     65536 samples/op	       8 allocs/op
 PASS
 `
 
@@ -120,6 +124,43 @@ func TestCheckFaster(t *testing.T) {
 	}
 }
 
+func TestFixedTwin(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkAnytimeEstimate/adaptive/p0.02": "BenchmarkAnytimeEstimate/fixed/p0.02",
+		"BenchmarkAnytimeEstimate/fixed/p0.02":    "", // already fixed
+		"BenchmarkSomething/adaptively/odd":       "", // substring must not match
+	}
+	for in, want := range cases {
+		if got := fixedTwin(in); got != want {
+			t.Errorf("fixedTwin(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildAnytimes(t *testing.T) {
+	res := parse(t, sampleOld)
+	as := buildAnytimes(res)
+	if len(as) != 1 {
+		t.Fatalf("want 1 anytime entry, got %+v", as)
+	}
+	a := as[0]
+	if a.Name != "BenchmarkAnytimeEstimate/adaptive/p0.02" || a.Fixed != "BenchmarkAnytimeEstimate/fixed/p0.02" {
+		t.Fatalf("wrong pairing: %+v", a)
+	}
+	if want := 130000000.0 / 2000000.0; a.SpeedupVsFixed != want {
+		t.Fatalf("speedup = %v, want %v", a.SpeedupVsFixed, want)
+	}
+	if want := 1 - 1280.0/65536.0; a.SamplesSavedFrac != want {
+		t.Fatalf("samples saved = %v, want %v", a.SamplesSavedFrac, want)
+	}
+	// An adaptive benchmark without the samples/op metric is skipped: the
+	// artifact never reports a saving it cannot compute.
+	bare := parse(t, "BenchmarkX/adaptive/p1-4 10 100 ns/op\nBenchmarkX/fixed/p1-4 10 900 ns/op\n")
+	if as := buildAnytimes(bare); len(as) != 0 {
+		t.Fatalf("metric-less pair produced an entry: %+v", as)
+	}
+}
+
 func TestScalarTwin(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkVectorMC/from/mcvec/n256":        "BenchmarkVectorMC/from/mc/n256",
@@ -158,16 +199,17 @@ func TestRenderMarkdown(t *testing.T) {
 	old, new := parse(t, sampleOld), parse(t, sampleNew)
 	ds := compare(old, new, 0.10)
 	sp := buildSpeedups(new)
+	as := buildAnytimes(new)
 	var buf bytes.Buffer
-	renderMarkdown(&buf, ds, sp, nil, 0.10)
+	renderMarkdown(&buf, ds, sp, as, nil, 0.10)
 	out := buf.String()
-	for _, want := range []string{"Bench gate: PASS", "BenchmarkVectorMC/st/mc/n256", "speedup", "| ok |"} {
+	for _, want := range []string{"Bench gate: PASS", "BenchmarkVectorMC/st/mc/n256", "speedup", "| ok |", "budget saved", "98%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q in:\n%s", want, out)
 		}
 	}
 	buf.Reset()
-	renderMarkdown(&buf, ds, sp, []string{"boom"}, 0.10)
+	renderMarkdown(&buf, ds, sp, as, []string{"boom"}, 0.10)
 	if out := buf.String(); !strings.Contains(out, "FAIL") || !strings.Contains(out, "boom") {
 		t.Errorf("failing markdown wrong:\n%s", out)
 	}
@@ -180,6 +222,7 @@ func TestRunEndToEnd(t *testing.T) {
 	oldPath := filepath.Join(dir, "old.txt")
 	newPath := filepath.Join(dir, "new.txt")
 	jsonPath := filepath.Join(dir, "BENCH_mcvec.json")
+	anytimePath := filepath.Join(dir, "BENCH_anytime.json")
 	mdPath := filepath.Join(dir, "summary.md")
 	if err := os.WriteFile(oldPath, []byte(sampleOld), 0o644); err != nil {
 		t.Fatal(err)
@@ -192,7 +235,8 @@ func TestRunEndToEnd(t *testing.T) {
 	code := run([]string{
 		"-old", oldPath, "-new", newPath,
 		"-faster", "BenchmarkParallelReliability/mc/w4<BenchmarkParallelReliability/mc/w1",
-		"-speedup-json", jsonPath, "-markdown", mdPath,
+		"-faster", "BenchmarkAnytimeEstimate/adaptive/p0.02<BenchmarkAnytimeEstimate/fixed/p0.02",
+		"-speedup-json", jsonPath, "-anytime-json", anytimePath, "-markdown", mdPath,
 	}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
@@ -209,6 +253,19 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if len(artifact.Benchmarks) != 1 || artifact.Benchmarks[0].SpeedupVsScalar < 5 {
 		t.Fatalf("artifact content wrong: %+v", artifact.Benchmarks)
+	}
+	raw, err = os.ReadFile(anytimePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anytimeArtifact struct {
+		Benchmarks []anytime `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &anytimeArtifact); err != nil {
+		t.Fatalf("anytime artifact not valid JSON: %v", err)
+	}
+	if len(anytimeArtifact.Benchmarks) != 1 || anytimeArtifact.Benchmarks[0].SamplesSavedFrac < 0.9 {
+		t.Fatalf("anytime artifact content wrong: %+v", anytimeArtifact.Benchmarks)
 	}
 	if md, err := os.ReadFile(mdPath); err != nil || !strings.Contains(string(md), "Bench gate: PASS") {
 		t.Fatalf("summary wrong (%v):\n%s", err, md)

@@ -5,6 +5,13 @@
 //
 // It prints the chosen shortcut edges and the reliability before/after.
 //
+// -estimate skips edge selection and just estimates the s-t reliability;
+// with -precision the estimator runs in anytime mode, sampling only until
+// the confidence interval is tight enough (or -max-z samples are spent),
+// and reports the interval plus why it stopped:
+//
+//	relmax -dataset lastfm -s 3 -t 42 -estimate -precision 0.01 -progress
+//
 // -mutations applies a batch of edge mutations (Engine.Apply) before the
 // query runs — the scripted way to answer "what does the query look like
 // after these edges change" without editing the graph file. The file holds
@@ -50,6 +57,9 @@ func main() {
 		l         = flag.Int("l", 30, "number of most reliable paths")
 		h         = flag.Int("h", 0, "hop constraint for new edges (0 = unbounded)")
 		z         = flag.Int("z", 500, "reliability samples")
+		estimate  = flag.Bool("estimate", false, "estimate s-t reliability only (no edge selection)")
+		precision = flag.Float64("precision", 0, "anytime estimation: stop sampling once the confidence interval half-width reaches this (implies -estimate; 0 = fixed budget -z)")
+		maxZ      = flag.Int("max-z", 0, "anytime estimation: cap on adaptive samples (0 = library default)")
 		sampler   = flag.String("sampler", "rss", "reliability estimator: mc, rss, lazy or mcvec (word-parallel MC)")
 		method    = flag.String("method", "be", "solver: "+methodList())
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -89,6 +99,9 @@ func main() {
 		K: *k, Zeta: *zeta, R: *r, L: *l, H: *h,
 		Z: *z, Sampler: *sampler, Seed: *seed, Workers: *workers,
 	}
+	if *precision > 0 {
+		*estimate = true
+	}
 	eng, err := repro.NewEngine(g, repro.WithSolverDefaults(opt))
 	if err != nil {
 		fatal(err)
@@ -107,6 +120,31 @@ func main() {
 	}
 	snap := eng.Snapshot()
 	fmt.Printf("graph: n=%d m=%d directed=%v epoch=%d\n", snap.N(), snap.M(), snap.Directed(), eng.Epoch())
+
+	if *estimate {
+		q := repro.Query{Kind: repro.QueryEstimate, S: repro.NodeID(*s), T: repro.NodeID(*t)}
+		if *precision > 0 {
+			o := opt
+			o.Precision, o.MaxZ = *precision, *maxZ
+			q.Options = &o
+		}
+		res, err := runJob(ctx, eng, q, *progress)
+		if interrupted(err) {
+			fmt.Printf("estimate interrupted (%v)\n", reason(err))
+			os.Exit(1)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if a := res.Anytime; a != nil {
+			fmt.Printf("estimate: %d -> %d  reliability %.4f in [%.4f, %.4f]\n", *s, *t, a.Point, a.Lo, a.Hi)
+			fmt.Printf("anytime: %d samples used (cap %d), stopped on %s (precision %.4g)\n",
+				a.SamplesUsed, a.MaxZ, a.StopReason, a.Precision)
+		} else {
+			fmt.Printf("estimate: %d -> %d  reliability %.4f (z=%d)\n", *s, *t, res.Reliability, *z)
+		}
+		return
+	}
 
 	if *sources != "" || *targets != "" {
 		S, err := parseNodes(*sources)
@@ -217,6 +255,8 @@ func printProgress(ev repro.ProgressEvent) {
 			ev.Round, ev.Total, ev.Edges, ev.Batches)
 	case repro.StageEvaluate:
 		fmt.Fprintf(os.Stderr, "progress: evaluating %d chosen edges\n", ev.Edges)
+	case repro.StageEstimate:
+		fmt.Fprintf(os.Stderr, "progress: interval [%.4f, %.4f] after %d samples\n", ev.Lo, ev.Hi, ev.Samples)
 	}
 }
 

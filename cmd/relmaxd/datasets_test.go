@@ -291,13 +291,13 @@ func TestJobStoreCloseDataset(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("estimate stuck")
 	}
-	st.add("closing", done)
+	st.add("closing", done, 0)
 	live, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 0, T: 17,
 		Options: &repro.Options{Z: 50_000_000}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.add("closing", live)
+	st.add("closing", live, 0)
 	keep, err := other.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 1, T: 22})
 	if err != nil {
 		t.Fatal(err)
@@ -307,7 +307,7 @@ func TestJobStoreCloseDataset(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("other-dataset estimate stuck")
 	}
-	st.add("kept", keep)
+	st.add("kept", keep, 0)
 
 	evicted, cancelled := st.closeDataset("closing")
 	if evicted != 1 || cancelled != 1 {

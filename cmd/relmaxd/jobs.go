@@ -29,6 +29,11 @@ type jobStore struct {
 type storedJob struct {
 	dataset string
 	job     *repro.Job
+	// shedPrecision is non-zero when overload shedding widened the job's
+	// requested precision before submit; the value is the precision actually
+	// served, repeated in the result payload so the client can see its
+	// answer is coarser than asked.
+	shedPrecision float64
 }
 
 func newJobStore(max int) *jobStore {
@@ -37,11 +42,11 @@ func newJobStore(max int) *jobStore {
 
 // add indexes the job and returns the single stored record (the handler's
 // response and later GETs serve the same *storedJob).
-func (st *jobStore) add(dataset string, job *repro.Job) *storedJob {
+func (st *jobStore) add(dataset string, job *repro.Job, shedPrecision float64) *storedJob {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	id := job.ID()
-	sj := &storedJob{dataset: dataset, job: job}
+	sj := &storedJob{dataset: dataset, job: job, shedPrecision: shedPrecision}
 	st.jobs[id] = sj
 	st.order = append(st.order, id)
 	if len(st.jobs) <= st.max {
@@ -135,6 +140,12 @@ type jobRequest struct {
 	Z       int        `json:"z,omitempty"`
 	Sampler string     `json:"sampler,omitempty"`
 	Seed    int64      `json:"seed,omitempty"`
+	// Precision switches estimates to anytime mode: sampling stops as soon
+	// as the confidence interval's half-width reaches it (or MaxZ samples
+	// were spent, or the deadline hit). MaxZ caps the adaptive budget;
+	// zero inherits the anytime default.
+	Precision float64 `json:"precision,omitempty"`
+	MaxZ      int     `json:"max_z,omitempty"`
 	// TimeoutMS bounds the job's total lifetime — queue wait plus runtime —
 	// shortening (never extending) the server default. It is the
 	// end-to-end deadline a client would arm itself, so shed-worthy
@@ -149,6 +160,10 @@ func (req *jobRequest) checkLimits(l limits) error {
 		return fmt.Errorf("zeta %v outside [0,1]", req.Zeta)
 	case req.Z < 0 || req.Z > l.MaxZ:
 		return fmt.Errorf("z %d outside [0,%d]", req.Z, l.MaxZ)
+	case req.Precision < 0 || req.Precision > 1:
+		return fmt.Errorf("precision %v outside [0,1]", req.Precision)
+	case req.MaxZ < 0 || req.MaxZ > l.MaxZ:
+		return fmt.Errorf("max_z %d outside [0,%d]", req.MaxZ, l.MaxZ)
 	case req.K < 0 || req.K > l.MaxK:
 		return fmt.Errorf("k %d outside [0,%d]", req.K, l.MaxK)
 	case req.R < 0 || req.R > l.MaxRL:
@@ -187,10 +202,12 @@ func (req *jobRequest) query() repro.Query {
 		q.Pairs = append(q.Pairs, repro.PairQuery{S: p[0], T: p[1]})
 	}
 	if req.K != 0 || req.Zeta != 0 || req.R != 0 || req.L != 0 || req.H != 0 ||
-		req.Z != 0 || req.Sampler != "" || req.Seed != 0 {
+		req.Z != 0 || req.Sampler != "" || req.Seed != 0 ||
+		req.Precision != 0 || req.MaxZ != 0 {
 		q.Options = &repro.Options{
 			K: req.K, Zeta: req.Zeta, R: req.R, L: req.L, H: req.H,
 			Z: req.Z, Sampler: req.Sampler, Seed: req.Seed,
+			Precision: req.Precision, MaxZ: req.MaxZ,
 		}
 	}
 	return q
@@ -205,7 +222,12 @@ type progressJSON struct {
 	Paths      int    `json:"paths,omitempty"`
 	Batches    int    `json:"batches,omitempty"`
 	Edges      int    `json:"edges,omitempty"`
-	Events     int    `json:"events"`
+	// Lo/Hi/Samples track the narrowing confidence interval of an anytime
+	// estimate; a poller watches [lo,hi] close in on the answer live.
+	Lo      float64 `json:"lo,omitempty"`
+	Hi      float64 `json:"hi,omitempty"`
+	Samples int     `json:"samples,omitempty"`
+	Events  int     `json:"events"`
 }
 
 // jobJSON is the status payload of the /v2/jobs family. Result is present
@@ -243,7 +265,8 @@ func jobJSONOf(sj *storedJob) jobJSON {
 		jj.Progress = &progressJSON{
 			Stage: string(p.Stage), Round: p.Round, Total: p.Total,
 			Candidates: p.Candidates, Paths: p.Paths, Batches: p.Batches,
-			Edges: p.Edges, Events: p.Events,
+			Edges: p.Edges, Lo: p.Lo, Hi: p.Hi, Samples: p.Samples,
+			Events: p.Events,
 		}
 	}
 	if st.State.Terminal() {
@@ -251,7 +274,7 @@ func jobJSONOf(sj *storedJob) jobJSON {
 		if err != nil {
 			jj.Error = err.Error()
 		} else {
-			jj.Result = resultJSONOf(res, jj.Epoch)
+			jj.Result = resultJSONOf(res, jj.Epoch, sj.shedPrecision)
 		}
 	}
 	return jj
@@ -259,8 +282,9 @@ func jobJSONOf(sj *storedJob) jobJSON {
 
 // resultJSONOf renders a query result in the kind's wire shape. Every kind
 // carries the job's pinned epoch so /v1 and /v2 payloads for the same query
-// are identical field for field.
-func resultJSONOf(res repro.Result, epoch uint64) any {
+// are identical field for field. shed is the precision overload shedding
+// widened the request to (0 when it did not).
+func resultJSONOf(res repro.Result, epoch uint64, shed float64) any {
 	switch res.Kind {
 	case repro.QuerySolve:
 		sr := solveResponseOf(res.Solution)
@@ -288,9 +312,19 @@ func resultJSONOf(res repro.Result, epoch uint64) any {
 			"gain":  tb.Gain,
 		}
 	case repro.QueryEstimate:
-		return map[string]any{"epoch": epoch, "reliability": res.Reliability}
+		out := map[string]any{"epoch": epoch, "reliability": res.Reliability}
+		if a := res.Anytime; a != nil {
+			out["lo"], out["hi"] = a.Lo, a.Hi
+			out["samples_used"] = a.SamplesUsed
+			out["stop_reason"] = a.StopReason
+			out["precision"] = a.Precision
+			if shed > 0 {
+				out["shed_precision"] = shed
+			}
+		}
+		return out
 	case repro.QueryEstimateMany:
-		return estimateResponse{Epoch: epoch, Reliabilities: res.Reliabilities}
+		return estimateResponseOf(res, epoch, shed)
 	}
 	return nil
 }
@@ -310,6 +344,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.recordDataset(dataset)
+	shed := s.shedPrecisionFor(eng, &req)
 	job, err := eng.Submit(r.Context(), req.query())
 	if err != nil {
 		s.writeError(w, r, err)
@@ -327,7 +362,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 	}
-	sj := s.jobs.add(dataset, job)
+	sj := s.jobs.add(dataset, job, shed)
 	setEpochHeader(w, job.Epoch())
 	writeJSON(w, http.StatusAccepted, jobJSONOf(sj))
 }
@@ -380,12 +415,19 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		events, changed := sj.job.Events(seen)
 		for _, ev := range events {
-			_ = enc.Encode(map[string]any{
+			line := map[string]any{
 				"seq": ev.Seq, "stage": string(ev.Stage),
 				"round": ev.Round, "total": ev.Total,
 				"candidates": ev.Candidates, "paths": ev.Paths,
 				"batches": ev.Batches, "edges": ev.Edges,
-			})
+			}
+			// Anytime estimate events carry the narrowing interval; keyed on
+			// the stage (not a non-zero lo — lo can legitimately be 0).
+			if ev.Stage == repro.StageEstimate || ev.Samples != 0 {
+				line["lo"], line["hi"] = ev.Lo, ev.Hi
+				line["samples"] = ev.Samples
+			}
+			_ = enc.Encode(line)
 		}
 		seen += len(events)
 		if flusher != nil && len(events) > 0 {

@@ -33,7 +33,7 @@ func TestJobStoreNeverEvictsJustAddedJob(t *testing.T) {
 		live.Cancel()
 		<-live.Done()
 	}()
-	st.add("lastfm", live)
+	st.add("lastfm", live, 0)
 	// Warm the cache, then submit its twin: terminal on arrival.
 	warmup, err := eng.Submit(context.Background(), repro.Query{Kind: repro.QueryEstimate, S: 1, T: 22})
 	if err != nil {
@@ -51,7 +51,7 @@ func TestJobStoreNeverEvictsJustAddedJob(t *testing.T) {
 	if !hit.Status().CacheHit {
 		t.Fatalf("twin was not a cache hit: %+v", hit.Status())
 	}
-	st.add("lastfm", hit)
+	st.add("lastfm", hit, 0)
 	if _, ok := st.get(hit.ID()); !ok {
 		t.Fatal("store evicted the job it just added")
 	}
@@ -68,7 +68,7 @@ func TestJobStoreNeverEvictsJustAddedJob(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("third job stuck")
 	}
-	st.add("lastfm", done)
+	st.add("lastfm", done, 0)
 	if _, ok := st.get(hit.ID()); ok {
 		t.Fatal("oldest terminal job was not evicted")
 	}

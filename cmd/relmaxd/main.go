@@ -119,6 +119,7 @@ func main() {
 		follow       = flag.String("follow", "", "primary base URL, e.g. http://127.0.0.1:8080 (required for -role replica and router)")
 		replicasCSV  = flag.String("replicas", "", "comma-separated replica base URLs the router spreads reads across")
 		syncInterval = flag.Duration("sync-interval", 2*time.Second, "replica: how often to reconcile the dataset set against the primary")
+		maxLag       = flag.Uint64("max-lag", 0, "router: skip read replicas lagging more than this many epochs behind the primary (0 = no lag limit)")
 
 		dataDir     = flag.String("data-dir", "", "durable storage root: per-dataset WAL + checkpoints, datasets recovered on boot")
 		ckptBatches = flag.Int("checkpoint-batches", 0, "checkpoint after this many mutation batches (0 = default 64; needs -data-dir)")
@@ -135,6 +136,9 @@ func main() {
 		maxMutations = flag.Int("max-mutations", defaultLimits().MaxMutations, "per-request ceiling on mutation batch size")
 		maxDatasets  = flag.Int("max-datasets", defaultLimits().MaxDatasets, "ceiling on concurrently served datasets")
 		maxBody      = flag.Int64("max-body", defaultLimits().MaxBodyBytes, "request body cap in bytes")
+
+		shedPrecision = flag.Float64("shed-precision", 0,
+			"under load, widen precision-mode estimates to this half-width before shedding requests (0 disables)")
 	)
 	flag.Parse()
 
@@ -152,9 +156,14 @@ func main() {
 				replicaURLs = append(replicaURLs, u)
 			}
 		}
-		rt := newRouter(*follow, replicaURLs)
-		log.Printf("relmaxd: routing reads across %d replica(s), writes to %s, on %s",
-			len(replicaURLs), *follow, *addr)
+		rt := newRouter(*follow, replicaURLs, *maxLag)
+		if len(replicaURLs) > 0 {
+			// Health-aware balancing: keep the eligible read set fresh so
+			// pickRead skips dead or lagging replicas between scrapes.
+			go rt.healthLoop(ctx, *syncInterval)
+		}
+		log.Printf("relmaxd: routing reads across %d replica(s), writes to %s, on %s (max-lag=%d)",
+			len(replicaURLs), *follow, *addr, *maxLag)
 		serve(ctx, *addr, rt.handler(), *grace)
 		return
 	}
@@ -205,6 +214,7 @@ func main() {
 		log.Printf("relmaxd: replica following %s (sync every %v)", *follow, *syncInterval)
 	}
 	srv.defaultScale, srv.defaultSeed = *scale, *seed
+	srv.shedPrec = *shedPrecision
 	catalog.SetMaxDatasets(*maxDatasets)
 	srv.limits = limits{
 		MaxZ: *maxZ, MaxK: *maxK, MaxRL: *maxRL,

@@ -26,9 +26,12 @@ type metrics struct {
 	total      uint64
 	byEndpoint map[string]uint64
 	byStatus   map[string]uint64
-	lat        []time.Duration // ring buffer
-	latNext    int
-	latFull    bool
+	// precisionSheds counts precision-mode estimates the server coarsened
+	// under load (-shed-precision) instead of queueing at full cost.
+	precisionSheds uint64
+	lat            []time.Duration // ring buffer
+	latNext        int
+	latFull        bool
 	// window counts request completions over the last minute.
 	window secWindow
 	// byDataset counts query requests (solve/estimate/submit) per resolved
@@ -113,6 +116,14 @@ func (m *metrics) recordDataset(name string) {
 	m.mu.Unlock()
 }
 
+// recordPrecisionShed notes one request whose precision was coarsened by
+// overload shedding.
+func (m *metrics) recordPrecisionShed() {
+	m.mu.Lock()
+	m.precisionSheds++
+	m.mu.Unlock()
+}
+
 // retireDataset removes the dataset from the catalog and folds its final
 // engine counters into the retained totals, atomically with respect to
 // snapshot(): both run under m.mu, so a scrape sees the dataset either
@@ -142,6 +153,9 @@ func (m *metrics) retireDataset(catalog *repro.Catalog, name string) error {
 	m.retired.CacheHits += st.CacheHits
 	m.retired.CacheMisses += st.CacheMisses
 	m.retired.CacheInvalidated += st.CacheInvalidated
+	m.retired.AnytimeEstimates += st.AnytimeEstimates
+	m.retired.AnytimeSamplesUsed += st.AnytimeSamplesUsed
+	m.retired.AnytimeSamplesSaved += st.AnytimeSamplesSaved
 	return nil
 }
 
@@ -209,6 +223,16 @@ type metricsResponse struct {
 		Cap         int    `json:"cap"`
 		Invalidated uint64 `json:"invalidated"`
 	} `json:"cache"`
+	// Anytime aggregates the adaptive-estimate counters: how many estimates
+	// ran in precision mode, the samples they actually drew, the samples an
+	// equivalent fixed-budget run would have wasted, and how many requests
+	// overload shedding coarsened.
+	Anytime struct {
+		Estimates      uint64 `json:"estimates"`
+		SamplesUsed    uint64 `json:"samples_used"`
+		SamplesSaved   uint64 `json:"samples_saved"`
+		PrecisionSheds uint64 `json:"precision_sheds"`
+	} `json:"anytime"`
 	// Datasets breaks the serving counters down per dataset now that
 	// datasets come and go at runtime: request volume from the collector,
 	// epoch/job/cache numbers live from each engine.
@@ -268,6 +292,11 @@ type datasetMetrics struct {
 		Len         int    `json:"len"`
 		Invalidated uint64 `json:"invalidated"`
 	} `json:"cache"`
+	Anytime struct {
+		Estimates    uint64 `json:"estimates"`
+		SamplesUsed  uint64 `json:"samples_used"`
+		SamplesSaved uint64 `json:"samples_saved"`
+	} `json:"anytime"`
 	Mutations struct {
 		Applies uint64 `json:"applies"`
 		Applied uint64 `json:"applied"`
@@ -340,6 +369,7 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 		perDataset[name] = dsReq{requests: dc.requests, last60: dc.window.last60()}
 	}
 	retired := m.retired
+	resp.Anytime.PrecisionSheds = m.precisionSheds
 	m.mu.Unlock()
 
 	// Seed the global totals with the retained counters of closed
@@ -352,6 +382,9 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 	resp.Cache.Hits = retired.CacheHits
 	resp.Cache.Misses = retired.CacheMisses
 	resp.Cache.Invalidated = retired.CacheInvalidated
+	resp.Anytime.Estimates = retired.AnytimeEstimates
+	resp.Anytime.SamplesUsed = retired.AnytimeSamplesUsed
+	resp.Anytime.SamplesSaved = retired.AnytimeSamplesSaved
 
 	if resp.UptimeS > 0 {
 		resp.QPS.Lifetime = float64(resp.Requests.Total) / resp.UptimeS
@@ -390,6 +423,9 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 		resp.Cache.Len += st.CacheLen
 		resp.Cache.Cap += st.CacheCap
 		resp.Cache.Invalidated += st.CacheInvalidated
+		resp.Anytime.Estimates += st.AnytimeEstimates
+		resp.Anytime.SamplesUsed += st.AnytimeSamplesUsed
+		resp.Anytime.SamplesSaved += st.AnytimeSamplesSaved
 
 		var dm datasetMetrics
 		dm.Epoch = info.Epoch
@@ -403,6 +439,8 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 		dm.Jobs.Cancelled, dm.Jobs.Failed, dm.Jobs.Rejected = st.CancelledJobs, st.FailedJobs, st.RejectedJobs
 		dm.Cache.Hits, dm.Cache.Misses = st.CacheHits, st.CacheMisses
 		dm.Cache.Len, dm.Cache.Invalidated = st.CacheLen, st.CacheInvalidated
+		dm.Anytime.Estimates = st.AnytimeEstimates
+		dm.Anytime.SamplesUsed, dm.Anytime.SamplesSaved = st.AnytimeSamplesUsed, st.AnytimeSamplesSaved
 		dm.Mutations.Applies, dm.Mutations.Applied = st.Applies, st.MutationsApplied
 		dm.Mutations.ReplicatedApplies, dm.Mutations.ReplicatedApplied = st.ReplicatedApplies, st.ReplicatedMutations
 		resp.Datasets[info.Name] = dm

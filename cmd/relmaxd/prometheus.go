@@ -99,6 +99,10 @@ func writePrometheus(w http.ResponseWriter, m metricsResponse) {
 	p.sample("relmaxd_cache_misses_total", "counter", nil, float64(m.Cache.Misses))
 	p.sample("relmaxd_cache_invalidated_total", "counter", nil, float64(m.Cache.Invalidated))
 	p.sample("relmaxd_cache_entries", "gauge", nil, float64(m.Cache.Len))
+	p.sample("relmaxd_anytime_estimates_total", "counter", nil, float64(m.Anytime.Estimates))
+	p.sample("relmaxd_anytime_samples_used_total", "counter", nil, float64(m.Anytime.SamplesUsed))
+	p.sample("relmaxd_anytime_samples_saved_total", "counter", nil, float64(m.Anytime.SamplesSaved))
+	p.sample("relmaxd_precision_sheds_total", "counter", nil, float64(m.Anytime.PrecisionSheds))
 
 	for _, name := range sortedKeys(m.Datasets) {
 		dm := m.Datasets[name]
@@ -111,6 +115,8 @@ func writePrometheus(w http.ResponseWriter, m metricsResponse) {
 		p.sample("relmaxd_dataset_mutations_applied_total", "counter", ls, float64(dm.Mutations.Applied))
 		p.sample("relmaxd_dataset_replicated_batches_total", "counter", ls, float64(dm.Mutations.ReplicatedApplies))
 		p.sample("relmaxd_dataset_replicated_mutations_total", "counter", ls, float64(dm.Mutations.ReplicatedApplied))
+		p.sample("relmaxd_dataset_anytime_estimates_total", "counter", ls, float64(dm.Anytime.Estimates))
+		p.sample("relmaxd_dataset_anytime_samples_saved_total", "counter", ls, float64(dm.Anytime.SamplesSaved))
 	}
 
 	if m.Replication != nil {

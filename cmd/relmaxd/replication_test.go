@@ -324,7 +324,7 @@ func TestRouterEndToEnd(t *testing.T) {
 	replica, _ := newReplReplica(t, primary.URL)
 	waitEpoch(t, replica.URL, "lastfm", epoch)
 
-	rt := newRouter(primary.URL, []string{replica.URL})
+	rt := newRouter(primary.URL, []string{replica.URL}, 0)
 	rt.logf = t.Logf
 	router := httptest.NewServer(rt.handler())
 	t.Cleanup(router.Close)
@@ -472,5 +472,99 @@ func TestPrefixJobID(t *testing.T) {
 		if got := prefixJobID([]byte(raw), "p"); string(got) != raw {
 			t.Fatalf("prefixJobID(%q) = %q, want passthrough", raw, got)
 		}
+	}
+}
+
+// fakeHealthBackend serves only a /healthz endpoint reporting the given
+// per-dataset epochs — enough for the router's scrape to compute lag.
+func fakeHealthBackend(t *testing.T, epochs map[string]uint64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		datasets := make(map[string]any, len(epochs))
+		for name, e := range epochs {
+			datasets[name] = map[string]any{"epoch": e}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "datasets": datasets})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRouterHealthAwareBalancing: pickRead skips replicas whose /healthz
+// fails or whose epoch lag exceeds -max-lag, falls back to the primary
+// when no replica qualifies, and counts every skip in the metrics.
+func TestRouterHealthAwareBalancing(t *testing.T) {
+	primary := fakeHealthBackend(t, map[string]uint64{"lastfm": 10})
+	fresh := fakeHealthBackend(t, map[string]uint64{"lastfm": 9}) // lag 1
+	stale := fakeHealthBackend(t, map[string]uint64{"lastfm": 3}) // lag 7
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(dead.Close)
+
+	rt := newRouter(primary.URL, []string{dead.URL, stale.URL, fresh.URL}, 2)
+	rt.logf = t.Logf
+
+	// Before any scrape the router balances blindly over all replicas.
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		seen[rt.pickRead().name] = true
+	}
+	if !seen["r0"] || !seen["r1"] || !seen["r2"] {
+		t.Fatalf("pre-scrape round-robin skipped a replica: %v", seen)
+	}
+
+	rt.refreshHealth(context.Background())
+	el := rt.eligible.Load()
+	if el == nil || len(*el) != 1 || (*el)[0].name != "r2" {
+		t.Fatalf("eligible after refresh: %+v", el)
+	}
+	if got := rt.skippedUnhealthy.Load(); got != 1 {
+		t.Fatalf("skippedUnhealthy = %d, want 1", got)
+	}
+	if got := rt.skippedLagging.Load(); got != 1 {
+		t.Fatalf("skippedLagging = %d, want 1", got)
+	}
+	for i := 0; i < 4; i++ {
+		if b := rt.pickRead(); b.name != "r2" {
+			t.Fatalf("read routed to %s, want the one healthy in-lag replica r2", b.name)
+		}
+	}
+	if rt.primaryFallbacks.Load() != 0 {
+		t.Fatalf("unexpected primary fallback while r2 was eligible")
+	}
+
+	// With max-lag so tight no replica qualifies, reads fall back to the
+	// primary and the fallback counter moves.
+	rtStrict := newRouter(primary.URL, []string{dead.URL, stale.URL}, 1)
+	rtStrict.logf = t.Logf
+	rtStrict.refreshHealth(context.Background())
+	if b := rtStrict.pickRead(); b.name != "p" {
+		t.Fatalf("read routed to %s, want primary fallback", b.name)
+	}
+	if got := rtStrict.primaryFallbacks.Load(); got != 1 {
+		t.Fatalf("primaryFallbacks = %d, want 1", got)
+	}
+
+	// max-lag 0 means no lag limit: a healthy replica serves however far
+	// behind it is, and only the dead one is skipped.
+	rtLoose := newRouter(primary.URL, []string{dead.URL, stale.URL}, 0)
+	rtLoose.logf = t.Logf
+	rtLoose.refreshHealth(context.Background())
+	if el := rtLoose.eligible.Load(); el == nil || len(*el) != 1 || (*el)[0].name != "r1" {
+		t.Fatalf("max-lag=0 eligible: %+v", rtLoose.eligible.Load())
+	}
+
+	// The metrics surface the balancing counters.
+	router := httptest.NewServer(rt.handler())
+	t.Cleanup(router.Close)
+	_, rm := getJSON(t, router.URL+"/metrics")
+	bal, _ := rm["balancing"].(map[string]any)
+	if bal == nil || bal["eligible_replicas"].(float64) != 1 {
+		t.Fatalf("metrics balancing block: %v", rm["balancing"])
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,10 +14,13 @@ import (
 )
 
 // router is the -role router mode: a thin, stateless proxy that spreads
-// read queries round-robin across the read replicas (falling back to the
-// primary when none are configured or a replica is down) and routes every
+// read queries round-robin across the read replicas and routes every
 // write — mutations and dataset lifecycle — to the primary. It holds no
-// catalog and runs no engines.
+// catalog and runs no engines. Balancing is health-aware: a periodic
+// /healthz scrape (and every /healthz-/metrics request) recomputes which
+// replicas are reachable and within -max-lag epochs of the primary, and
+// reads fall back to the primary when no replica qualifies; skip and
+// fallback counts surface in /metrics.
 //
 // Job IDs are engine-local ("e1-j3"), so the same ID exists independently
 // on every backend. The router namespaces them: a job submitted to backend
@@ -35,6 +39,18 @@ type router struct {
 	next     atomic.Uint64 // round-robin cursor over replicas
 	logf     func(format string, args ...any)
 	start    time.Time
+
+	// Health-aware read balancing: refreshHealth scrapes every backend and
+	// publishes the replicas that are reachable AND within maxLag epochs of
+	// the primary (0 = no lag limit); pickRead round-robins over that set,
+	// falling back to the primary when it is empty. A nil eligible pointer
+	// (no scrape yet) routes over all replicas — the pre-health behavior.
+	maxLag   uint64
+	eligible atomic.Pointer[[]backend]
+
+	skippedUnhealthy atomic.Uint64 // replicas excluded: /healthz unreachable
+	skippedLagging   atomic.Uint64 // replicas excluded: epoch lag > maxLag
+	primaryFallbacks atomic.Uint64 // reads routed to the primary for lack of an eligible replica
 }
 
 // backend is one proxied relmaxd instance.
@@ -43,7 +59,7 @@ type backend struct {
 	url  string // base URL without trailing slash
 }
 
-func newRouter(primary string, replicas []string) *router {
+func newRouter(primary string, replicas []string, maxLag uint64) *router {
 	rt := &router{
 		primary: backend{name: "p", url: strings.TrimRight(primary, "/")},
 		// The feed connections replicas hold against the primary are
@@ -52,6 +68,7 @@ func newRouter(primary string, replicas []string) *router {
 		client: &http.Client{},
 		logf:   log.Printf,
 		start:  time.Now(),
+		maxLag: maxLag,
 	}
 	for i, u := range replicas {
 		rt.replicas = append(rt.replicas, backend{name: fmt.Sprintf("r%d", i), url: strings.TrimRight(u, "/")})
@@ -91,14 +108,74 @@ func (rt *router) handler() http.Handler {
 	return mux
 }
 
-// pickRead chooses the next read backend round-robin over the replicas,
-// with the primary serving reads when no replicas are configured.
+// pickRead chooses the next read backend round-robin over the healthy,
+// within-lag replicas (see refreshHealth), with the primary serving reads
+// when no replicas are configured or none is currently eligible.
 func (rt *router) pickRead() backend {
 	if len(rt.replicas) == 0 {
 		return rt.primary
 	}
+	pool := rt.replicas
+	if el := rt.eligible.Load(); el != nil {
+		if len(*el) == 0 {
+			rt.primaryFallbacks.Add(1)
+			return rt.primary
+		}
+		pool = *el
+	}
 	n := rt.next.Add(1)
-	return rt.replicas[int((n-1)%uint64(len(rt.replicas)))]
+	return pool[int((n-1)%uint64(len(pool)))]
+}
+
+// refreshHealth scrapes every backend, recomputes the eligible read set —
+// replicas whose /healthz answers and whose worst per-dataset epoch lag is
+// within maxLag — and publishes it for pickRead. It returns the scraped
+// health view so the /healthz and /metrics handlers reuse one scrape.
+func (rt *router) refreshHealth(ctx context.Context) []backendHealth {
+	backends := rt.scrape(ctx)
+	lag := lagOf(backends)
+	eligible := make([]backend, 0, len(rt.replicas))
+	for i, bh := range backends[1:] {
+		if !bh.Healthy {
+			rt.skippedUnhealthy.Add(1)
+			continue
+		}
+		// Lag is measurable only against a reachable primary; with the
+		// primary down, a healthy replica keeps serving whatever it has.
+		if rt.maxLag > 0 && backends[0].Healthy && worstLag(lag, bh.Name) > rt.maxLag {
+			rt.skippedLagging.Add(1)
+			continue
+		}
+		eligible = append(eligible, rt.replicas[i])
+	}
+	rt.eligible.Store(&eligible)
+	return backends
+}
+
+// worstLag is a replica's maximum epoch lag across datasets.
+func worstLag(lag map[string]map[string]uint64, name string) uint64 {
+	worst := uint64(0)
+	for _, perReplica := range lag {
+		if l, ok := perReplica[name]; ok && l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// healthLoop refreshes the eligible read set periodically until ctx fires;
+// the /healthz and /metrics handlers also refresh on demand.
+func (rt *router) healthLoop(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		rt.refreshHealth(ctx)
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // backendFor resolves a namespaced job ID to its backend and the backend-
@@ -238,13 +315,13 @@ type backendHealth struct {
 }
 
 // scrape collects every backend's /healthz dataset epochs.
-func (rt *router) scrape(r *http.Request) []backendHealth {
+func (rt *router) scrape(ctx context.Context) []backendHealth {
 	backends := append([]backend{rt.primary}, rt.replicas...)
 	out := make([]backendHealth, len(backends))
 	for i, b := range backends {
 		bh := backendHealth{Name: b.name, URL: b.url}
 		func() {
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+"/healthz", nil)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
 			if err != nil {
 				return
 			}
@@ -303,7 +380,7 @@ func lagOf(backends []backendHealth) map[string]map[string]uint64 {
 }
 
 func (rt *router) handleHealth(w http.ResponseWriter, r *http.Request) {
-	backends := rt.scrape(r)
+	backends := rt.refreshHealth(r.Context())
 	status := "ok"
 	if !backends[0].Healthy {
 		status = "degraded: primary unreachable"
@@ -316,20 +393,38 @@ func (rt *router) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleMetrics reports the router's backend topology and per-replica
 // epoch lag, in JSON or Prometheus exposition like the server's /metrics.
 func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	backends := rt.scrape(r)
+	backends := rt.refreshHealth(r.Context())
 	lag := lagOf(backends)
+	eligible := 0
+	if el := rt.eligible.Load(); el != nil {
+		eligible = len(*el)
+	}
 	if !wantsPrometheus(r) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"role":     roleRouter,
 			"uptime_s": time.Since(rt.start).Seconds(),
 			"backends": backends,
 			"lag":      lag,
+			"balancing": map[string]any{
+				"max_lag":           rt.maxLag,
+				"eligible_replicas": eligible,
+				"skipped_unhealthy": rt.skippedUnhealthy.Load(),
+				"skipped_lagging":   rt.skippedLagging.Load(),
+				"primary_fallbacks": rt.primaryFallbacks.Load(),
+			},
 		})
 		return
 	}
 	p := &promWriter{typed: make(map[string]bool)}
 	p.sample("relmaxd_role", "gauge", map[string]string{"role": roleRouter}, 1)
 	p.sample("relmaxd_uptime_seconds", "gauge", nil, time.Since(rt.start).Seconds())
+	p.sample("relmaxd_router_max_lag", "gauge", nil, float64(rt.maxLag))
+	p.sample("relmaxd_router_eligible_replicas", "gauge", nil, float64(eligible))
+	p.sample("relmaxd_router_skipped_total", "counter",
+		map[string]string{"reason": "unhealthy"}, float64(rt.skippedUnhealthy.Load()))
+	p.sample("relmaxd_router_skipped_total", "counter",
+		map[string]string{"reason": "lagging"}, float64(rt.skippedLagging.Load()))
+	p.sample("relmaxd_router_primary_fallbacks_total", "counter", nil, float64(rt.primaryFallbacks.Load()))
 	for _, b := range backends {
 		healthy := 0.0
 		if b.Healthy {

@@ -34,10 +34,15 @@ type server struct {
 	// but never extend it. For /v2 jobs it bounds the job's runtime.
 	timeout time.Duration
 	// limits are the serving ceilings (flags in main.go).
-	limits  limits
-	jobs    *jobStore
-	metrics *metrics
-	logf    func(format string, args ...any)
+	limits limits
+	// shedPrec, when positive, arms precision load shedding (-shed-precision):
+	// once an engine's admission pool is at least half full, precision-mode
+	// estimates are served at this coarser precision instead of their
+	// requested one — degrading answers before the queue degrades to 503s.
+	shedPrec float64
+	jobs     *jobStore
+	metrics  *metrics
+	logf     func(format string, args ...any)
 	// role is "primary" (default) or "replica"; the router role never
 	// constructs a server. A primary with -data-dir registers a replication
 	// tap per dataset in taps and serves the feed endpoint; a replica is
@@ -184,6 +189,39 @@ func solveResponseOf(sol repro.Solution) solveResponse {
 type estimateResponse struct {
 	Epoch         uint64    `json:"epoch"`
 	Reliabilities []float64 `json:"reliabilities"`
+	// The anytime block, present only for precision-mode requests: per-pair
+	// confidence intervals parallel to Reliabilities, the samples each pair
+	// actually drew, and why each stopped ("precision", "budget",
+	// "deadline"). Precision echoes the precision the answer satisfies;
+	// ShedPrecision is set instead of silence when overload shedding
+	// coarsened it below what the client asked (see server.shedPrecisionFor).
+	Lo            []float64 `json:"lo,omitempty"`
+	Hi            []float64 `json:"hi,omitempty"`
+	SamplesUsed   []int     `json:"samples_used,omitempty"`
+	StopReasons   []string  `json:"stop_reasons,omitempty"`
+	Precision     float64   `json:"precision,omitempty"`
+	ShedPrecision float64   `json:"shed_precision,omitempty"`
+}
+
+// estimateResponseOf renders an estimate-many result, folding in the
+// per-pair anytime intervals when the query ran in precision mode.
+func estimateResponseOf(res repro.Result, epoch uint64, shed float64) estimateResponse {
+	resp := estimateResponse{Epoch: epoch, Reliabilities: res.Reliabilities}
+	if len(res.AnytimeMany) == 0 {
+		return resp
+	}
+	resp.Lo = make([]float64, len(res.AnytimeMany))
+	resp.Hi = make([]float64, len(res.AnytimeMany))
+	resp.SamplesUsed = make([]int, len(res.AnytimeMany))
+	resp.StopReasons = make([]string, len(res.AnytimeMany))
+	for i, a := range res.AnytimeMany {
+		resp.Lo[i], resp.Hi[i] = a.Lo, a.Hi
+		resp.SamplesUsed[i] = a.SamplesUsed
+		resp.StopReasons[i] = a.StopReason
+		resp.Precision = a.Precision
+	}
+	resp.ShedPrecision = shed
+	return resp
 }
 
 type errorResponse struct {
@@ -315,6 +353,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.recordDataset(dataset)
+	shed := s.shedPrecisionFor(eng, &req)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	res, epoch, err := s.runJob(ctx, eng, req.query())
@@ -323,7 +362,37 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setEpochHeader(w, epoch)
-	writeJSON(w, http.StatusOK, estimateResponse{Epoch: epoch, Reliabilities: res.Reliabilities})
+	writeJSON(w, http.StatusOK, estimateResponseOf(res, epoch, shed))
+}
+
+// shedLoadFactor is the admission-pool fill fraction beyond which precision
+// shedding (-shed-precision) kicks in.
+const shedLoadFactor = 0.5
+
+// shedPrecisionFor widens a precision-mode estimate under load. With
+// -shed-precision set, once the engine's admission pool (running plus
+// queued jobs over its total capacity) is at least half full, any estimate
+// asking for a precision tighter than the shed floor is served at the floor
+// instead: a wider interval costs fewer samples, so the server degrades
+// answer quality before it has to degrade availability (503 only once even
+// shed jobs overflow the queue). Returns the precision actually served when
+// shedding rewrote the request, else 0; the caller records it in the stored
+// job and the response so degraded answers are always labelled.
+func (s *server) shedPrecisionFor(eng *repro.Engine, req *jobRequest) float64 {
+	if s.shedPrec <= 0 || req.Precision <= 0 || req.Precision >= s.shedPrec {
+		return 0
+	}
+	if k := repro.QueryKind(req.Kind); k != repro.QueryEstimate && k != repro.QueryEstimateMany {
+		return 0
+	}
+	st := eng.Stats()
+	capacity := st.MaxConcurrent + st.QueueDepth
+	if capacity <= 0 || float64(st.QueuedJobs+st.RunningJobs) < shedLoadFactor*float64(capacity) {
+		return 0
+	}
+	req.Precision = s.shedPrec
+	s.metrics.recordPrecisionShed()
+	return s.shedPrec
 }
 
 // runJob is the synchronous /v1 shim over the job runner: submit, then

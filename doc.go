@@ -95,6 +95,45 @@
 // exposes the serving counters (queue gauges, job outcomes, cache
 // hit/miss, the current epoch) that back cmd/relmaxd's /metrics endpoint.
 //
+// # Anytime queries
+//
+// Fixed sample budgets waste work in both directions: an easy query is
+// obvious after a few hundred samples, a hard one is still noisy after the
+// full budget with nothing to say about how noisy. Setting
+// Options.Precision switches an estimate (or estimate-many) into anytime
+// mode: sampling proceeds in 64-aligned blocks, a running confidence
+// interval (Wilson score and Hoeffding bound, whichever is tighter at 95%
+// confidence) narrows as blocks land, and the query stops at the first of
+// three events — the interval's half-width reaches Precision, the adaptive
+// budget cap Options.MaxZ is exhausted, or the context deadline fires.
+// The Result carries the interval alongside the point:
+//
+//	res, err := eng.Run(ctx, repro.Query{Kind: repro.QueryEstimate, S: 0, T: 3,
+//		Options: &repro.Options{Precision: 0.01}})
+//	a := res.Anytime // Point, [Lo, Hi], SamplesUsed, StopReason
+//
+// StopReason is one of StopPrecision, StopBudget, StopDeadline — a
+// deadline expiry is an answer with honest error bars, not an error.
+// Progress callbacks (and job status/events) stream the narrowing
+// interval as StageEstimate events, and Stats counts the samples adaptive
+// stopping saved against the fixed budget (AnytimeEstimates,
+// AnytimeSamplesUsed, AnytimeSamplesSaved).
+//
+// The determinism contract extends to anytime runs: for a fixed seed the
+// block schedule and stop decision are deterministic, and the sampled
+// stream is bit-identical to a fixed-budget run truncated at the same
+// length — at any worker count, for every sampler kind.
+//
+// Anytime results compose with the result cache under upgrade semantics:
+// Precision is deliberately excluded from the canonical fingerprint, so
+// all precisions of one (s, t) estimate share a cache slot holding the
+// tightest interval computed so far. A cached tight interval serves any
+// looser request bit-identically; a tighter request recomputes and
+// upgrades the slot; fixed-budget estimates keep their own keys. This is
+// also the load-shedding primitive cmd/relmaxd's -shed-precision flag
+// builds on: under queue pressure the server widens served precision
+// (labelled in the response) before it starts refusing requests.
+//
 // # Datasets and mutation
 //
 // A deployed server does not freeze its graphs forever: edges arrive,
@@ -130,7 +169,10 @@
 // so it can only miss; stale-epoch entries become unreachable and are
 // evicted lazily (Stats reports the reclaimed count). A batch is
 // all-or-nothing — the first invalid mutation (ErrBadMutation) aborts it
-// with the epoch unchanged.
+// with the epoch unchanged. Consecutive removals in one batch are
+// compacted in a single O(N+M) pass (Graph.RemoveEdges) instead of paying
+// the edge-ID renumbering per edge, so bulk pruning costs the same as one
+// removal.
 //
 // cmd/relmaxd exposes the whole lifecycle over HTTP: POST/GET/DELETE
 // /v2/datasets to create (from a built-in stand-in, a server-local file

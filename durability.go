@@ -189,6 +189,16 @@ func mutationFromStore(m store.Mut) Mutation {
 	}
 }
 
+// mutationsFromStore converts a recovered WAL batch's mutations for
+// applyMutationsTo (which batch-compacts removal runs during replay).
+func mutationsFromStore(muts []store.Mut) []Mutation {
+	out := make([]Mutation, len(muts))
+	for i, m := range muts {
+		out[i] = mutationFromStore(m)
+	}
+	return out
+}
+
 // storeSnapshotOf serializes g's committed state: epoch, orientation and
 // every edge in edge-ID order. Edge-ID order is what makes recovery
 // bit-identical — re-adding edges in that order reproduces the adjacency
@@ -258,11 +268,9 @@ func RecoverEngine(s store.Store, opts ...EngineOption) (*Engine, error) {
 			return nil, fmt.Errorf("%w: WAL batch epoch %d does not chain from %d",
 				store.ErrCorrupt, b.Epoch, g.Version())
 		}
-		for i, m := range b.Muts {
-			if err := applyMutationTo(g, mutationFromStore(m)); err != nil {
-				return nil, fmt.Errorf("%w: replaying batch epoch %d mutation %d: %v",
-					store.ErrCorrupt, b.Epoch, i, err)
-			}
+		if i, err := applyMutationsTo(nil, g, mutationsFromStore(b.Muts)); err != nil {
+			return nil, fmt.Errorf("%w: replaying batch epoch %d mutation %d: %v",
+				store.ErrCorrupt, b.Epoch, i, err)
 		}
 		if g.Version() != b.Epoch {
 			return nil, fmt.Errorf("%w: replay of batch epoch %d arrived at %d",

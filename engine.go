@@ -86,6 +86,11 @@ type Engine struct {
 	applies, mutationsApplied                                             atomic.Uint64
 	replicatedApplies, replicatedMutations                                atomic.Uint64
 
+	// Anytime-estimate accounting: how many adaptive estimates ran, how
+	// many samples they actually drew, and how many their MaxZ budgets
+	// would have drawn but the early stop saved.
+	anytimeEstimates, anytimeSamplesUsed, anytimeSamplesSaved atomic.Uint64
+
 	// Durable storage; nil for in-memory engines. store and the policy
 	// fields are fixed at construction; the pending counters are guarded by
 	// applyMu. See durability.go.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/anytime"
 	"repro/internal/candidates"
 	"repro/internal/rng"
 	"repro/internal/sampling"
@@ -77,6 +78,19 @@ type Options struct {
 	// Sampler chooses the estimator: "mc", "rss", "lazy" or "mcvec" (the
 	// word-parallel 64-lane MC; default "rss").
 	Sampler string
+	// ElimSampler chooses the estimator for search-space elimination's
+	// From/To reliability vectors, independently of Sampler (default
+	// "mcvec": elimination only needs full single-source vectors, where
+	// the word-parallel sampler is markedly faster at equal budget).
+	ElimSampler string
+	// Precision, when > 0, turns reliability estimation into an anytime
+	// query: sampling stops as soon as the confidence interval half-width
+	// reaches Precision, or at MaxZ samples, whichever first. Estimation
+	// queries only; the Problem 1/4 solvers ignore it.
+	Precision float64
+	// MaxZ caps the samples an anytime estimate may draw (default 65536).
+	// Ignored unless Precision > 0.
+	MaxZ int
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// NoElimination skips Algorithm 4 and uses every missing edge
@@ -131,6 +145,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Sampler == "" {
 		o.Sampler = "rss"
+	}
+	if o.ElimSampler == "" {
+		o.ElimSampler = "mcvec"
+	}
+	if o.Precision > 0 && o.MaxZ <= 0 {
+		o.MaxZ = anytime.DefaultMaxZ
+	}
+	if o.Precision <= 0 {
+		// Precision off: MaxZ is meaningless, zero it so a stray value
+		// cannot differentiate otherwise-identical fixed-budget queries.
+		o.Precision, o.MaxZ = 0, 0
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -188,6 +213,21 @@ func (o Options) NewSampler(ctx context.Context, stream int64) (sampling.Sampler
 	return smp, nil
 }
 
+// elimSampler builds the estimator used by search-space elimination: the
+// ElimSampler kind on its own decorrelated stream (7 — distinct from
+// every pipeline's selection and evaluation streams), so routing
+// elimination onto a different estimator never perturbs the randomness
+// the selection stages consume. Note the deliberate golden change: when
+// ElimSampler differs from Sampler (the default since mcvec became the
+// elimination default), candidate sets — and therefore solver outputs —
+// differ from releases that ranked candidates with the selection sampler.
+// Results remain deterministic per (Seed, Options) as always.
+func (o Options) elimSampler(ctx context.Context) (sampling.Sampler, error) {
+	elim := o
+	elim.Sampler = o.ElimSampler
+	return elim.NewSampler(ctx, 7)
+}
+
 // Solution is the outcome of a Problem 1 query.
 type Solution struct {
 	// Method that produced the solution.
@@ -227,9 +267,13 @@ func Solve(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, method Meth
 	if err != nil {
 		return Solution{}, err
 	}
+	elim, err := opt.elimSampler(ctx)
+	if err != nil {
+		return Solution{}, err
+	}
 
 	elimStart := time.Now()
-	cands, err := candidateSet(g, s, t, smp, opt)
+	cands, err := candidateSet(g, s, t, elim, opt)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -313,6 +357,8 @@ func checkQuery(g *ugraph.Graph, s, t ugraph.NodeID) error {
 }
 
 // candidateSet materializes E+ for the query per the configured policy.
+// smp is the elimination estimator (opt.elimSampler) — only consulted when
+// Algorithm 4 actually runs.
 func candidateSet(g *ugraph.Graph, s, t ugraph.NodeID, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
 	if opt.Candidates != nil {
 		out := make([]ugraph.Edge, 0, len(opt.Candidates))

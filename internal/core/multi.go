@@ -120,21 +120,25 @@ func SolveMulti(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.
 	if err != nil {
 		return MultiSolution{}, err
 	}
+	elim, err := opt.elimSampler(ctx)
+	if err != nil {
+		return MultiSolution{}, err
+	}
 	var edges []ugraph.Edge
 	switch method {
 	case MethodBE:
 		switch agg {
 		case AggAvg:
-			edges, err = multiAvgBE(ctx, g, sources, targets, smp, opt)
+			edges, err = multiAvgBE(ctx, g, sources, targets, smp, elim, opt)
 		case AggMin, AggMax:
-			edges, err = multiMinMaxBE(ctx, g, sources, targets, agg, smp, opt)
+			edges, err = multiMinMaxBE(ctx, g, sources, targets, agg, smp, elim, opt)
 		default:
 			err = fmt.Errorf("core: unknown aggregate %q: %w", agg, ErrBadQuery)
 		}
 	case MethodHillClimbing:
-		edges, err = multiHillClimbing(ctx, g, sources, targets, agg, smp, opt)
+		edges, err = multiHillClimbing(ctx, g, sources, targets, agg, smp, elim, opt)
 	case MethodEigen:
-		cands := multiCandidates(g, sources, targets, smp, opt)
+		cands := multiCandidates(g, sources, targets, elim, opt)
 		edges = eigenEdges(ctx, g, cands, opt)
 	default:
 		err = fmt.Errorf("core: method %q not supported for multi-source-target queries: %w", method, ErrUnknownMethod)
@@ -161,6 +165,8 @@ func SolveMulti(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.
 	return sol, nil
 }
 
+// multiCandidates materializes E+ for a multi-pair query; smp is the
+// elimination estimator (opt.elimSampler).
 func multiCandidates(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) []ugraph.Edge {
 	if opt.Candidates != nil {
 		out := make([]ugraph.Edge, 0, len(opt.Candidates))
@@ -185,8 +191,8 @@ func multiCandidates(g *ugraph.Graph, sources, targets []ugraph.NodeID, smp samp
 // multiAvgBE implements §6.1: candidate edges from the multi-source
 // elimination, top-l paths per pair, then batch selection maximizing the
 // average reliability over all pairs on the selected-path subgraph.
-func multiAvgBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
-	cands := multiCandidates(g, sources, targets, smp, opt)
+func multiAvgBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, smp, elim sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	cands := multiCandidates(g, sources, targets, elim, opt)
 	opt.emit(ProgressEvent{Stage: StageEliminate, Candidates: len(cands)})
 	a := augment(g, cands)
 	var pool []paths.Path
@@ -430,7 +436,7 @@ func batchSelect(ctx context.Context, a augmented, pool []paths.Path, opt Option
 // currently minimum (resp. maximum) reliability and improve it with the
 // single-pair BE solver under a per-round budget k1 = K1Ratio·k, until the
 // total budget k is spent or no further improvement is possible.
-func multiMinMaxBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+func multiMinMaxBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp, elim sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
 	work := g.Clone()
 	budget := opt.K
 	k1 := int(math.Round(opt.K1Ratio * float64(opt.K)))
@@ -459,7 +465,7 @@ func multiMinMaxBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugra
 		round := opt
 		round.K = minInt(k1, budget)
 		round.Candidates = nil
-		cands := candidateRound(work, s, t, smp, round)
+		cands := candidateRound(work, s, t, elim, round)
 		edges, _ := pathSelect(ctx, work, s, t, cands, smp, round, true)
 		if len(edges) == 0 {
 			// This pair cannot be improved on the current graph; try
@@ -486,8 +492,8 @@ func multiMinMaxBE(ctx context.Context, g *ugraph.Graph, sources, targets []ugra
 	return all, nil
 }
 
-func candidateRound(g *ugraph.Graph, s, t ugraph.NodeID, smp sampling.Sampler, opt Options) []ugraph.Edge {
-	cands, _ := candidateSet(g, s, t, smp, opt)
+func candidateRound(g *ugraph.Graph, s, t ugraph.NodeID, elim sampling.Sampler, opt Options) []ugraph.Edge {
+	cands, _ := candidateSet(g, s, t, elim, opt)
 	return cands
 }
 
@@ -523,8 +529,8 @@ func pickPairSkipping(matrix [][]float64, agg Aggregate, skip map[[2]int]bool) (
 }
 
 // multiHillClimbing generalizes Algorithm 1 to the aggregate objective.
-func multiHillClimbing(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
-	cands := multiCandidates(g, sources, targets, smp, opt)
+func multiHillClimbing(ctx context.Context, g *ugraph.Graph, sources, targets []ugraph.NodeID, agg Aggregate, smp, elim sampling.Sampler, opt Options) ([]ugraph.Edge, error) {
+	cands := multiCandidates(g, sources, targets, elim, opt)
 	work := g.Clone()
 	var chosen []ugraph.Edge
 	remaining := append([]ugraph.Edge(nil), cands...)

@@ -13,6 +13,9 @@ const (
 	StageSelect Stage = "select"
 	// StageEvaluate is the held-out before/after evaluation.
 	StageEvaluate Stage = "evaluate"
+	// StageEstimate is anytime reliability estimation: events stream the
+	// narrowing confidence interval while the adaptive sampler runs.
+	StageEstimate Stage = "estimate"
 )
 
 // ProgressEvent is one solver progress notification. Events are emitted
@@ -35,6 +38,13 @@ type ProgressEvent struct {
 	Batches int
 	// Edges is the number of edges chosen so far.
 	Edges int
+	// Lo and Hi bound the running confidence interval of an anytime
+	// estimate (StageEstimate events only; note Lo can legitimately be 0,
+	// so consumers key on Stage or Samples rather than non-zero Lo).
+	Lo, Hi float64
+	// Samples is the number of samples an anytime estimate has drawn so
+	// far (StageEstimate events only).
+	Samples int
 }
 
 // ProgressFunc receives solver progress notifications. Callbacks observe

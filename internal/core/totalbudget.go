@@ -61,7 +61,11 @@ func SolveTotalBudget(ctx context.Context, g *ugraph.Graph, s, t ugraph.NodeID, 
 	}
 	candOpt := opt
 	candOpt.Zeta = nominal
-	cands, err := candidateSet(g, s, t, smp, candOpt)
+	elim, err := candOpt.elimSampler(ctx)
+	if err != nil {
+		return TotalBudgetSolution{}, err
+	}
+	cands, err := candidateSet(g, s, t, elim, candOpt)
 	if err != nil {
 		return TotalBudgetSolution{}, err
 	}

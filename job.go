@@ -36,8 +36,10 @@ func (s JobState) Terminal() bool {
 
 // JobProgress accumulates the solver's Progress events into current
 // counters: the latest pipeline stage and the per-round counts observed so
-// far. Estimate-kind jobs report no events (the estimators have no stage
-// structure), so their progress stays zero.
+// far. Fixed-budget estimate jobs report no events (those estimators have
+// no stage structure), so their progress stays zero; anytime estimates
+// (Options.Precision > 0) stream StageEstimate events carrying the
+// narrowing interval into Lo/Hi/Samples.
 type JobProgress struct {
 	// Stage is the most recently reported pipeline stage.
 	Stage ProgressStage
@@ -45,6 +47,11 @@ type JobProgress struct {
 	Round, Total int
 	// Candidates, Paths, Batches, Edges are the latest reported counts.
 	Candidates, Paths, Batches, Edges int
+	// Lo and Hi bound the running confidence interval of an anytime
+	// estimate, and Samples counts the worlds drawn so far; all zero
+	// until the first StageEstimate event.
+	Lo, Hi  float64
+	Samples int
 	// Events is the number of progress events recorded so far.
 	Events int
 }
@@ -149,7 +156,7 @@ func (e *Engine) Submit(ctx context.Context, q Query) (*Job, error) {
 	// counted here — the job probes again when it runs (the entry may be
 	// filled while it queues), and that probe is the counted one.
 	if e.cache != nil {
-		if res, ok := e.cache.lookup(j.key, false); ok {
+		if res, ok := e.cache.lookup(j.key, cq.precision(), false); ok {
 			j.finish(res, true, nil)
 			return j, nil
 		}
@@ -350,6 +357,12 @@ func (j *Job) record(ev ProgressEvent) {
 	if ev.Edges != 0 {
 		j.progress.Edges = ev.Edges
 	}
+	// Interval fields fold on the stage, not on non-zero values: Lo (and
+	// on hopeless pairs even Hi) can legitimately be 0.
+	if ev.Stage == StageEstimate || ev.Samples != 0 {
+		j.progress.Lo, j.progress.Hi = ev.Lo, ev.Hi
+		j.progress.Samples = ev.Samples
+	}
 	j.broadcastLocked()
 	j.mu.Unlock()
 }
@@ -432,6 +445,11 @@ type EngineStats struct {
 	CacheHits, CacheMisses uint64
 	CacheLen, CacheCap     int
 	CacheInvalidated       uint64
+	// AnytimeEstimates counts completed anytime (Precision-bounded)
+	// estimates; AnytimeSamplesUsed the samples they actually drew and
+	// AnytimeSamplesSaved the samples their MaxZ budgets allowed but the
+	// early precision stop avoided — the adaptive win over fixed budgets.
+	AnytimeEstimates, AnytimeSamplesUsed, AnytimeSamplesSaved uint64
 	// Durable reports whether the engine persists its graph (WithStorage);
 	// Checkpoints counts checkpoints cut (including the initial one) and
 	// CheckpointErrors the checkpoint attempts that failed (the batches stay
@@ -459,6 +477,9 @@ func (e *Engine) Stats() EngineStats {
 		MutationsApplied:    e.mutationsApplied.Load(),
 		ReplicatedApplies:   e.replicatedApplies.Load(),
 		ReplicatedMutations: e.replicatedMutations.Load(),
+		AnytimeEstimates:    e.anytimeEstimates.Load(),
+		AnytimeSamplesUsed:  e.anytimeSamplesUsed.Load(),
+		AnytimeSamplesSaved: e.anytimeSamplesSaved.Load(),
 		Durable:             e.store != nil,
 		Checkpoints:         e.checkpoints.Load(),
 		CheckpointErrors:    e.checkpointErrors.Load(),

@@ -92,14 +92,13 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 		return cur.csr.Epoch(), nil
 	}
 	g := cur.g.Clone()
-	for i, m := range muts {
-		if err := ctx.Err(); err != nil {
-			return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", i, len(muts), err)
+	if i, err := applyMutationsTo(ctx, g, muts); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", i, len(muts), cerr)
 		}
-		if err := applyMutationTo(g, m); err != nil {
-			return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
-				i, m.Op, m.U, m.V, err, ErrBadMutation)
-		}
+		m := muts[i]
+		return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
+			i, m.Op, m.U, m.V, err, ErrBadMutation)
 	}
 	// Durability barrier: the validated batch goes to the WAL — and is
 	// fsynced — before the snapshot rotates. If the append fails the epoch
@@ -140,9 +139,50 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	return next.csr.Epoch(), nil
 }
 
-// applyMutationTo executes one mutation against g — the single switch both
-// Apply and durable WAL replay (RecoverEngine) go through, so a recovered
-// graph is rebuilt by exactly the operations that built the original.
+// applyMutationsTo executes a mutation batch in order against g — the
+// single path Apply, ApplyReplicated and durable WAL replay
+// (RecoverEngine) go through — batching every run of consecutive
+// remove-edge mutations into one Graph.RemoveEdges compaction pass, so k
+// removals in a batch cost O(N + M + k) instead of O(k·(N + M)). The
+// resulting graph (edge IDs, arc order, version counter) is bit-identical
+// to one-at-a-time application, so batches written by one node replay
+// identically everywhere. On error the returned index names the offending
+// mutation (the first of its run, for batched removals); the graph may be
+// partially mutated, which is fine because every caller mutates a clone
+// and discards it on error. ctx may be nil (replay paths).
+func applyMutationsTo(ctx context.Context, g *Graph, muts []Mutation) (int, error) {
+	for i := 0; i < len(muts); {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return i, err
+			}
+		}
+		m := muts[i]
+		if m.Op != MutRemoveEdge {
+			if err := applyMutationTo(g, m); err != nil {
+				return i, err
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(muts) && muts[j].Op == MutRemoveEdge {
+			j++
+		}
+		pairs := make([][2]NodeID, j-i)
+		for k, r := range muts[i:j] {
+			pairs[k] = [2]NodeID{r.U, r.V}
+		}
+		if err := g.RemoveEdges(pairs); err != nil {
+			return i, err
+		}
+		i = j
+	}
+	return len(muts), nil
+}
+
+// applyMutationTo executes one mutation against g; applyMutationsTo is
+// the batch path every committer routes through.
 func applyMutationTo(g *Graph, m Mutation) error {
 	switch m.Op {
 	case MutAddEdge:

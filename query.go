@@ -9,7 +9,9 @@ import (
 	"hash"
 	"math"
 
+	"repro/internal/anytime"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/sampling"
 )
 
@@ -97,6 +99,34 @@ type Result struct {
 	Reliability float64
 	// Reliabilities is the estimate-many result, index-aligned with Pairs.
 	Reliabilities []float64
+	// Anytime carries the confidence interval and stopping detail of an
+	// anytime estimate (Options.Precision > 0); nil on fixed-budget
+	// estimates and non-estimate kinds.
+	Anytime *AnytimeEstimate
+	// AnytimeMany is the per-pair anytime detail for estimate-many queries
+	// run with Options.Precision > 0, index-aligned with Pairs.
+	AnytimeMany []AnytimeEstimate
+}
+
+// AnytimeEstimate is the result detail of one anytime reliability
+// estimate: the point estimate with its confidence interval, how many
+// samples the adaptive controller actually drew, and why it stopped
+// (StopPrecision, StopBudget or StopDeadline — see internal/anytime).
+type AnytimeEstimate struct {
+	// Point is the reliability estimate; Lo and Hi bound its confidence
+	// interval (95%, Wilson/Hoeffding whichever is tighter).
+	Point, Lo, Hi float64
+	// SamplesUsed is the number of possible worlds actually drawn — at
+	// most MaxZ, and less whenever the interval reached Precision early.
+	SamplesUsed int
+	// StopReason records which stopping rule fired first.
+	StopReason string
+	// Precision is the interval half-width the estimate was computed for.
+	// On a cache upgrade (a tighter cached answer serving a looser
+	// request) it reports the tighter precision actually served.
+	Precision float64
+	// MaxZ is the sample budget cap the controller ran under.
+	MaxZ int
 }
 
 // Canonicalize resolves q against the engine configuration into its
@@ -157,8 +187,22 @@ func (e *Engine) Canonicalize(q Query) (Query, error) {
 			out.Pairs = append([]PairQuery(nil), q.Pairs...)
 		}
 		// Estimation depends only on the sampler configuration; stripping
-		// the solver fields keeps the fingerprint canonical.
-		opt = Options{Sampler: opt.Sampler, Z: opt.Z, Seed: opt.Seed, Workers: opt.Workers}
+		// the solver fields keeps the fingerprint canonical. An anytime
+		// request (Precision > 0) replaces the fixed budget Z with the
+		// adaptive (Precision, MaxZ) pair; a fixed-budget request strips
+		// any stray Precision/MaxZ so they cannot split fingerprints.
+		opt = Options{
+			Sampler: opt.Sampler, Z: opt.Z, Seed: opt.Seed, Workers: opt.Workers,
+			Precision: opt.Precision, MaxZ: opt.MaxZ,
+		}
+		if opt.Precision > 0 {
+			opt.Z = 0
+			if opt.MaxZ <= 0 {
+				opt.MaxZ = anytime.DefaultMaxZ
+			}
+		} else {
+			opt.Precision, opt.MaxZ = 0, 0
+		}
 	default:
 		return Query{}, fmt.Errorf("repro: unknown query kind %q: %w", q.Kind, ErrBadQuery)
 	}
@@ -212,6 +256,17 @@ func (q Query) Key() string {
 			int64(o.Z), o.Seed, noElim, int64(o.MaxExactCombos),
 			int64(math.Float64bits(o.K1Ratio)), workersClass)
 		writeString(h, o.Sampler)
+		writeString(h, o.ElimSampler)
+		// Anytime estimates fingerprint on the (anytime?, MaxZ) pair but
+		// deliberately NOT on Precision: the cache upgrades across
+		// precisions (a tighter stored answer may serve a looser request —
+		// see resultCache.lookup), which requires requests differing only
+		// in Precision to share a fingerprint.
+		anytimeClass := int64(0)
+		if o.Precision > 0 {
+			anytimeClass = 1
+		}
+		writeInts(h, anytimeClass, int64(o.MaxZ))
 		// Nil and empty candidate sets are different queries (nil = run
 		// elimination, empty = explicitly no candidates), so the nil-ness
 		// is part of the fingerprint, not just the length.
@@ -268,15 +323,25 @@ func (e *Engine) runCanonical(ctx context.Context, cq Query) (Result, bool, erro
 	var key string
 	if e.cache != nil {
 		key = cq.Key()
-		if res, ok := e.cache.get(key); ok {
+		if res, ok := e.cache.get(key, cq.precision()); ok {
 			return res, true, nil
 		}
 	}
 	res, err := e.execute(ctx, cq)
 	if err == nil && e.cache != nil {
-		e.cache.put(key, cq.epoch, res)
+		e.cache.put(key, cq.epoch, cq.precision(), res)
 	}
 	return res, false, err
+}
+
+// precision returns the canonicalized query's requested interval
+// half-width (zero for fixed-budget queries) — the value the result cache
+// keys entry compatibility on.
+func (q Query) precision() float64 {
+	if q.Options == nil {
+		return 0
+	}
+	return q.Options.Precision
 }
 
 // execute dispatches a canonical query to the solver or estimator layers,
@@ -315,6 +380,15 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		if err := snap.checkNode(q.T); err != nil {
 			return res, err
 		}
+		if opt.Precision > 0 {
+			est, err := e.anytimeEstimate(ctx, snap, opt, q.S, q.T, opt.Seed, opt.Progress)
+			if err != nil {
+				return res, err
+			}
+			res.Reliability = est.Point
+			res.Anytime = est
+			return res, nil
+		}
 		smp, err := e.estimatorFor(ctx, opt)
 		if err != nil {
 			return res, err
@@ -331,6 +405,12 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		res.Reliability = rel
 		return res, nil
 	case QueryEstimateMany:
+		if opt.Precision > 0 {
+			out, many, err := e.anytimeEstimateMany(ctx, snap, opt, q.Pairs)
+			res.Reliabilities = out
+			res.AnytimeMany = many
+			return res, err
+		}
 		out, err := e.estimateMany(ctx, snap, opt, q.Pairs)
 		res.Reliabilities = out
 		return res, err
@@ -410,4 +490,73 @@ func (e *Engine) estimatorFor(ctx context.Context, opt Options) (sampling.Sample
 	}
 	smp.SetContext(ctx)
 	return smp, nil
+}
+
+// anytimeEstimate runs the adaptive block-wise controller for one s-t
+// estimate: samples are drawn in 64-aligned blocks until the confidence
+// interval is at most opt.Precision wide (half-width), the MaxZ budget is
+// spent, or the deadline fires — whichever comes first. Progress events
+// (StageEstimate) stream the narrowing interval.
+func (e *Engine) anytimeEstimate(ctx context.Context, snap *engineSnapshot, opt Options, s, t NodeID, seed int64, progress ProgressFunc) (*AnytimeEstimate, error) {
+	cfg := anytime.Config{
+		Sampler:   opt.Sampler,
+		Precision: opt.Precision,
+		MaxZ:      opt.MaxZ,
+		Seed:      seed,
+		Workers:   opt.Workers,
+	}
+	if progress != nil {
+		cfg.Progress = func(cur anytime.Estimate) {
+			progress(ProgressEvent{
+				Stage: StageEstimate,
+				Lo:    cur.Lo, Hi: cur.Hi,
+				Samples: cur.SamplesUsed,
+			})
+		}
+	}
+	est, err := anytime.Run(ctx, snap.csr, s, t, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("repro: estimate interrupted: %w", err)
+	}
+	e.anytimeEstimates.Add(1)
+	e.anytimeSamplesUsed.Add(uint64(est.SamplesUsed))
+	if saved := opt.MaxZ - est.SamplesUsed; saved > 0 {
+		e.anytimeSamplesSaved.Add(uint64(saved))
+	}
+	return &AnytimeEstimate{
+		Point: est.Point, Lo: est.Lo, Hi: est.Hi,
+		SamplesUsed: est.SamplesUsed,
+		StopReason:  est.StopReason,
+		Precision:   opt.Precision,
+		MaxZ:        opt.MaxZ,
+	}, nil
+}
+
+// anytimeEstimateMany runs the adaptive controller once per pair,
+// sequentially; pair i derives its stream from SplitSeed(seed, i), so each
+// pair's answer is independent of the batch composition (the same pair
+// alone or in any batch position i gets the same stream).
+func (e *Engine) anytimeEstimateMany(ctx context.Context, snap *engineSnapshot, opt Options, pairs []PairQuery) ([]float64, []AnytimeEstimate, error) {
+	for _, q := range pairs {
+		if err := snap.checkNode(q.S); err != nil {
+			return nil, nil, err
+		}
+		if err := snap.checkNode(q.T); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, nil, nil
+	}
+	out := make([]float64, len(pairs))
+	many := make([]AnytimeEstimate, len(pairs))
+	for i, p := range pairs {
+		est, err := e.anytimeEstimate(ctx, snap, opt, p.S, p.T, rng.SplitSeed(opt.Seed, int64(i)), opt.Progress)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = est.Point
+		many[i] = *est
+	}
+	return out, many, nil
 }

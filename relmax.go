@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/anytime"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/exp"
@@ -82,6 +83,18 @@ const (
 	StagePaths     = core.StagePaths
 	StageSelect    = core.StageSelect
 	StageEvaluate  = core.StageEvaluate
+	// StageEstimate is anytime reliability estimation: events stream the
+	// narrowing confidence interval (ProgressEvent.Lo/Hi/Samples).
+	StageEstimate = core.StageEstimate
+)
+
+// Stop reasons reported by AnytimeEstimate.StopReason (see
+// internal/anytime): the interval reached the requested precision, the
+// MaxZ sample budget ran out, or the context deadline fired.
+const (
+	StopPrecision = anytime.StopPrecision
+	StopBudget    = anytime.StopBudget
+	StopDeadline  = anytime.StopDeadline
 )
 
 // Problem 1 solver methods.

@@ -51,11 +51,9 @@ func (e *Engine) ApplyReplicated(b store.Batch) (uint64, error) {
 			b.Epoch, b.PrevEpoch(), cur.csr.Epoch(), ErrReplicaGap)
 	}
 	g := cur.g.Clone()
-	for i, m := range b.Muts {
-		if err := applyMutationTo(g, mutationFromStore(m)); err != nil {
-			return 0, fmt.Errorf("repro: ApplyReplicated: batch epoch %d mutation %d: %v: %w",
-				b.Epoch, i, err, ErrReplicaGap)
-		}
+	if i, err := applyMutationsTo(nil, g, mutationsFromStore(b.Muts)); err != nil {
+		return 0, fmt.Errorf("repro: ApplyReplicated: batch epoch %d mutation %d: %v: %w",
+			b.Epoch, i, err, ErrReplicaGap)
 	}
 	if g.Version() != b.Epoch {
 		return 0, fmt.Errorf("repro: ApplyReplicated: replay of batch epoch %d arrived at %d: %w",

@@ -2,7 +2,9 @@
 # relmaxd end-to-end smoke: build the server, serve a tiny dataset, then
 # exercise both serving surfaces over real HTTP:
 #   /v1  — one Solve and one EstimateMany, asserting 200s and that
-#          identical requests return identical (deterministic) payloads;
+#          identical requests return identical (deterministic) payloads,
+#          plus a precision-mode estimate asserting the anytime interval
+#          fields (lo/hi/samples_used/stop_reasons) and early stopping;
 #   /v2  — submit a job, poll it to completion, assert its result matches
 #          the /v1 payload, resubmit and assert a recorded cache hit with a
 #          bit-identical result, stream the NDJSON events, and cancel a
@@ -12,8 +14,10 @@
 #          deterministic on the new epoch, then close it (404 afterwards);
 #   /metrics — assert the counters moved (requests, completions, cache
 #          hits) and the per-dataset breakdown exists;
-# then restart with -queue-depth 1 -max-concurrent 1 and fire a submit
-# storm, asserting load shedding answers 503/ErrOverloaded end to end;
+# then restart with -queue-depth 1 -max-concurrent 1 -shed-precision and
+# fire a submit storm, asserting load shedding answers 503/ErrOverloaded
+# end to end, and that a tight precision-mode estimate submitted while the
+# pool is busy is widened to the shed floor and labelled, not rejected;
 # then run the durability walkthrough: start with -data-dir, mutate the
 # dataset, SIGTERM the server, relaunch with the same -data-dir and
 # assert the dataset comes back at the committed epoch with a
@@ -63,11 +67,33 @@ echo "$E1"
 [ "$E1" = "$E2" ] || { echo "FAIL: estimate payloads diverged"; echo "$E2"; exit 1; }
 echo "$E1" | jq -e '(.reliabilities | length) == 3 and .reliabilities[2] == 1' >/dev/null
 
-# poll_job ID: poll /v2/jobs/ID until terminal; prints the final payload.
-poll_job() {
-  local id=$1 body status
+echo "== v1 estimate with precision (anytime intervals, early stop, determinism)"
+PREC_BODY='{"pairs":[[0,9],[1,22]],"precision":0.05,"sampler":"mcvec"}'
+A1=$(curl -fsS -X POST -d "$PREC_BODY" "$BASE/v1/estimate")
+A2=$(curl -fsS -X POST -d "$PREC_BODY" "$BASE/v1/estimate")
+echo "$A1"
+[ "$A1" = "$A2" ] || { echo "FAIL: precision estimates diverged"; echo "$A2"; exit 1; }
+echo "$A1" | jq -e '(.lo | length) == 2 and (.hi | length) == 2
+  and (.samples_used | length) == 2 and .stop_reasons == ["precision","precision"]
+  and .precision == 0.05' >/dev/null \
+  || { echo "FAIL: anytime fields missing from precision estimate"; exit 1; }
+# Every interval brackets its point, and adaptive stopping spent less than
+# the default budget cap.
+echo "$A1" | jq -e '[.reliabilities, .lo, .hi] | transpose
+  | all(.[1] <= .[0] and .[0] <= .[2])' >/dev/null \
+  || { echo "FAIL: point outside its interval"; exit 1; }
+echo "$A1" | jq -e '.samples_used | all(. > 0 and . < 65536)' >/dev/null \
+  || { echo "FAIL: precision estimate burned the whole budget"; exit 1; }
+# Fixed-budget estimates keep the legacy shape: no interval arrays.
+echo "$E1" | jq -e 'has("lo") | not' >/dev/null \
+  || { echo "FAIL: fixed-budget estimate grew anytime fields"; exit 1; }
+
+# poll_job_at BASE ID: poll BASE/v2/jobs/ID until terminal; prints the
+# final payload. poll_job ID targets the main server.
+poll_job_at() {
+  local base=$1 id=$2 body status
   for _ in $(seq 1 200); do
-    body=$(curl -fsS "$BASE/v2/jobs/$id")
+    body=$(curl -fsS "$base/v2/jobs/$id")
     status=$(echo "$body" | jq -r .status)
     case "$status" in
       done|cancelled|failed) echo "$body"; return 0 ;;
@@ -77,6 +103,7 @@ poll_job() {
   echo "FAIL: job $id never terminated (last: $body)" >&2
   return 1
 }
+poll_job() { poll_job_at "$BASE" "$1"; }
 
 echo "== v2 jobs: submit -> poll -> result matches v1"
 JOB_BODY='{"kind":"solve","s":0,"t":39,"method":"be","k":2,"r":8,"l":8}'
@@ -185,7 +212,7 @@ echo "== overload: submit storm against -queue-depth 1 sheds with 503"
 OADDR="127.0.0.1:18081"
 OBASE="http://$OADDR"
 "$BIN" -addr "$OADDR" -dataset lastfm -scale 0.03 -z 200 -seed 7 -cache 0 \
-  -max-concurrent 1 -queue-depth 1 &
+  -max-concurrent 1 -queue-depth 1 -shed-precision 0.05 &
 PID=$!
 for _ in $(seq 1 100); do
   curl -fsS "$OBASE/healthz" >/dev/null 2>&1 && break
@@ -219,6 +246,44 @@ done
 echo "storm: $SHED of 8 requests shed with 503"
 curl -fsS "$OBASE/metrics" | jq -e '.jobs.rejected >= 1' >/dev/null \
   || { echo "FAIL: rejected counter did not move"; exit 1; }
+
+echo "== overload: -shed-precision widens precision estimates before 503"
+# Drain the storm's admitted jobs so exactly one slot can be re-occupied.
+for i in $(seq 1 8); do
+  if [ "$(cat "$STORM_DIR/code.$i")" = "202" ]; then
+    SID=$(jq -re .id < "$STORM_DIR/body.$i")
+    curl -fsS -X DELETE "$OBASE/v2/jobs/$SID" >/dev/null || true
+  fi
+done
+for _ in $(seq 1 200); do
+  BUSY=$(curl -fsS "$OBASE/metrics" | jq '.jobs.queued + .jobs.running')
+  [ "$BUSY" = "0" ] && break
+  sleep 0.05
+done
+[ "$BUSY" = "0" ] || { echo "FAIL: storm jobs never drained ($BUSY left)"; exit 1; }
+# Occupy the single worker slot (pool now half full: 1 of capacity 2) ...
+OCC=$(curl -fsS -X POST -d '{"kind":"estimate","s":0,"t":39,"z":1000000,"seed":99}' "$OBASE/v2/jobs")
+OCC_ID=$(echo "$OCC" | jq -re .id)
+for _ in $(seq 1 200); do
+  RUNNING=$(curl -fsS "$OBASE/metrics" | jq '.jobs.running')
+  [ "$RUNNING" = "1" ] && break
+  sleep 0.05
+done
+[ "$RUNNING" = "1" ] || { echo "FAIL: occupier never started running"; exit 1; }
+# ... so a tight precision request is admitted (202, not 503) but widened
+# to the 0.05 shed floor; the result labels the degradation.
+SHED_JOB=$(curl -fsS -X POST -d '{"kind":"estimate","s":0,"t":17,"precision":0.001,"sampler":"mcvec","seed":7}' "$OBASE/v2/jobs")
+SHED_ID=$(echo "$SHED_JOB" | jq -re .id)
+curl -fsS -X DELETE "$OBASE/v2/jobs/$OCC_ID" >/dev/null
+FSHED=$(poll_job_at "$OBASE" "$SHED_ID")
+echo "$FSHED" | jq -e '.status == "done" and .result.shed_precision == 0.05
+  and .result.precision == 0.05' >/dev/null \
+  || { echo "FAIL: shed not labelled in result"; echo "$FSHED"; exit 1; }
+curl -fsS "$OBASE/metrics" | jq -e '.anytime.precision_sheds >= 1' >/dev/null \
+  || { echo "FAIL: precision_sheds counter did not move"; exit 1; }
+curl -fsS "$OBASE/metrics?format=prometheus" | grep -q '^relmaxd_precision_sheds_total [1-9]' \
+  || { echo "FAIL: prometheus exposition lacks the shed counter"; exit 1; }
+echo "shed: precision 0.001 served at the 0.05 floor under load"
 kill -INT "$PID"
 if ! wait "$PID"; then
   echo "FAIL: overload relmaxd exited non-zero on SIGINT"
