@@ -3,7 +3,7 @@
 
 GO ?= go
 BENCH_COUNT ?= 6
-BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval|BenchmarkVectorMC|BenchmarkAnytimeEstimate
+BENCH_PATTERN ?= BenchmarkParallelReliability|BenchmarkEstimateMany|BenchmarkEstimateEdges|BenchmarkCSRvsLegacy|BenchmarkCandidateEval|BenchmarkVectorMC|BenchmarkAnytimeEstimate|BenchmarkApply
 
 .PHONY: build test race bench bench-smoke bench-baseline bench-compare bench-gate fuzz-smoke smoke-relmaxd cover lint fmt ci
 
@@ -54,9 +54,12 @@ bench-compare:
 # Machine gate over the bench-baseline/bench-compare pair: fail on >10%
 # median regressions, require parallel speedup (w4 beats w1 for both the
 # scalar and vector parallel samplers), require adaptive stopping to beat
-# the fixed budget it is capped at, and emit the BENCH_mcvec.json speedup
-# artifact, the BENCH_anytime.json adaptive-vs-fixed artifact, and a
-# markdown summary (bench-summary.md; CI appends it to the job summary).
+# the fixed budget it is capped at, require the delta mutation commit to
+# beat the full clone+refreeze by >=5x on single-edit batches (and to stay
+# ahead on 16-edit batches), and emit the BENCH_mcvec.json speedup
+# artifact, the BENCH_anytime.json adaptive-vs-fixed artifact, the
+# BENCH_apply.json delta-vs-clone artifact, and a markdown summary
+# (bench-summary.md; CI appends it to the job summary).
 bench-gate:
 	@test -f bench-baseline.txt || { echo "no bench-baseline.txt; run 'make bench-baseline' on the old tree first"; exit 1; }
 	@test -f bench-new.txt || { echo "no bench-new.txt; run 'make bench-compare' first"; exit 1; }
@@ -65,7 +68,10 @@ bench-gate:
 		-faster 'BenchmarkParallelReliability/mc/w4<BenchmarkParallelReliability/mc/w1' \
 		-faster 'BenchmarkParallelReliability/mcvec/w4<BenchmarkParallelReliability/mcvec/w1' \
 		-faster 'BenchmarkAnytimeEstimate/adaptive/p0.02<BenchmarkAnytimeEstimate/fixed/p0.02' \
+		-faster 'BenchmarkApply/delta/b1<BenchmarkApply/clone/b1@5' \
+		-faster 'BenchmarkApply/delta/b16<BenchmarkApply/clone/b16' \
 		-speedup-json BENCH_mcvec.json -anytime-json BENCH_anytime.json \
+		-apply-json BENCH_apply.json \
 		-markdown bench-summary.md
 
 # End-to-end serving smoke: build cmd/relmaxd, start it on a tiny dataset,

@@ -375,6 +375,54 @@ func BenchmarkAnytimeEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkApply measures the mutation-commit path: batches of 1/16/256
+// mutations committed as persistent delta overlays (the default engine,
+// including its amortized background compaction) versus the legacy full
+// clone+rebuild commit (WithFlatCommits). The bench gate asserts delta
+// stays >=5x faster than clone on the small-batch shapes (b1, b16) and
+// publishes every pairing in BENCH_apply.json. The b256 pairing is
+// honest-cost reporting: a batch that touches a large fraction of the
+// graph re-materializes enough rows that the overlay's advantage shrinks.
+func BenchmarkApply(b *testing.B) {
+	g, err := LoadDataset("astopo", 0.08, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := g.Edges()
+	for _, size := range []int{1, 16, 256} {
+		if len(edges) < size {
+			b.Fatalf("fixture has %d edges, need %d", len(edges), size)
+		}
+		for _, mode := range []string{"delta", "clone"} {
+			b.Run(fmt.Sprintf("%s/b%d", mode, size), func(b *testing.B) {
+				var opts []EngineOption
+				if mode == "clone" {
+					opts = append(opts, WithFlatCommits(true))
+				}
+				eng, err := NewEngine(g, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				muts := make([]Mutation, size)
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Alternate the probability so every batch is a real edit.
+					p := 0.3 + 0.4*float64(i%2)
+					for j := range muts {
+						muts[j] = SetProb(edges[j].U, edges[j].V, p)
+					}
+					if _, err := eng.Apply(ctx, muts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSolveWorkers measures the end-to-end solver with the pool
 // threaded through elimination, path scoring and held-out evaluation.
 func BenchmarkSolveWorkers(b *testing.B) {

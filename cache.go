@@ -44,6 +44,10 @@ type cacheEntry struct {
 	// looser cached answer.
 	prec float64
 	res  Result
+	// q is the canonical query the entry answers, stripped of its snapshot
+	// pin so it holds no old epoch alive — what epoch-rotation cache
+	// warming re-submits (see Engine warming in compact.go).
+	q Query
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -102,7 +106,8 @@ func servable(entryPrec, reqPrec float64) bool {
 	return entryPrec > 0 && entryPrec <= reqPrec
 }
 
-func (c *resultCache) put(key string, epoch uint64, prec float64, res Result) {
+func (c *resultCache) put(key string, cq Query, res Result) {
+	epoch, prec := cq.epoch, cq.precision()
 	if epoch != c.epoch.Load() {
 		// The result belongs to an epoch that rotated away while it
 		// computed (a job pinned before an Apply, finishing after).
@@ -126,7 +131,11 @@ func (c *resultCache) put(key string, epoch uint64, prec float64, res Result) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, prec: prec, res: res})
+	// Strip the pinned snapshot (and the progress callback, which must not
+	// fire from a warming replay): the stored query re-canonicalizes
+	// against whatever epoch is current when it is re-submitted.
+	cq.snap, cq.epoch, cq.Progress = nil, 0, nil
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, prec: prec, res: res, q: cq})
 	c.trimStaleLocked()
 	for c.ll.Len() > c.cap {
 		c.removeLocked(c.ll.Back())
@@ -151,6 +160,23 @@ func (c *resultCache) removeLocked(el *list.Element) {
 	if ent.epoch != c.epoch.Load() {
 		c.invalidated.Add(1)
 	}
+}
+
+// warmCandidates returns the stored queries of up to n most-recently-used
+// entries resident for epoch — the popular working set the engine re-warms
+// after an epoch rotation. MRU order is deliberate: when the warming
+// budget is smaller than the resident set, the most recently demanded
+// fingerprints win.
+func (c *resultCache) warmCandidates(epoch uint64, n int) []Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Query, 0, n)
+	for el := c.ll.Front(); el != nil && len(out) < n; el = el.Next() {
+		if ent := el.Value.(*cacheEntry); ent.epoch == epoch {
+			out = append(out, ent.q)
+		}
+	}
+	return out
 }
 
 // purge drops every entry unconditionally. Replica re-bootstrap uses it:

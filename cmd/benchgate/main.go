@@ -7,7 +7,8 @@
 //     against the same benchmark in -old (the benchstat table is for
 //     humans; this check is the machine gate),
 //   - fails when a -faster assertion "A<B" does not hold on -new medians
-//     (used to prove parallel speedup, e.g. w4 < w1 wall-clock),
+//     (used to prove parallel speedup, e.g. w4 < w1 wall-clock); the form
+//     "A<B@5" requires A to be at least 5x faster than B,
 //   - writes a machine-readable speedup artifact (-speedup-json) mapping
 //     every vector-MC benchmark to its ns/op, allocs/op and speedup over
 //     the scalar twin (the same benchmark name with the "mcvec" path
@@ -16,6 +17,9 @@
 //     estimate benchmark to its fixed-budget twin (the "adaptive" path
 //     segment replaced by "fixed"), including the samples/op custom metric
 //     both report and the fraction of the budget adaptive stopping saved,
+//   - writes an apply artifact (-apply-json) mapping every delta-commit
+//     benchmark to its full-clone twin (the "delta" path segment replaced
+//     by "clone"), with the overlay commit's speedup over the rebuild,
 //   - renders a markdown summary (-markdown) suitable for
 //     $GITHUB_STEP_SUMMARY.
 //
@@ -131,21 +135,36 @@ func compare(old, new map[string]*result, threshold float64) []delta {
 	return out
 }
 
-// fasterAssert is a parsed "A<B" assertion on new-file medians.
+// fasterAssert is a parsed "A<B" or "A<B@factor" assertion on new-file
+// medians: A's median ns/op times factor must stay below B's.
 type fasterAssert struct {
 	faster, slower string
+	factor         float64
 }
 
 func parseFaster(spec string) (fasterAssert, error) {
+	factor := 1.0
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		f, err := strconv.ParseFloat(strings.TrimSpace(spec[at+1:]), 64)
+		if err != nil || f <= 0 {
+			return fasterAssert{}, fmt.Errorf("bad -faster spec %q: factor after @ must be a positive number", spec)
+		}
+		factor, spec = f, spec[:at]
+	}
 	parts := strings.Split(spec, "<")
 	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-		return fasterAssert{}, fmt.Errorf("bad -faster spec %q: want A<B", spec)
+		return fasterAssert{}, fmt.Errorf("bad -faster spec %q: want A<B or A<B@factor", spec)
 	}
-	return fasterAssert{faster: strings.TrimSpace(parts[0]), slower: strings.TrimSpace(parts[1])}, nil
+	return fasterAssert{
+		faster: strings.TrimSpace(parts[0]),
+		slower: strings.TrimSpace(parts[1]),
+		factor: factor,
+	}, nil
 }
 
 // checkFaster returns an error when the assertion's left benchmark is not
-// strictly faster (lower median ns/op) than its right one.
+// strictly faster (lower median ns/op, by the asserted factor) than its
+// right one.
 func checkFaster(results map[string]*result, a fasterAssert) error {
 	fr, ok := results[a.faster]
 	if !ok {
@@ -155,8 +174,15 @@ func checkFaster(results map[string]*result, a fasterAssert) error {
 	if !ok {
 		return fmt.Errorf("faster assertion: benchmark %q not found", a.slower)
 	}
+	factor := a.factor
+	if factor <= 0 { // zero value: a plain A<B assertion
+		factor = 1
+	}
 	fm, sm := median(fr.nsOp), median(sr.nsOp)
-	if !(fm < sm) {
+	if !(fm*factor < sm) {
+		if factor != 1 {
+			return fmt.Errorf("faster assertion failed: %s (%.0f ns/op) not %gx faster than %s (%.0f ns/op)", a.faster, fm, factor, a.slower, sm)
+		}
 		return fmt.Errorf("faster assertion failed: %s (%.0f ns/op) not faster than %s (%.0f ns/op)", a.faster, fm, a.slower, sm)
 	}
 	return nil
@@ -274,9 +300,55 @@ func buildAnytimes(results map[string]*result) []anytime {
 	return out
 }
 
+// applyCmp is one delta-commit benchmark's comparison against its
+// full-clone twin: the same mutation batch committed as a persistent
+// overlay versus a clone-and-refreeze of the whole graph.
+type applyCmp struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	Clone          string  `json:"clone"`
+	CloneNsPerOp   float64 `json:"clone_ns_per_op"`
+	SpeedupVsClone float64 `json:"speedup_vs_clone"`
+}
+
+// cloneTwin maps a delta-commit benchmark name to its full-clone
+// counterpart by replacing the exact "delta" path segment with "clone".
+func cloneTwin(name string) string { return twinName(name, "delta", "clone") }
+
+// buildApplies extracts every delta benchmark that has a clone twin in the
+// same result set, sorted by name for a stable artifact.
+func buildApplies(results map[string]*result) []applyCmp {
+	var out []applyCmp
+	for name, res := range results {
+		twin := cloneTwin(name)
+		if twin == "" {
+			continue
+		}
+		tr, ok := results[twin]
+		if !ok {
+			continue
+		}
+		dm, cm := median(res.nsOp), median(tr.nsOp)
+		if math.IsNaN(dm) || math.IsNaN(cm) || dm == 0 {
+			continue
+		}
+		out = append(out, applyCmp{
+			Name:           name,
+			NsPerOp:        dm,
+			AllocsPerOp:    median(res.allocsOp),
+			Clone:          twin,
+			CloneNsPerOp:   cm,
+			SpeedupVsClone: cm / dm,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // renderMarkdown formats the gate verdict, the regression table and the
 // speedup tables for a CI job summary.
-func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, anytimes []anytime, fasterErrs []string, threshold float64) {
+func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, anytimes []anytime, applies []applyCmp, fasterErrs []string, threshold float64) {
 	failed := len(fasterErrs)
 	for _, d := range deltas {
 		if d.regessed {
@@ -314,6 +386,13 @@ func renderMarkdown(w io.Writer, deltas []delta, speedups []speedup, anytimes []
 				a.Name, a.NsPerOp, a.SamplesPerOp, a.FixedNsPerOp, a.SpeedupVsFixed, a.SamplesSavedFrac*100)
 		}
 	}
+	if len(applies) > 0 {
+		fmt.Fprintf(w, "\n| delta benchmark | ns/op | allocs/op | clone ns/op | speedup |\n|---|---:|---:|---:|---:|\n")
+		for _, a := range applies {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2fx |\n",
+				a.Name, a.NsPerOp, a.AllocsPerOp, a.CloneNsPerOp, a.SpeedupVsClone)
+		}
+	}
 }
 
 // multiFlag collects repeated -faster flags.
@@ -330,6 +409,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 0.10, "fail when a benchmark's median ns/op regresses by more than this fraction")
 	jsonPath := fs.String("speedup-json", "", "write the mcvec-vs-mc speedup artifact to this path")
 	anytimePath := fs.String("anytime-json", "", "write the adaptive-vs-fixed anytime artifact to this path")
+	applyPath := fs.String("apply-json", "", "write the delta-vs-clone mutation-commit artifact to this path")
 	mdPath := fs.String("markdown", "", "write a markdown summary to this path ('-' for stdout)")
 	var fasters multiFlag
 	fs.Var(&fasters, "faster", "assert benchmark A is faster than B on the new results, as 'A<B' (repeatable)")
@@ -408,6 +488,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	applies := buildApplies(newRes)
+	if *applyPath != "" {
+		buf, err := json.MarshalIndent(struct {
+			Benchmarks []applyCmp `json:"benchmarks"`
+		}{applies}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*applyPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: writing %s: %v\n", *applyPath, err)
+			return 2
+		}
+	}
+
 	if *mdPath != "" {
 		out := stdout
 		if *mdPath != "-" {
@@ -419,7 +513,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			out = f
 		}
-		renderMarkdown(out, deltas, speedups, anytimes, fasterErrs, *threshold)
+		renderMarkdown(out, deltas, speedups, anytimes, applies, fasterErrs, *threshold)
 	}
 
 	failed := false

@@ -21,6 +21,8 @@ BenchmarkParallelReliability/mc/w1-4	     100	   4000000 ns/op
 BenchmarkParallelReliability/mc/w4-4	     400	   1500000 ns/op
 BenchmarkAnytimeEstimate/adaptive/p0.02-4	      10	   2000000 ns/op	      1280 samples/op	       9 allocs/op
 BenchmarkAnytimeEstimate/fixed/p0.02-4  	       1	 130000000 ns/op	     65536 samples/op	       8 allocs/op
+BenchmarkApply/delta/b1-4               	    1000	     10000 ns/op	       30000 B/op	      26 allocs/op
+BenchmarkApply/clone/b1-4               	     100	     90000 ns/op	      160000 B/op	     497 allocs/op
 PASS
 `
 
@@ -31,6 +33,8 @@ BenchmarkParallelReliability/mc/w1-8	     100	   4100000 ns/op
 BenchmarkParallelReliability/mc/w4-8	     400	   1400000 ns/op
 BenchmarkAnytimeEstimate/adaptive/p0.02-8	      10	   2100000 ns/op	      1280 samples/op	       9 allocs/op
 BenchmarkAnytimeEstimate/fixed/p0.02-8  	       1	 131000000 ns/op	     65536 samples/op	       8 allocs/op
+BenchmarkApply/delta/b1-8               	    1000	     10500 ns/op	       30000 B/op	      26 allocs/op
+BenchmarkApply/clone/b1-8               	     100	     91000 ns/op	      160000 B/op	     497 allocs/op
 PASS
 `
 
@@ -98,10 +102,14 @@ func TestCompareFlagsRegressions(t *testing.T) {
 
 func TestParseFaster(t *testing.T) {
 	a, err := parseFaster("X<Y")
-	if err != nil || a.faster != "X" || a.slower != "Y" {
+	if err != nil || a.faster != "X" || a.slower != "Y" || a.factor != 1 {
 		t.Fatalf("parseFaster: %+v, %v", a, err)
 	}
-	for _, bad := range []string{"", "X", "X<", "<Y", "X<Y<Z"} {
+	a, err = parseFaster("X<Y@5")
+	if err != nil || a.faster != "X" || a.slower != "Y" || a.factor != 5 {
+		t.Fatalf("parseFaster with factor: %+v, %v", a, err)
+	}
+	for _, bad := range []string{"", "X", "X<", "<Y", "X<Y<Z", "X<Y@", "X<Y@nope", "X<Y@0", "X<Y@-2"} {
 		if _, err := parseFaster(bad); err == nil {
 			t.Fatalf("parseFaster(%q) accepted", bad)
 		}
@@ -121,6 +129,48 @@ func TestCheckFaster(t *testing.T) {
 	missing := fasterAssert{faster: "BenchmarkNope", slower: ok.slower}
 	if err := checkFaster(res, missing); err == nil {
 		t.Fatal("missing benchmark must fail")
+	}
+	// w4 (1.5ms) is 2.67x faster than w1 (4ms): a 2x factor holds, 5x fails.
+	by2 := fasterAssert{faster: ok.faster, slower: ok.slower, factor: 2}
+	if err := checkFaster(res, by2); err != nil {
+		t.Fatalf("w4 2x faster than w1 must hold: %v", err)
+	}
+	by5 := fasterAssert{faster: ok.faster, slower: ok.slower, factor: 5}
+	if err := checkFaster(res, by5); err == nil {
+		t.Fatal("w4 5x faster than w1 must fail")
+	} else if !strings.Contains(err.Error(), "5x") {
+		t.Fatalf("factor missing from diagnostic: %v", err)
+	}
+}
+
+func TestCloneTwin(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkApply/delta/b16":  "BenchmarkApply/clone/b16",
+		"BenchmarkApply/clone/b16":  "", // already clone
+		"BenchmarkX/deltaish/other": "", // substring must not match
+	}
+	for in, want := range cases {
+		if got := cloneTwin(in); got != want {
+			t.Errorf("cloneTwin(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBuildApplies(t *testing.T) {
+	res := parse(t, sampleOld)
+	as := buildApplies(res)
+	if len(as) != 1 {
+		t.Fatalf("want 1 apply entry, got %+v", as)
+	}
+	a := as[0]
+	if a.Name != "BenchmarkApply/delta/b1" || a.Clone != "BenchmarkApply/clone/b1" {
+		t.Fatalf("wrong pairing: %+v", a)
+	}
+	if want := 90000.0 / 10000.0; a.SpeedupVsClone != want {
+		t.Fatalf("speedup = %v, want %v", a.SpeedupVsClone, want)
+	}
+	if a.AllocsPerOp != 26 {
+		t.Fatalf("allocs = %v, want 26", a.AllocsPerOp)
 	}
 }
 
@@ -200,16 +250,17 @@ func TestRenderMarkdown(t *testing.T) {
 	ds := compare(old, new, 0.10)
 	sp := buildSpeedups(new)
 	as := buildAnytimes(new)
+	ap := buildApplies(new)
 	var buf bytes.Buffer
-	renderMarkdown(&buf, ds, sp, as, nil, 0.10)
+	renderMarkdown(&buf, ds, sp, as, ap, nil, 0.10)
 	out := buf.String()
-	for _, want := range []string{"Bench gate: PASS", "BenchmarkVectorMC/st/mc/n256", "speedup", "| ok |", "budget saved", "98%"} {
+	for _, want := range []string{"Bench gate: PASS", "BenchmarkVectorMC/st/mc/n256", "speedup", "| ok |", "budget saved", "98%", "clone ns/op", "BenchmarkApply/delta/b1"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q in:\n%s", want, out)
 		}
 	}
 	buf.Reset()
-	renderMarkdown(&buf, ds, sp, as, []string{"boom"}, 0.10)
+	renderMarkdown(&buf, ds, sp, as, ap, []string{"boom"}, 0.10)
 	if out := buf.String(); !strings.Contains(out, "FAIL") || !strings.Contains(out, "boom") {
 		t.Errorf("failing markdown wrong:\n%s", out)
 	}
@@ -223,6 +274,7 @@ func TestRunEndToEnd(t *testing.T) {
 	newPath := filepath.Join(dir, "new.txt")
 	jsonPath := filepath.Join(dir, "BENCH_mcvec.json")
 	anytimePath := filepath.Join(dir, "BENCH_anytime.json")
+	applyPath := filepath.Join(dir, "BENCH_apply.json")
 	mdPath := filepath.Join(dir, "summary.md")
 	if err := os.WriteFile(oldPath, []byte(sampleOld), 0o644); err != nil {
 		t.Fatal(err)
@@ -236,7 +288,9 @@ func TestRunEndToEnd(t *testing.T) {
 		"-old", oldPath, "-new", newPath,
 		"-faster", "BenchmarkParallelReliability/mc/w4<BenchmarkParallelReliability/mc/w1",
 		"-faster", "BenchmarkAnytimeEstimate/adaptive/p0.02<BenchmarkAnytimeEstimate/fixed/p0.02",
-		"-speedup-json", jsonPath, "-anytime-json", anytimePath, "-markdown", mdPath,
+		"-faster", "BenchmarkApply/delta/b1<BenchmarkApply/clone/b1@5",
+		"-speedup-json", jsonPath, "-anytime-json", anytimePath, "-apply-json", applyPath,
+		"-markdown", mdPath,
 	}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
@@ -269,6 +323,25 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if md, err := os.ReadFile(mdPath); err != nil || !strings.Contains(string(md), "Bench gate: PASS") {
 		t.Fatalf("summary wrong (%v):\n%s", err, md)
+	}
+	raw, err = os.ReadFile(applyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applyArtifact struct {
+		Benchmarks []applyCmp `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &applyArtifact); err != nil {
+		t.Fatalf("apply artifact not valid JSON: %v", err)
+	}
+	if len(applyArtifact.Benchmarks) != 1 || applyArtifact.Benchmarks[0].SpeedupVsClone < 5 {
+		t.Fatalf("apply artifact content wrong: %+v", applyArtifact.Benchmarks)
+	}
+
+	// A factor the new results cannot meet must fail the gate.
+	stderr.Reset()
+	if code := run([]string{"-new", newPath, "-faster", "BenchmarkApply/delta/b1<BenchmarkApply/clone/b1@50"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unmeetable factor run = %d, want 1; stderr: %s", code, stderr.String())
 	}
 
 	// Regression: threshold 0 makes the +1% drift on st/mc fail.

@@ -126,6 +126,7 @@ func main() {
 		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this much WAL growth in bytes (0 = default 4MiB; needs -data-dir)")
 
 		cache         = flag.Int("cache", 256, "result-cache entries per engine (0 disables caching)")
+		cacheWarm     = flag.Int("cache-warm", 0, "re-warm this many popular cached fingerprints after each mutation epoch (0 disables; needs -cache)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently running jobs per engine (0 = all CPUs)")
 		queueDepth    = flag.Int("queue-depth", 64, "max jobs waiting per engine beyond the running ones; excess gets 503 (0 = no queueing)")
 
@@ -170,7 +171,7 @@ func main() {
 
 	cfg := engineConfig{
 		scale: *scale, z: *z, sampler: *sampler, seed: *seed, workers: *workers,
-		cache: *cache, maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
+		cache: *cache, cacheWarm: *cacheWarm, maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
 		dataDir: *dataDir, ckptBatches: *ckptBatches, ckptBytes: *ckptBytes,
 	}
 
@@ -270,6 +271,7 @@ type engineConfig struct {
 	seed          int64
 	workers       int
 	cache         int
+	cacheWarm     int
 	maxConcurrent int
 	queueDepth    int
 	dataDir       string
@@ -361,6 +363,7 @@ func newCatalogWithDefaults(cfg engineConfig) *repro.Catalog {
 		repro.WithSeed(cfg.seed),
 		repro.WithWorkers(cfg.workers),
 		repro.WithResultCache(cfg.cache),
+		repro.WithCacheWarming(cfg.cacheWarm),
 		repro.WithMaxConcurrent(cfg.maxConcurrent),
 		repro.WithQueueDepth(cfg.queueDepth),
 		repro.WithCheckpointEvery(cfg.ckptBatches, cfg.ckptBytes),

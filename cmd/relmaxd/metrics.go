@@ -153,6 +153,7 @@ func (m *metrics) retireDataset(catalog *repro.Catalog, name string) error {
 	m.retired.CacheHits += st.CacheHits
 	m.retired.CacheMisses += st.CacheMisses
 	m.retired.CacheInvalidated += st.CacheInvalidated
+	m.retired.CacheWarmed += st.CacheWarmed
 	m.retired.AnytimeEstimates += st.AnytimeEstimates
 	m.retired.AnytimeSamplesUsed += st.AnytimeSamplesUsed
 	m.retired.AnytimeSamplesSaved += st.AnytimeSamplesSaved
@@ -222,6 +223,9 @@ type metricsResponse struct {
 		Len         int    `json:"len"`
 		Cap         int    `json:"cap"`
 		Invalidated uint64 `json:"invalidated"`
+		// Warmed counts queries recomputed by epoch-rotation cache warming
+		// (the -cache-warm flag).
+		Warmed uint64 `json:"warmed"`
 	} `json:"cache"`
 	// Anytime aggregates the adaptive-estimate counters: how many estimates
 	// ran in precision mode, the samples they actually drew, the samples an
@@ -291,6 +295,7 @@ type datasetMetrics struct {
 		Misses      uint64 `json:"misses"`
 		Len         int    `json:"len"`
 		Invalidated uint64 `json:"invalidated"`
+		Warmed      uint64 `json:"warmed"`
 	} `json:"cache"`
 	Anytime struct {
 		Estimates    uint64 `json:"estimates"`
@@ -306,6 +311,13 @@ type datasetMetrics struct {
 		// writes instead.
 		ReplicatedApplies uint64 `json:"replicated_applies"`
 		ReplicatedApplied uint64 `json:"replicated_applied"`
+		// DeltaCommits/Compactions/ChainDepth report the delta-epoch commit
+		// machinery: batches committed as O(batch) overlay layers, folds of
+		// the layer chain back into a flat CSR, and the current chain depth
+		// (0 = serving a flat snapshot).
+		DeltaCommits uint64 `json:"delta_commits"`
+		Compactions  uint64 `json:"compactions"`
+		ChainDepth   int    `json:"chain_depth"`
 	} `json:"mutations"`
 }
 
@@ -382,6 +394,7 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 	resp.Cache.Hits = retired.CacheHits
 	resp.Cache.Misses = retired.CacheMisses
 	resp.Cache.Invalidated = retired.CacheInvalidated
+	resp.Cache.Warmed = retired.CacheWarmed
 	resp.Anytime.Estimates = retired.AnytimeEstimates
 	resp.Anytime.SamplesUsed = retired.AnytimeSamplesUsed
 	resp.Anytime.SamplesSaved = retired.AnytimeSamplesSaved
@@ -423,6 +436,7 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 		resp.Cache.Len += st.CacheLen
 		resp.Cache.Cap += st.CacheCap
 		resp.Cache.Invalidated += st.CacheInvalidated
+		resp.Cache.Warmed += st.CacheWarmed
 		resp.Anytime.Estimates += st.AnytimeEstimates
 		resp.Anytime.SamplesUsed += st.AnytimeSamplesUsed
 		resp.Anytime.SamplesSaved += st.AnytimeSamplesSaved
@@ -439,10 +453,13 @@ func (m *metrics) snapshot(catalog *repro.Catalog) metricsResponse {
 		dm.Jobs.Cancelled, dm.Jobs.Failed, dm.Jobs.Rejected = st.CancelledJobs, st.FailedJobs, st.RejectedJobs
 		dm.Cache.Hits, dm.Cache.Misses = st.CacheHits, st.CacheMisses
 		dm.Cache.Len, dm.Cache.Invalidated = st.CacheLen, st.CacheInvalidated
+		dm.Cache.Warmed = st.CacheWarmed
 		dm.Anytime.Estimates = st.AnytimeEstimates
 		dm.Anytime.SamplesUsed, dm.Anytime.SamplesSaved = st.AnytimeSamplesUsed, st.AnytimeSamplesSaved
 		dm.Mutations.Applies, dm.Mutations.Applied = st.Applies, st.MutationsApplied
 		dm.Mutations.ReplicatedApplies, dm.Mutations.ReplicatedApplied = st.ReplicatedApplies, st.ReplicatedMutations
+		dm.Mutations.DeltaCommits, dm.Mutations.Compactions = st.DeltaCommits, st.Compactions
+		dm.Mutations.ChainDepth = st.ChainDepth
 		resp.Datasets[info.Name] = dm
 	}
 	return resp

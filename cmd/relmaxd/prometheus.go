@@ -98,6 +98,7 @@ func writePrometheus(w http.ResponseWriter, m metricsResponse) {
 	p.sample("relmaxd_cache_hits_total", "counter", nil, float64(m.Cache.Hits))
 	p.sample("relmaxd_cache_misses_total", "counter", nil, float64(m.Cache.Misses))
 	p.sample("relmaxd_cache_invalidated_total", "counter", nil, float64(m.Cache.Invalidated))
+	p.sample("relmaxd_cache_warmed_total", "counter", nil, float64(m.Cache.Warmed))
 	p.sample("relmaxd_cache_entries", "gauge", nil, float64(m.Cache.Len))
 	p.sample("relmaxd_anytime_estimates_total", "counter", nil, float64(m.Anytime.Estimates))
 	p.sample("relmaxd_anytime_samples_used_total", "counter", nil, float64(m.Anytime.SamplesUsed))
@@ -115,6 +116,10 @@ func writePrometheus(w http.ResponseWriter, m metricsResponse) {
 		p.sample("relmaxd_dataset_mutations_applied_total", "counter", ls, float64(dm.Mutations.Applied))
 		p.sample("relmaxd_dataset_replicated_batches_total", "counter", ls, float64(dm.Mutations.ReplicatedApplies))
 		p.sample("relmaxd_dataset_replicated_mutations_total", "counter", ls, float64(dm.Mutations.ReplicatedApplied))
+		p.sample("relmaxd_dataset_delta_commits_total", "counter", ls, float64(dm.Mutations.DeltaCommits))
+		p.sample("relmaxd_dataset_compactions_total", "counter", ls, float64(dm.Mutations.Compactions))
+		p.sample("relmaxd_dataset_chain_depth", "gauge", ls, float64(dm.Mutations.ChainDepth))
+		p.sample("relmaxd_dataset_cache_warmed_total", "counter", ls, float64(dm.Cache.Warmed))
 		p.sample("relmaxd_dataset_anytime_estimates_total", "counter", ls, float64(dm.Anytime.Estimates))
 		p.sample("relmaxd_dataset_anytime_samples_saved_total", "counter", ls, float64(dm.Anytime.SamplesSaved))
 	}

@@ -152,27 +152,48 @@
 //
 // An Engine's graph is mutable behind versioned snapshots. Apply commits
 // an atomic batch of mutations — AddEdge, SetProb, RemoveEdge — by
-// building the next frozen CSR epoch aside and rotating it in with one
-// pointer swap:
+// building the next epoch aside and rotating it in with one pointer swap:
 //
 //	epoch, err := eng.Apply(ctx,
 //		repro.AddEdge(3, 42, 0.5),
 //		repro.SetProb(7, 9, 0.25),
 //		repro.RemoveEdge(1, 4))
 //
+// The next epoch is a delta overlay, not a rebuild: it shares the previous
+// snapshot's flat CSR arrays and materializes only the adjacency rows the
+// batch touched, in exactly the arc order a full rebuild would produce, so
+// every query on the layered snapshot is bit-identical to one on a
+// rebuilt-from-scratch graph at the same epoch. Honest cost accounting:
+// a commit is O(batch size · touched-row degree) — independent of graph
+// size — but it is not free forever. Each commit stacks one overlay layer,
+// and a background compactor folds the chain back into a flat CSR when it
+// exceeds a bounded depth or the materialized rows exceed a fraction of
+// the graph (WithCompactionPolicy; Engine.Compact forces it; Stats reports
+// DeltaCommits, Compactions and ChainDepth). The fold costs one O(N+M)
+// rebuild, so the rebuild you avoided per commit is really amortized
+// across the chain — roughly rebuild/depth per commit — and a batch that
+// touches a large fraction of the graph approaches the rebuild cost
+// outright. WithFlatCommits restores the legacy rebuild-per-commit path
+// (it is the differential-test oracle and the BenchmarkApply baseline).
+//
 // Readers never lock against writers: every query pins the snapshot
 // current at canonicalization (jobs pin at Submit), so work in flight
 // across an Apply completes on the graph it started on, bit-identical to
-// a never-mutated engine. The graph epoch is part of every canonical
+// a never-mutated engine; compaction republishes the same epoch in flat
+// form and disturbs nothing. The graph epoch is part of every canonical
 // fingerprint (Query.Key), which makes cache invalidation free of
 // correctness risk: the same query after a mutation is a new fingerprint,
 // so it can only miss; stale-epoch entries become unreachable and are
-// evicted lazily (Stats reports the reclaimed count). A batch is
-// all-or-nothing — the first invalid mutation (ErrBadMutation) aborts it
-// with the epoch unchanged. Consecutive removals in one batch are
-// compacted in a single O(N+M) pass (Graph.RemoveEdges) instead of paying
-// the edge-ID renumbering per edge, so bulk pruning costs the same as one
-// removal.
+// evicted lazily (Stats reports the reclaimed count). WithCacheWarming
+// softens the post-mutation miss storm: after each rotation the engine
+// re-submits up to N of the outgoing epoch's most-recently-used cached
+// fingerprints at normal queue priority — bounded, single-flight, shed
+// outright when the queue is full — and Stats counts the entries it
+// recomputed (CacheWarmed). A batch is all-or-nothing — the first invalid
+// mutation (ErrBadMutation) aborts it with the epoch unchanged.
+// Consecutive removals in one batch are compacted in a single O(N+M) pass
+// (Graph.RemoveEdges) on the flat path instead of paying the edge-ID
+// renumbering per edge, so bulk pruning costs the same as one removal.
 //
 // cmd/relmaxd exposes the whole lifecycle over HTTP: POST/GET/DELETE
 // /v2/datasets to create (from a built-in stand-in, a server-local file
@@ -196,7 +217,9 @@
 // batches or 4 MiB of WAL; Engine.Checkpoint forces one) serializes the
 // current epoch's edge set to a snapshot file — written to a temp file,
 // fsynced, atomically renamed — and truncates the WAL, bounding recovery
-// time. Recovery loads the newest valid checkpoint and replays the WAL
+// time. A checkpoint of a delta-layered epoch folds the chain first, so
+// the file always describes the flat form and recovery is byte-identical
+// whether the epoch was committed layered or flat. Recovery loads the newest valid checkpoint and replays the WAL
 // through the same mutation machinery Apply uses, arriving at the exact
 // committed epoch; because edges replay in edge-ID order, the recovered
 // CSR is bit-identical and every query kind answers exactly as the
@@ -219,8 +242,8 @@
 // The durability primitives double as a replication substrate: the
 // store.Batch records a primary fsyncs to its WAL are exactly what a read
 // replica needs to mirror it. Engine.ApplyReplicated commits one such
-// batch through the same clone → mutate → freeze pipeline Apply and crash
-// recovery use — validated against the replica's current epoch
+// batch through the same delta-overlay pipeline Apply uses (with the same
+// background compaction) — validated against the replica's current epoch
 // (b.PrevEpoch() must match, else ErrReplicaGap), never re-appended to a
 // local WAL, and counted in Stats as ReplicatedApplies/ReplicatedMutations
 // distinct from local traffic. Because the batch replays the same

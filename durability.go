@@ -125,18 +125,24 @@ func (e *Engine) Checkpoint() error {
 	if e.store == nil {
 		return nil
 	}
-	if err := e.checkpointLocked(e.snap.Load().g); err != nil {
+	if err := e.checkpointLocked(); err != nil {
 		return fmt.Errorf("repro: Checkpoint: %w", err)
 	}
 	return nil
 }
 
-// checkpointLocked cuts a checkpoint of g and resets the policy counters.
-// Callers hold applyMu. Failures count in CheckpointErrors and leave the
-// counters running, so the next Apply retries; the WAL already holds every
-// committed batch, so a failed checkpoint loses nothing.
-func (e *Engine) checkpointLocked(g *Graph) error {
-	if err := e.store.Checkpoint(storeSnapshotOf(g)); err != nil {
+// checkpointLocked cuts a checkpoint of the current epoch and resets the
+// policy counters. A layered epoch is compacted first — the checkpoint
+// file always describes the flat form, so recovery of an epoch that was
+// layered when it checkpointed is byte-identical to recovering the same
+// epoch committed flat (and the fold was about to be paid anyway; the
+// checkpoint just advances it). Callers hold applyMu. Failures count in
+// CheckpointErrors and leave the counters running, so the next Apply
+// retries; the WAL already holds every committed batch, so a failed
+// checkpoint loses nothing.
+func (e *Engine) checkpointLocked() error {
+	snap := e.compactLocked()
+	if err := e.store.Checkpoint(storeSnapshotOf(snap.base)); err != nil {
 		e.checkpointErrors.Add(1)
 		return err
 	}
@@ -145,12 +151,12 @@ func (e *Engine) checkpointLocked(g *Graph) error {
 	return nil
 }
 
-// appendToWAL persists one committed batch (already validated and applied
-// to g, whose version is the post-batch epoch) before the snapshot
-// rotates. An error means the batch is NOT durable and Apply must fail
-// without advancing the epoch.
-func (e *Engine) appendToWAL(g *Graph, muts []Mutation) (store.Batch, error) {
-	b := store.Batch{Epoch: g.Version(), Muts: make([]store.Mut, len(muts))}
+// appendToWAL persists one committed batch (already validated; epoch is
+// the post-batch epoch the batch commits) before the snapshot rotates. An
+// error means the batch is NOT durable and Apply must fail without
+// advancing the epoch.
+func (e *Engine) appendToWAL(epoch uint64, muts []Mutation) (store.Batch, error) {
+	b := store.Batch{Epoch: epoch, Muts: make([]store.Mut, len(muts))}
 	for i, m := range muts {
 		b.Muts[i] = storeMut(m)
 	}

@@ -44,10 +44,10 @@ import (
 // answers — the stateless semantics a serving tier wants (cmd/relmaxd
 // builds on this through a Catalog of engines).
 type Engine struct {
-	// snap is the current epoch: an immutable (graph, CSR) pair swapped
-	// wholesale by Apply. Readers load it once per query and never see a
-	// torn state; old snapshots stay valid for the queries that pinned
-	// them.
+	// snap is the current epoch: an immutable snapshot (flat CSR, or a
+	// delta CSR over the last flat base) swapped wholesale by Apply and
+	// the compactor. Readers load it once per query and never see a torn
+	// state; old snapshots stay valid for the queries that pinned them.
 	snap atomic.Pointer[engineSnapshot]
 	// applyMu serializes Apply (and Close's terminal transition): clones
 	// build off the snapshot they loaded, so two concurrent Applies would
@@ -86,6 +86,20 @@ type Engine struct {
 	applies, mutationsApplied                                             atomic.Uint64
 	replicatedApplies, replicatedMutations                                atomic.Uint64
 
+	// Delta-epoch commit machinery (see mutation.go and compact.go):
+	// flatApply forces the legacy clone+freeze commit path; the compact*
+	// fields are the fold-the-chain thresholds; compacting single-flights
+	// the background compactor. warmN is the cache-warming budget per epoch
+	// rotation (0 = disabled), warming its single-flight guard.
+	flatApply    bool
+	compactDepth int
+	compactFrac  float64
+	compacting   atomic.Bool
+	warmN        int
+	warming      atomic.Bool
+
+	deltaCommits, compactions, cacheWarmed atomic.Uint64
+
 	// Anytime-estimate accounting: how many adaptive estimates ran, how
 	// many samples they actually drew, and how many their MaxZ budgets
 	// would have drawn but the early stop saved.
@@ -105,12 +119,48 @@ type Engine struct {
 	checkpoints, checkpointErrors atomic.Uint64
 }
 
-// engineSnapshot is one frozen graph epoch: the engine-private mutable
-// Graph (only Apply ever touches it, and only by cloning) plus its CSR.
-// Both are immutable once the snapshot is published.
+// engineSnapshot is one frozen graph epoch. csr is what queries read: a
+// flat CSR, or a delta CSR layering the batches in pending over the flat
+// base (see ugraph.CSR.Delta). base is the mutable-Graph form of the most
+// recent FLAT epoch and pending the mutations committed as delta layers
+// since — replaying pending onto a clone of base reproduces the epoch
+// exactly, which is what graph() does for the solver paths that need a
+// *Graph. Everything is immutable once the snapshot is published; mat is
+// the lazily-materialized replay, built at most once under matOnce.
 type engineSnapshot struct {
-	g   *Graph
-	csr *CSR
+	csr     *CSR
+	base    *Graph
+	pending []Mutation
+
+	matOnce sync.Once
+	mat     *Graph
+}
+
+// newFlatSnapshot pins a flat epoch: g IS the epoch's graph and freezes to
+// its CSR. g must not be mutated afterwards.
+func newFlatSnapshot(g *Graph) *engineSnapshot {
+	return &engineSnapshot{csr: g.Freeze(), base: g}
+}
+
+// graph returns the mutable-Graph form of the snapshot's epoch. Flat
+// snapshots return their base directly; delta snapshots materialize a full
+// rebuild (clone base, replay pending) lazily and at most once — the
+// solver paths that need a *Graph pay the O(N+M) rebuild only when they
+// actually run on a layered epoch, and compaction reuses the same
+// materialization. The replay cannot fail: pending was validated
+// edit-by-edit when its delta layers committed.
+func (s *engineSnapshot) graph() *Graph {
+	if len(s.pending) == 0 {
+		return s.base
+	}
+	s.matOnce.Do(func() {
+		g := s.base.Clone()
+		if i, err := applyMutationsTo(nil, g, s.pending); err != nil {
+			panic(fmt.Sprintf("repro: delta replay diverged at mutation %d: %v", i, err))
+		}
+		s.mat = g
+	})
+	return s.mat
 }
 
 // EngineOption configures NewEngine.
@@ -226,8 +276,14 @@ func NewEngine(g *Graph, opts ...EngineOption) (*Engine, error) {
 	e.jobSem = make(chan struct{}, e.maxConcurrent)
 	e.id = engineSeq.Add(1)
 	e.liveJobs = make(map[*Job]struct{})
+	if e.compactDepth <= 0 {
+		e.compactDepth = defaultCompactDepth
+	}
+	if e.compactFrac <= 0 {
+		e.compactFrac = defaultCompactFraction
+	}
 	gc := g.Clone()
-	e.snap.Store(&engineSnapshot{g: gc, csr: gc.Freeze()})
+	e.snap.Store(newFlatSnapshot(gc))
 	if e.cache != nil {
 		e.cache.setEpoch(gc.Version())
 	}
@@ -357,8 +413,8 @@ func (e *Engine) SolveTotalBudget(ctx context.Context, req BudgetRequest) (Total
 }
 
 func (s *engineSnapshot) checkNode(v NodeID) error {
-	if v < 0 || int(v) >= s.g.N() {
-		return fmt.Errorf("repro: node %d out of range [0,%d): %w", v, s.g.N(), ErrBadQuery)
+	if v < 0 || int(v) >= s.csr.N() {
+		return fmt.Errorf("repro: node %d out of range [0,%d): %w", v, s.csr.N(), ErrBadQuery)
 	}
 	return nil
 }

@@ -58,7 +58,7 @@ type mcBlocks struct {
 // BeginBlocks implements BlockSampler. The scalar walk consumes randomness
 // per (edge, world), so block boundaries are invisible to the stream.
 func (mc *MonteCarlo) BeginBlocks(c *ugraph.CSR, s, t ugraph.NodeID) BlockStream {
-	mc.sc.reset(c.N(), c.M())
+	mc.sc.reset(c.N(), c.EdgeIDBound())
 	return &mcBlocks{mc: mc, c: c, s: s, t: t}
 }
 
@@ -86,7 +86,7 @@ type vecBlocks struct {
 // only the final block is lane-masked — i.e. every SampleBlock size but
 // the last is a multiple of 64.
 func (v *MCVec) BeginBlocks(c *ugraph.CSR, s, t ugraph.NodeID) BlockStream {
-	v.sc.reset(c.N(), c.M())
+	v.sc.reset(c.N(), c.EdgeIDBound())
 	return &vecBlocks{v: v, c: c, s: s, t: t}
 }
 

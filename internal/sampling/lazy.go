@@ -67,11 +67,11 @@ func (lz *Lazy) geometricSkip(p float64) int64 {
 }
 
 func (lz *Lazy) prepare(c *ugraph.CSR) {
-	lz.sc.reset(c.N(), c.M())
-	if cap(lz.nextOn) < c.M() {
-		lz.nextOn = make([]int64, c.M())
+	lz.sc.reset(c.N(), c.EdgeIDBound())
+	if cap(lz.nextOn) < c.EdgeIDBound() {
+		lz.nextOn = make([]int64, c.EdgeIDBound())
 	}
-	lz.nextOn = lz.nextOn[:c.M()]
+	lz.nextOn = lz.nextOn[:c.EdgeIDBound()]
 	for i := range lz.nextOn {
 		lz.nextOn[i] = 0
 	}

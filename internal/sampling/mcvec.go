@@ -80,7 +80,7 @@ func (v *MCVec) ReliabilityCSR(c *ugraph.CSR, s, t ugraph.NodeID) float64 {
 	if s == t {
 		return 1
 	}
-	v.sc.reset(c.N(), c.M())
+	v.sc.reset(c.N(), c.EdgeIDBound())
 	hits, drawn := 0, 0
 	for remaining := v.z; remaining > 0; remaining -= laneBlock {
 		if v.cancelled() {
@@ -121,7 +121,7 @@ func (v *MCVec) ReliabilityToCSR(c *ugraph.CSR, t ugraph.NodeID) []float64 {
 }
 
 func (v *MCVec) vector(c *ugraph.CSR, src ugraph.NodeID, forward bool) []float64 {
-	v.sc.reset(c.N(), c.M())
+	v.sc.reset(c.N(), c.EdgeIDBound())
 	counts := make([]float64, c.N())
 	drawn := 0
 	for remaining := v.z; remaining > 0; remaining -= laneBlock {

@@ -14,7 +14,7 @@ func (mc *MonteCarlo) MultiSourceReach(g *ugraph.Graph, sources []ugraph.NodeID)
 // influence loops freeze once and evaluate candidate edges on WithEdges
 // overlays.
 func (mc *MonteCarlo) MultiSourceReachCSR(c *ugraph.CSR, sources []ugraph.NodeID) []float64 {
-	mc.sc.reset(c.N(), c.M())
+	mc.sc.reset(c.N(), c.EdgeIDBound())
 	counts := make([]float64, c.N())
 	drawn := mc.z
 	for i := 0; i < mc.z; i++ {
@@ -91,7 +91,7 @@ func (mc *MonteCarlo) ExpectedPairHops(g *ugraph.Graph, sources, targets []ugrap
 
 // ExpectedPairHopsCSR is ExpectedPairHops on a frozen snapshot.
 func (mc *MonteCarlo) ExpectedPairHopsCSR(c *ugraph.CSR, sources, targets []ugraph.NodeID, penalty float64) float64 {
-	mc.sc.reset(c.N(), c.M())
+	mc.sc.reset(c.N(), c.EdgeIDBound())
 	dist := make([]int32, c.N())
 	total := 0.0
 	drawn := mc.z

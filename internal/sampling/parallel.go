@@ -489,11 +489,27 @@ func (ps *ParallelSampler) EstimateMany(g *ugraph.Graph, queries []PairQuery) []
 	if len(queries) == 0 {
 		return nil
 	}
+	return ps.estimateManyCSR(g.Freeze(), g, queries)
+}
+
+// EstimateManyCSR is EstimateMany on an already-frozen snapshot (flat or
+// layered): the serving tier's batch path runs directly on the pinned
+// epoch's CSR without materializing a mutable Graph. Like the other
+// snapshot-level entry points it requires a CSR-capable factory (the
+// built-in kinds all are). Results are bit-identical to EstimateMany over a
+// graph that freezes to the same logical snapshot.
+func (ps *ParallelSampler) EstimateManyCSR(c *ugraph.CSR, queries []PairQuery) []float64 {
+	if len(queries) == 0 {
+		return nil
+	}
+	return ps.estimateManyCSR(c, nil, queries)
+}
+
+func (ps *ParallelSampler) estimateManyCSR(c *ugraph.CSR, g *ugraph.Graph, queries []PairQuery) []float64 {
 	z := ps.SampleSize()
 	callSeed := ps.nextCallSeed()
 	budgets := ps.shardBudgetsFor(z, len(queries))
 	shards := len(budgets)
-	c := g.Freeze()
 	est := make([]float64, len(queries)*shards)
 	ps.fanOut(len(est), func(smp Sampler, k int) {
 		qi, si := k/shards, k%shards

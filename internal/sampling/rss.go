@@ -76,11 +76,11 @@ func (rs *RSS) SetThreshold(th int) {
 }
 
 func (rs *RSS) prepare(c *ugraph.CSR) {
-	rs.sc.reset(c.N(), c.M())
-	if cap(rs.status) < c.M() {
-		rs.status = make([]int8, c.M())
+	rs.sc.reset(c.N(), c.EdgeIDBound())
+	if cap(rs.status) < c.EdgeIDBound() {
+		rs.status = make([]int8, c.EdgeIDBound())
 	}
-	rs.status = rs.status[:c.M()]
+	rs.status = rs.status[:c.EdgeIDBound()]
 	for i := range rs.status {
 		rs.status[i] = 0
 	}

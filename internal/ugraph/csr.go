@@ -28,9 +28,10 @@ type CSR struct {
 	inOff    []int32
 
 	// Overlay fields; empty for a base snapshot. Extra edges carry IDs
-	// len(p)..len(p)+len(xp)-1 and their arcs are grouped per node in the
-	// tiny xOut*/xIn* arrays, found by linear scan (overlays hold a handful
-	// of edges — one candidate, or one solution set).
+	// addBase()..addBase()+len(xp)-1 (past the base array and any delta
+	// adds) and their arcs are grouped per node in the tiny xOut*/xIn*
+	// arrays, found by linear scan (overlays hold a handful of edges — one
+	// candidate, or one solution set).
 	xp       []float64
 	xends    []Edge
 	xOutNode []NodeID
@@ -41,6 +42,11 @@ type CSR struct {
 	xInOff   []int32
 	xInArcs  []Arc
 	xInP     []float64
+
+	// d carries the persistent delta layer of a layered epoch snapshot
+	// (see delta.go); nil for flat snapshots, so the walk entry points pay
+	// one predictable nil check on the flat fast path.
+	d *deltaState
 }
 
 // Freeze returns an immutable CSR snapshot of g, building it on first use
@@ -104,8 +110,15 @@ func flattenRows(rows [][]Arc, p []float64) ([]Arc, []float64, []int32) {
 // N returns the number of nodes.
 func (c *CSR) N() int { return c.n }
 
-// M returns the number of edges, including overlay edges.
-func (c *CSR) M() int { return len(c.p) + len(c.xp) }
+// M returns the number of live edges, including overlay edges. On layered
+// snapshots this is the logical count (base minus removed plus added); edge
+// IDs may exceed it — size per-edge scratch with EdgeIDBound.
+func (c *CSR) M() int {
+	if c.d != nil {
+		return c.d.m + len(c.xp)
+	}
+	return len(c.p) + len(c.xp)
+}
 
 // Directed reports whether the snapshot is of a directed graph.
 func (c *CSR) Directed() bool { return c.directed }
@@ -116,16 +129,23 @@ func (c *CSR) Directed() bool { return c.directed }
 // ephemeral per-candidate scratch, not new graph states.
 func (c *CSR) Epoch() uint64 { return c.epoch }
 
-// Prob returns the existence probability of edge eid (base or overlay).
+// Prob returns the existence probability of edge eid (base, delta or
+// overlay).
 func (c *CSR) Prob(eid int32) float64 {
+	if c.d != nil {
+		return c.deltaProb(eid)
+	}
 	if int(eid) < len(c.p) {
 		return c.p[eid]
 	}
 	return c.xp[int(eid)-len(c.p)]
 }
 
-// Endpoints returns the edge descriptor of eid (base or overlay).
+// Endpoints returns the edge descriptor of eid (base, delta or overlay).
 func (c *CSR) Endpoints(eid int32) Edge {
+	if c.d != nil {
+		return c.deltaEndpoints(eid)
+	}
 	if int(eid) < len(c.ends) {
 		return c.ends[eid]
 	}
@@ -136,18 +156,31 @@ func (c *CSR) Endpoints(eid int32) Edge {
 // Callers must not modify the slice. Complete iteration over an overlay
 // view visits Out(u) then OutOverlay(u), matching the arc order of the
 // equivalent mutable Graph.
-func (c *CSR) Out(u NodeID) []Arc { return c.outArcs[c.outOff[u]:c.outOff[u+1]] }
+func (c *CSR) Out(u NodeID) []Arc {
+	if c.d == nil {
+		return c.outArcs[c.outOff[u]:c.outOff[u+1]]
+	}
+	return c.deltaOut(u)
+}
 
 // OutProbs returns the probabilities aligned with Out(u): OutProbs(u)[i]
 // is the existence probability of Out(u)[i]. Sampler inner loops read this
 // instead of Prob to stay on the adjacency stream.
-func (c *CSR) OutProbs(u NodeID) []float64 { return c.outP[c.outOff[u]:c.outOff[u+1]] }
+func (c *CSR) OutProbs(u NodeID) []float64 {
+	if c.d == nil {
+		return c.outP[c.outOff[u]:c.outOff[u+1]]
+	}
+	return c.deltaOutProbs(u)
+}
 
 // In returns the frozen in-adjacency row of u (arcs over which u is
 // reached), excluding overlay arcs. For undirected graphs this is Out(u).
 func (c *CSR) In(u NodeID) []Arc {
 	if c.directed {
-		return c.inArcs[c.inOff[u]:c.inOff[u+1]]
+		if c.d == nil {
+			return c.inArcs[c.inOff[u]:c.inOff[u+1]]
+		}
+		return c.deltaIn(u)
 	}
 	return c.Out(u)
 }
@@ -155,7 +188,10 @@ func (c *CSR) In(u NodeID) []Arc {
 // InProbs returns the probabilities aligned with In(u).
 func (c *CSR) InProbs(u NodeID) []float64 {
 	if c.directed {
-		return c.inP[c.inOff[u]:c.inOff[u+1]]
+		if c.d == nil {
+			return c.inP[c.inOff[u]:c.inOff[u+1]]
+		}
+		return c.deltaInProbs(u)
 	}
 	return c.OutProbs(u)
 }
@@ -262,6 +298,7 @@ func (c *CSR) WithEdges(extra []Edge) *CSR {
 		inArcs:   c.inArcs,
 		inP:      c.inP,
 		inOff:    c.inOff,
+		d:        c.d,
 		xp:       append([]float64(nil), c.xp...),
 		xends:    append([]Edge(nil), c.xends...),
 	}
@@ -289,11 +326,11 @@ func (c *CSR) WithEdges(extra []Edge) *CSR {
 	return v
 }
 
-// baseHasEdge checks only the frozen base arrays (overlay extras are
-// checked against the pending list instead, preserving Graph.WithEdges's
-// first-wins semantics).
+// baseHasEdge checks the frozen snapshot rows — including any delta layer
+// — but not overlay extras (those are checked against the pending list
+// instead, preserving Graph.WithEdges's first-wins semantics).
 func (c *CSR) baseHasEdge(u, v NodeID) bool {
-	for _, a := range c.outArcs[c.outOff[u]:c.outOff[u+1]] {
+	for _, a := range c.Out(u) {
 		if a.To == v {
 			return true
 		}
@@ -317,7 +354,7 @@ func hasPending(pending []Edge, directed bool, u, v NodeID) bool {
 // preserving insertion order within each node's row — the order a mutable
 // Graph would have appended them in.
 func (v *CSR) buildOverlayRows() {
-	base := int32(len(v.p))
+	base := int32(v.addBase())
 	var outFrom, inFrom []NodeID
 	var outArc, inArc []Arc
 	for i, e := range v.xends {

@@ -438,6 +438,17 @@ type EngineStats struct {
 	// mutations in them — replica-side traffic, disjoint from Applies /
 	// MutationsApplied which count only local Apply calls.
 	ReplicatedApplies, ReplicatedMutations uint64
+	// DeltaCommits counts the batches (local or replicated) committed as
+	// O(batch) delta layers rather than full clone+freeze rebuilds;
+	// Compactions the folds of a delta chain back into a flat CSR
+	// (threshold, checkpoint or Engine.Compact). ChainDepth is the current
+	// snapshot's layer count — 0 whenever the engine is serving a flat CSR.
+	DeltaCommits, Compactions uint64
+	ChainDepth                int
+	// CacheWarmed counts queries recomputed by epoch-rotation cache warming
+	// (WithCacheWarming): popular fingerprints from the outgoing epoch
+	// re-submitted and answered on the new one.
+	CacheWarmed uint64
 	// CacheHits/CacheMisses count result-cache lookups (zero when the
 	// cache is disabled); CacheLen/CacheCap its current and maximum size.
 	// CacheInvalidated counts stale-epoch entries reclaimed by the lazy
@@ -477,6 +488,10 @@ func (e *Engine) Stats() EngineStats {
 		MutationsApplied:    e.mutationsApplied.Load(),
 		ReplicatedApplies:   e.replicatedApplies.Load(),
 		ReplicatedMutations: e.replicatedMutations.Load(),
+		DeltaCommits:        e.deltaCommits.Load(),
+		Compactions:         e.compactions.Load(),
+		ChainDepth:          e.snap.Load().csr.Depth(),
+		CacheWarmed:         e.cacheWarmed.Load(),
 		AnytimeEstimates:    e.anytimeEstimates.Load(),
 		AnytimeSamplesUsed:  e.anytimeSamplesUsed.Load(),
 		AnytimeSamplesSaved: e.anytimeSamplesSaved.Load(),

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/store"
+	"repro/internal/ugraph"
 )
 
 // ErrBadMutation marks a mutation batch the engine rejected: adding an
@@ -61,23 +62,30 @@ func RemoveEdge(u, v NodeID) Mutation {
 }
 
 // Apply atomically commits a batch of mutations and returns the new graph
-// epoch. The next epoch is built aside — clone, mutate, freeze — and
-// rotated in with one pointer swap, so queries and jobs that already
-// pinned the previous snapshot keep running on it unperturbed and return
-// results bit-identical to a never-mutated engine. Queries canonicalized
-// after Apply returns see the new epoch: their fingerprints change (the
-// epoch is part of Query.Key), so the result cache self-invalidates —
-// stale-epoch entries can no longer be hit and are evicted lazily.
+// epoch. The next epoch is built aside and rotated in with one pointer
+// swap, so queries and jobs that already pinned the previous snapshot keep
+// running on it unperturbed and return results bit-identical to a
+// never-mutated engine. Queries canonicalized after Apply returns see the
+// new epoch: their fingerprints change (the epoch is part of Query.Key),
+// so the result cache self-invalidates — stale-epoch entries can no longer
+// be hit and are evicted lazily.
 //
 // The batch is all-or-nothing: the first invalid mutation (duplicate add,
 // missing edge, bad probability — see ErrBadMutation) or a fired ctx
 // aborts the whole batch with the epoch unchanged. Mutations are applied
 // in order, so a batch may remove an edge it just added. Concurrent
-// Applies serialize. Cost: O(N + M) per batch for the clone and freeze —
-// what buys the wait-free read side — plus O(1) per add/set-prob and
-// O(N + M) per REMOVAL (dense edge-ID renumbering), so removal-heavy
-// batches on large graphs are O(removals · M); batch compaction is a
-// known follow-up if mutation rates ever rival query rates.
+// Applies serialize.
+//
+// Cost: the batch commits as a persistent delta epoch layered over the
+// previous CSR — shared base arrays plus materialized rows for only the
+// touched nodes — so a commit is O(batch · degree of the touched nodes),
+// independent of graph size, for adds, re-probes AND removals. Layers
+// stack; a background compactor folds the chain back into a flat CSR when
+// it reaches the configured depth or delta-arc fraction (see
+// WithCompactionPolicy and Engine.Compact), amortizing the O(N + M)
+// rebuild over many commits. Reads on a layered epoch are bit-identical to
+// the flat rebuild (the differential suites pin this); WithFlatCommits
+// restores the legacy clone+freeze commit for oracle use.
 func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -91,14 +99,29 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	if len(muts) == 0 {
 		return cur.csr.Epoch(), nil
 	}
-	g := cur.g.Clone()
-	if i, err := applyMutationsTo(ctx, g, muts); err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", i, len(muts), cerr)
+	var next *engineSnapshot
+	if e.flatApply {
+		g := cur.graph().Clone()
+		if i, err := applyMutationsTo(ctx, g, muts); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", i, len(muts), cerr)
+			}
+			m := muts[i]
+			return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
+				i, m.Op, m.U, m.V, err, ErrBadMutation)
 		}
-		m := muts[i]
-		return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
-			i, m.Op, m.U, m.V, err, ErrBadMutation)
+		next = newFlatSnapshot(g)
+	} else {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, fmt.Errorf("repro: Apply interrupted at mutation %d/%d: %w", 0, len(muts), cerr)
+		}
+		snap, i, err := deltaSnapshot(cur, muts)
+		if err != nil {
+			m := muts[i]
+			return 0, fmt.Errorf("repro: Apply: mutation %d (%s %d-%d): %v: %w",
+				i, m.Op, m.U, m.V, err, ErrBadMutation)
+		}
+		next = snap
 	}
 	// Durability barrier: the validated batch goes to the WAL — and is
 	// fsynced — before the snapshot rotates. If the append fails the epoch
@@ -107,13 +130,12 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	// acknowledged survives a crash.
 	var appended store.Batch
 	if e.store != nil {
-		b, err := e.appendToWAL(g, muts)
+		b, err := e.appendToWAL(next.csr.Epoch(), muts)
 		if err != nil {
 			return 0, fmt.Errorf("repro: Apply: durable append: %w", err)
 		}
 		appended = b
 	}
-	next := &engineSnapshot{g: g, csr: g.Freeze()}
 	// Rotate the cache epoch BEFORE publishing the snapshot: a query that
 	// canonicalizes against the new snapshot and races its result into the
 	// cache must find the cache already on the new epoch, or the lazy trim
@@ -126,6 +148,9 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	e.snap.Store(next)
 	e.applies.Add(1)
 	e.mutationsApplied.Add(uint64(len(muts)))
+	if len(next.pending) != 0 {
+		e.deltaCommits.Add(1)
+	}
 	if e.store != nil {
 		e.pendingBatches++
 		e.pendingBytes += int64(store.EncodedBatchSize(appended))
@@ -133,10 +158,52 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 			// Best-effort: the batch is already durable in the WAL, so a
 			// failed checkpoint does not fail the Apply — it shows up in
 			// Stats.CheckpointErrors and the next Apply retries.
-			_ = e.checkpointLocked(g)
+			_ = e.checkpointLocked()
 		}
 	}
+	e.maybeCompact(e.snap.Load())
+	e.maybeWarmCache(cur.csr.Epoch())
 	return next.csr.Epoch(), nil
+}
+
+// deltaSnapshot builds the snapshot committing muts over cur as one more
+// delta layer — the O(batch) commit path shared by Apply and
+// ApplyReplicated. On failure it returns the offending mutation's index
+// and the underlying cause; cur is untouched either way.
+func deltaSnapshot(cur *engineSnapshot, muts []Mutation) (*engineSnapshot, int, error) {
+	edits := make([]ugraph.DeltaEdit, len(muts))
+	for i, m := range muts {
+		ed, err := deltaEditOf(m)
+		if err != nil {
+			return nil, i, err
+		}
+		edits[i] = ed
+	}
+	dcsr, err := cur.csr.Delta(edits)
+	if err != nil {
+		var de *ugraph.DeltaError
+		if errors.As(err, &de) {
+			return nil, de.Index, de.Err
+		}
+		return nil, 0, err
+	}
+	pending := make([]Mutation, 0, len(cur.pending)+len(muts))
+	pending = append(append(pending, cur.pending...), muts...)
+	return &engineSnapshot{csr: dcsr, base: cur.base, pending: pending}, 0, nil
+}
+
+// deltaEditOf converts one Mutation to its ugraph delta form.
+func deltaEditOf(m Mutation) (ugraph.DeltaEdit, error) {
+	switch m.Op {
+	case MutAddEdge:
+		return ugraph.DeltaEdit{Op: ugraph.DeltaAdd, U: m.U, V: m.V, P: m.P}, nil
+	case MutSetProb:
+		return ugraph.DeltaEdit{Op: ugraph.DeltaSetProb, U: m.U, V: m.V, P: m.P}, nil
+	case MutRemoveEdge:
+		return ugraph.DeltaEdit{Op: ugraph.DeltaRemove, U: m.U, V: m.V}, nil
+	default:
+		return ugraph.DeltaEdit{}, fmt.Errorf("unknown op %q", m.Op)
+	}
 }
 
 // applyMutationsTo executes a mutation batch in order against g — the

@@ -329,7 +329,7 @@ func (e *Engine) runCanonical(ctx context.Context, cq Query) (Result, bool, erro
 	}
 	res, err := e.execute(ctx, cq)
 	if err == nil && e.cache != nil {
-		e.cache.put(key, cq.epoch, cq.precision(), res)
+		e.cache.put(key, cq, res)
 	}
 	return res, false, err
 }
@@ -356,7 +356,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 	}
 	switch q.Kind {
 	case QuerySolve:
-		sol, err := core.Solve(ctx, snap.g, q.S, q.T, q.Method, opt)
+		sol, err := core.Solve(ctx, snap.graph(), q.S, q.T, q.Method, opt)
 		res.Solution = sol
 		if err == nil && sol.PathCount == 0 && (q.Method == MethodIP || q.Method == MethodBE) {
 			// The legacy free Solve returns an empty zero-gain Solution here;
@@ -366,11 +366,11 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		}
 		return res, err
 	case QueryMulti:
-		sol, err := core.SolveMulti(ctx, snap.g, q.Sources, q.Targets, q.Aggregate, q.Method, opt)
+		sol, err := core.SolveMulti(ctx, snap.graph(), q.Sources, q.Targets, q.Aggregate, q.Method, opt)
 		res.Multi = sol
 		return res, err
 	case QueryTotalBudget:
-		sol, err := core.SolveTotalBudget(ctx, snap.g, q.S, q.T, q.Budget, opt)
+		sol, err := core.SolveTotalBudget(ctx, snap.graph(), q.S, q.T, q.Budget, opt)
 		res.TotalBudget = sol
 		return res, err
 	case QueryEstimate:
@@ -397,7 +397,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (Result, error) {
 		if cs, ok := smp.(sampling.CSRSampler); ok {
 			rel = cs.ReliabilityCSR(snap.csr, q.S, q.T)
 		} else {
-			rel = smp.Reliability(snap.g, q.S, q.T)
+			rel = smp.Reliability(snap.graph(), q.S, q.T)
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return res, fmt.Errorf("repro: estimate interrupted: %w", cerr)
@@ -440,7 +440,7 @@ func (e *Engine) estimateMany(ctx context.Context, snap *engineSnapshot, opt Opt
 		if err != nil {
 			return nil, err
 		}
-		out := smp.(sampling.BatchSampler).EstimateMany(snap.g, pairs)
+		out := smp.(*sampling.ParallelSampler).EstimateManyCSR(snap.csr, pairs)
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("repro: estimate batch interrupted: %w", cerr)
 		}

@@ -25,8 +25,9 @@ var ErrReplicaGap = errors.New("replica gap: batch does not chain onto current e
 
 // ApplyReplicated commits one replicated mutation batch — a batch the
 // primary already validated, applied and acknowledged — and returns the new
-// epoch. It is the follower-side counterpart of Apply: same clone → mutate →
-// freeze → rotate pipeline, but the batch is NOT re-appended to a WAL (the
+// epoch. It is the follower-side counterpart of Apply: the same delta-epoch
+// commit (or clone → mutate → freeze under WithFlatCommits), including the
+// same background compaction policy, but the batch is NOT re-appended to a WAL (the
 // primary's log is the source of truth; relmaxd replicas are memoryless and
 // re-bootstrap over the feed) and it counts in ReplicatedApplies /
 // ReplicatedMutations, distinct from local Apply traffic.
@@ -50,16 +51,27 @@ func (e *Engine) ApplyReplicated(b store.Batch) (uint64, error) {
 		return 0, fmt.Errorf("repro: ApplyReplicated: batch epoch %d chains from %d, replica at %d: %w",
 			b.Epoch, b.PrevEpoch(), cur.csr.Epoch(), ErrReplicaGap)
 	}
-	g := cur.g.Clone()
-	if i, err := applyMutationsTo(nil, g, mutationsFromStore(b.Muts)); err != nil {
-		return 0, fmt.Errorf("repro: ApplyReplicated: batch epoch %d mutation %d: %v: %w",
-			b.Epoch, i, err, ErrReplicaGap)
+	muts := mutationsFromStore(b.Muts)
+	var next *engineSnapshot
+	if e.flatApply {
+		g := cur.graph().Clone()
+		if i, err := applyMutationsTo(nil, g, muts); err != nil {
+			return 0, fmt.Errorf("repro: ApplyReplicated: batch epoch %d mutation %d: %v: %w",
+				b.Epoch, i, err, ErrReplicaGap)
+		}
+		next = newFlatSnapshot(g)
+	} else {
+		snap, i, err := deltaSnapshot(cur, muts)
+		if err != nil {
+			return 0, fmt.Errorf("repro: ApplyReplicated: batch epoch %d mutation %d: %v: %w",
+				b.Epoch, i, err, ErrReplicaGap)
+		}
+		next = snap
 	}
-	if g.Version() != b.Epoch {
+	if next.csr.Epoch() != b.Epoch {
 		return 0, fmt.Errorf("repro: ApplyReplicated: replay of batch epoch %d arrived at %d: %w",
-			b.Epoch, g.Version(), ErrReplicaGap)
+			b.Epoch, next.csr.Epoch(), ErrReplicaGap)
 	}
-	next := &engineSnapshot{g: g, csr: g.Freeze()}
 	// Same ordering as Apply: the cache rotates to the new epoch before the
 	// snapshot publishes, so a racing query cannot cache a fresh result that
 	// the lazy trim would immediately reclaim as stale.
@@ -69,6 +81,11 @@ func (e *Engine) ApplyReplicated(b store.Batch) (uint64, error) {
 	e.snap.Store(next)
 	e.replicatedApplies.Add(1)
 	e.replicatedMutations.Add(uint64(len(b.Muts)))
+	if len(next.pending) != 0 {
+		e.deltaCommits.Add(1)
+	}
+	e.maybeCompact(next)
+	e.maybeWarmCache(cur.csr.Epoch())
 	return next.csr.Epoch(), nil
 }
 
@@ -88,7 +105,7 @@ func (e *Engine) ResetToSnapshot(s *store.Snapshot) error {
 	if e.closed.Load() {
 		return fmt.Errorf("repro: ResetToSnapshot: %w", ErrClosed)
 	}
-	next := &engineSnapshot{g: g, csr: g.Freeze()}
+	next := newFlatSnapshot(g)
 	if e.cache != nil {
 		e.cache.purge()
 		e.cache.setEpoch(next.csr.Epoch())
